@@ -1,0 +1,28 @@
+# Convenience targets for the ttda suite.
+
+.PHONY: all test bench experiments doc examples clean
+
+all: test
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+experiments:
+	cargo run --release -p ttda-bench --bin experiments -- all
+
+doc:
+	cargo doc --workspace --no-deps
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example producer_consumer
+	cargo run --release --example survey_tour
+	cargo run --release --example testbed
+	cargo run --release --example multiprogramming
+	cargo run --release --example id_compiler
+
+clean:
+	cargo clean

@@ -1,0 +1,23 @@
+//! Criterion bench behind Experiment E7: FETCH-AND-ADD combining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_machines::{Ultra, UltraConfig};
+
+fn bench_faa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_fetch_and_add");
+    for n in [16usize, 128] {
+        for combining in [false, true] {
+            let name = if combining { "combining" } else { "serial" };
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut u = Ultra::new(UltraConfig { procs: n, combining, ..UltraConfig::default() }).unwrap();
+                    u.hot_spot(&vec![1; n])
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_faa);
+criterion_main!(benches);

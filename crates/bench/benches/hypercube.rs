@@ -1,0 +1,34 @@
+//! Criterion bench behind Experiment E12: hypercube routing, faults,
+//! rebuild cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ttda_net::{Fabric, FabricConfig, Hypercube, NodeId};
+use ttda_sim::{Cycle, SimRng};
+
+fn bench_hypercube(c: &mut Criterion) {
+    c.bench_function("e12_route_1k_random", |b| {
+        let cube = Hypercube::new(7).unwrap();
+        let mut fabric = Fabric::new(cube, FabricConfig::bit_serial_4mbs());
+        let mut rng = SimRng::seed(3);
+        b.iter(|| {
+            fabric.reset();
+            let mut last = Cycle::ZERO;
+            for _ in 0..1000 {
+                let a = NodeId(rng.gen_range(0..128));
+                let d = NodeId(rng.gen_range(0..128));
+                last = last.max(fabric.send(Cycle::ZERO, a, d));
+            }
+            last
+        })
+    });
+    c.bench_function("e12_fault_rebuild", |b| {
+        b.iter(|| {
+            let mut cube = Hypercube::new(7).unwrap();
+            cube.fail_link(NodeId(0), NodeId(1)).unwrap();
+            cube.failed_links()
+        })
+    });
+}
+
+criterion_group!(benches, bench_hypercube);
+criterion_main!(benches);

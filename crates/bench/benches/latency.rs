@@ -1,0 +1,41 @@
+//! Criterion bench behind Experiment E1/E4: blocking vs multi-context vs
+//! TTDA under a latency sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_core::{TimedConfig, TimedMachine, Value};
+use ttda_sim::Cycle;
+use ttda_vn::{run_blocking, Core, FlatMemory, MultiContext, RunConfig};
+use ttda_workloads::vn::latency_probe;
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_latency_tolerance");
+    for latency in [5u64, 50] {
+        g.bench_with_input(BenchmarkId::new("blocking", latency), &latency, |b, &l| {
+            b.iter(|| {
+                let mut core = Core::new(latency_probe(100, 4, 0, 1));
+                let mut mem = FlatMemory::new(512);
+                run_blocking(&mut core, &mut mem, |_, _| Cycle(l), RunConfig::default()).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multictx16", latency), &latency, |b, &l| {
+            b.iter(|| {
+                let prog = latency_probe(40, 4, 0, 1);
+                let cores = (0..16).map(|_| Core::new(prog.clone())).collect();
+                let mut mc = MultiContext::new(cores, RunConfig::default());
+                let mut mem = FlatMemory::new(512);
+                mc.run(&mut mem, |_, _| Cycle(l)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ttda", latency), &latency, |b, &l| {
+            let p = ttda_idc::compile(ttda_workloads::id::producer_consumer()).unwrap();
+            b.iter(|| {
+                let mut m = TimedMachine::ideal(p.clone(), 4, Cycle(l), TimedConfig::default());
+                m.run(&[Value::Int(16)]).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Experiment E5: the synchronization ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_machines::Smp;
+use ttda_sim::Cycle;
+use ttda_vn::{Core, FlatMemory, MemRef, RunConfig};
+use ttda_workloads::vn::{producer_consumer, SyncStrategy};
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_sync_ladder");
+    for (name, strategy) in [
+        ("whole_array", SyncStrategy::WholeArray),
+        ("per_row", SyncStrategy::PerRow),
+        ("per_element_flag", SyncStrategy::PerElementFlag),
+        ("per_element_fe", SyncStrategy::PerElementFullEmpty),
+    ] {
+        g.bench_function(BenchmarkId::new(name, 6), |b| {
+            let w = producer_consumer(6, 10, strategy);
+            b.iter(|| {
+                let cores = vec![Core::new(w.producer.clone()), Core::new(w.consumer.clone())];
+                let cfg = RunConfig { retry_interval: Cycle(8), ..RunConfig::default() };
+                let mut smp = Smp::new(cores, FlatMemory::new(1 << 14), cfg);
+                smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! E14: the bottom line — TTDA vs von Neumann as the machine scales.
+
+use ttda_core::{MappingPolicy, TimedConfig, TimedMachine, Value};
+use ttda_machines::Smp;
+use ttda_mem::Addr;
+use ttda_sim::table::{pct, Table};
+use ttda_sim::Cycle;
+use ttda_vn::{Core, DataMemory, FlatMemory, MemRef, RunConfig};
+use ttda_workloads::{id, reference, vn};
+
+use super::section;
+
+/// Network round-trip latency as a function of machine size: log-depth
+/// switching, as §1.1 argues any scalable network must have.
+fn latency_for(pes: usize) -> u64 {
+    2 + 3 * (usize::BITS - pes.leading_zeros().max(1)) as u64
+}
+
+fn ttda_matmul(pes: usize, n: i64) -> (u64, f64) {
+    let p = ttda_idc::compile(id::matmul()).expect("compiles");
+    let cfg = TimedConfig {
+        mapping: MappingPolicy::ByIteration,
+        ..TimedConfig::default()
+    };
+    let mut m = TimedMachine::ideal(p, pes, Cycle(latency_for(pes)), cfg);
+    let r = m.run(&[Value::Int(n)]).expect("runs");
+    assert_eq!(r.outputs[&0], Value::Int(reference::matmul_checksum(n)));
+    (r.stats.cycles.as_u64(), r.stats.alu_utilization())
+}
+
+fn vn_matmul(procs: usize, n: usize) -> (u64, f64) {
+    let (a_base, b_base, c_base) = (0i64, (n * n) as i64, 2 * (n * n) as i64);
+    let mut mem = FlatMemory::new(4 * n * n);
+    for i in 0..n {
+        for j in 0..n {
+            mem.store(Addr((a_base as usize) + i * n + j), (i + j) as i64)
+                .expect("init");
+            mem.store(Addr((b_base as usize) + i * n + j), i as i64 - j as i64)
+                .expect("init");
+        }
+    }
+    let cores: Vec<Core> = (0..procs)
+        .map(|p| Core::new(vn::matmul_slice(p, procs, n, a_base, b_base, c_base)))
+        .collect();
+    let mut smp = Smp::new(cores, mem, RunConfig::default());
+    let l = Cycle(latency_for(procs));
+    let stats = smp
+        .run(&mut |_: usize, _: &MemRef, _: Cycle| l)
+        .expect("runs");
+    assert!(stats.completed);
+    // Verify the checksum.
+    let mut sum = 0i64;
+    for idx in 0..(n * n) {
+        sum += smp
+            .memory_mut()
+            .load(Addr(c_base as usize + idx))
+            .expect("read C");
+    }
+    assert_eq!(sum, reference::matmul_checksum(n as i64));
+    (stats.cycles.as_u64(), stats.utilization())
+}
+
+/// E14: scaling the same matrix multiply on both architectures, with
+/// network latency growing as log(machine size).
+pub fn e14() -> String {
+    let mut out = section(
+        "e14",
+        "Scaling the same computation: TTDA vs blocking von Neumann",
+        "\"data flow provides a means whereby a processing element can issue many \
+         simultaneous memory requests, can tolerate long latencies ..., and can deal \
+         with responses that arrive out of order\" (§2.3) — while the blocking design \
+         pays the full, growing round trip on every shared reference",
+    );
+    let n = 6;
+    let mut t = Table::new(&[
+        "PEs/procs",
+        "latency",
+        "vN cycles",
+        "vN speedup",
+        "vN util",
+        "ttda cycles",
+        "ttda speedup",
+        "ttda alu util",
+    ]);
+    let (vn_base, _) = vn_matmul(1, n as usize);
+    let (tt_base, _) = ttda_matmul(1, n);
+    for pes in [1usize, 2, 4, 8, 16, 32] {
+        let (vc, vu) = vn_matmul(pes, n as usize);
+        let (tc, tu) = ttda_matmul(pes, n);
+        t.row_owned(vec![
+            pes.to_string(),
+            latency_for(pes).to_string(),
+            vc.to_string(),
+            format!("{:.2}x", vn_base as f64 / vc as f64),
+            pct(vu),
+            tc.to_string(),
+            format!("{:.2}x", tt_base as f64 / tc as f64),
+            pct(tu),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nShape check: both speed up at small scale, but the blocking machine's\n\
+         utilization collapses as the (log-growing) latency multiplies against its\n\
+         every shared reference, flattening its speedup; the TTDA keeps its ALUs fed\n\
+         from other enabled activities and keeps scaling until the program's own\n\
+         parallelism runs out. Absolute cycle counts are not comparable across the\n\
+         two ISAs — the *curve shapes* are the result.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vn_utilization_collapses_faster_than_ttda() {
+        let (_, vu1) = vn_matmul(1, 6);
+        let (_, vu16) = vn_matmul(16, 6);
+        let (_, tu1) = ttda_matmul(1, 6);
+        let (_, tu16) = ttda_matmul(16, 6);
+        let vn_drop = vu1 / vu16;
+        let tt_drop = tu1 / tu16;
+        assert!(
+            vn_drop > tt_drop,
+            "vN util drop {vn_drop:.1}x should exceed TTDA drop {tt_drop:.1}x"
+        );
+    }
+
+    #[test]
+    fn both_machines_agree_with_reference() {
+        // Checked inside the helpers; exercise a couple of sizes.
+        vn_matmul(4, 5);
+        ttda_matmul(4, 4);
+    }
+
+    #[test]
+    fn latency_grows_with_scale() {
+        assert!(latency_for(2) < latency_for(32));
+    }
+}

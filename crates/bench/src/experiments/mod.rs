@@ -1,0 +1,91 @@
+//! One module per experiment group; see the crate docs for the index.
+
+mod ablations;
+mod dataflow;
+mod endtoend;
+mod issue1;
+mod multiprog;
+mod survey;
+mod sync;
+mod testbed;
+
+pub use ablations::{a1, a2, a3, a4, a5};
+pub use dataflow::{e10, e11, e13};
+pub use endtoend::e14;
+pub use issue1::{e1, e4};
+pub use multiprog::e15;
+pub use survey::{e2, e3, e7, e8, e9};
+pub use sync::{e5, e6};
+pub use testbed::e12;
+
+/// All experiment ids, in order (e* reproduce paper claims, a* are
+/// design ablations).
+pub const EXPERIMENT_IDS: [&str; 20] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "a1", "a2", "a3", "a4", "a5",
+];
+
+/// Runs one experiment by id, returning its rendered report.
+///
+/// # Errors
+///
+/// Returns the list of valid ids if `id` is unknown.
+pub fn run_experiment(id: &str) -> Result<String, String> {
+    Ok(match id {
+        "e1" => e1(),
+        "e2" => e2(),
+        "e3" => e3(),
+        "e4" => e4(),
+        "e5" => e5(),
+        "e6" => e6(),
+        "e7" => e7(),
+        "e8" => e8(),
+        "e9" => e9(),
+        "e10" => e10(),
+        "e11" => e11(),
+        "e12" => e12(),
+        "e13" => e13(),
+        "e14" => e14(),
+        "e15" => e15(),
+        "a1" => a1(),
+        "a2" => a2(),
+        "a3" => a3(),
+        "a4" => a4(),
+        "a5" => a5(),
+        other => {
+            return Err(format!(
+                "unknown experiment `{other}`; valid: {} or `all`",
+                EXPERIMENT_IDS.join(", ")
+            ))
+        }
+    })
+}
+
+/// Formats an experiment header.
+pub(crate) fn section(id: &str, title: &str, claim: &str) -> String {
+    format!(
+        "\n=== {} — {title} ===\nPaper claim: {claim}\n\n",
+        id.to_uppercase()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_runs() {
+        // Smoke-test each experiment at its default (small) scale; the
+        // individual claim checks live in the experiment modules.
+        for id in EXPERIMENT_IDS {
+            let out = run_experiment(id).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert!(out.contains("==="), "{id} produced no header");
+            assert!(out.len() > 100, "{id} produced almost no output");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_error() {
+        assert!(run_experiment("e99").is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! E2 / E3 / E7 / E8 / E9: the surveyed von Neumann machines (§1.2).
+
+use ttda_machines::{
+    branchy_kernel, memory_chain_kernel, regular_kernel, CmInstr, CmStar, CmStarConfig,
+    ConnectionMachine, Ultra, UltraConfig, Vliw,
+};
+use ttda_mem::cache::{CacheConfig, CoherentSystem, Protocol, WritePolicy};
+use ttda_mem::Addr;
+use ttda_sim::table::{f3, pct, Table};
+use ttda_sim::{Cycle, SimRng};
+use ttda_vn::Core;
+use ttda_workloads::vn::chaotic_relaxation;
+
+use super::section;
+
+fn cmstar_run(procs: usize, total_cells: usize) -> (f64, u64, f64) {
+    let per_cluster = 8.min(procs);
+    let clusters = procs.div_ceil(per_cluster);
+    let n = clusters * per_cluster;
+    let cells = (total_cells / n).max(2);
+    // Kmap message handling was tens of microseconds against a ~3us
+    // local reference; these link costs land the published 1:3:9-ish
+    // ratios once the 2-4 hop paths are accounted.
+    let cfg = CmStarConfig {
+        clusters,
+        per_cluster,
+        words_per_module: 256,
+        fabric: ttda_net::FabricConfig {
+            link_service: Cycle(4),
+            switch_delay: Cycle(2),
+            injection_delay: Cycle(1),
+        },
+        ..CmStarConfig::default()
+    };
+    let cores: Vec<Core> = (0..n)
+        .map(|p| Core::new(chaotic_relaxation(p, n, cells, 8, 256)))
+        .collect();
+    let mut m = CmStar::new(cores, cfg);
+    let stats = m.run().expect("relaxation runs");
+    assert!(stats.completed);
+    let (l, i, x) = m.reference_mix();
+    let remote_frac = (i + x) as f64 / (l + i + x) as f64;
+    (stats.utilization(), stats.cycles.as_u64(), remote_frac)
+}
+
+/// E2: Cm* — processor idle time bounds cooperation.
+pub fn e2() -> String {
+    let mut out = section(
+        "e2",
+        "Cm*: idling on remote references bounds speedup",
+        "\"Cm* demonstrated quite clearly the importance of Issue 1; the effect of \
+         processor idle time put an upper limit on the number of processors that could \
+         cooperate on even highly parallel programs (e.g., chaotic relaxation)\" (§1.2.2)",
+    );
+    let mut t = Table::new(&["procs", "cells/proc", "utilization", "cycles", "remote refs", "speedup"]);
+    let total = 128;
+    let (_, base, _) = cmstar_run(1, total);
+    for procs in [1usize, 2, 4, 8, 16, 32] {
+        let (util, cycles, remote) = cmstar_run(procs, total);
+        t.row_owned(vec![
+            procs.to_string(),
+            (total / procs).to_string(),
+            pct(util),
+            cycles.to_string(),
+            pct(remote),
+            format!("{:.2}x", base as f64 / cycles as f64),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nShape check: as processors are added (data fixed), each one's share shrinks,\n\
+         the remote-reference fraction rises, utilization falls, and the speedup curve\n\
+         flattens well below linear — the published Cm* experience.\n",
+    );
+    out
+}
+
+fn coherence_run(procs: usize, policy: WritePolicy, protocol: Protocol, shared_frac_pct: usize) -> (f64, f64, f64) {
+    let cfg = CacheConfig {
+        write_policy: policy,
+        protocol,
+        ..CacheConfig::default()
+    };
+    let mut sys = CoherentSystem::new(procs, cfg);
+    let mut rng = SimRng::seed(7);
+    let accesses = 400;
+    let mut cycles = Cycle::ZERO;
+    for round in 0..accesses {
+        for p in 0..procs {
+            let shared = rng.gen_range(0usize..100) < shared_frac_pct;
+            let addr = if shared {
+                Addr(rng.gen_range(0usize..8)) // small hot shared region
+            } else {
+                Addr(1000 + p * 64 + rng.gen_range(0usize..32))
+            };
+            cycles += if (round + p) % 3 == 0 {
+                sys.write(p, addr)
+            } else {
+                sys.read(p, addr)
+            };
+        }
+    }
+    let s = sys.stats();
+    let per_access = cycles.as_u64() as f64 / (accesses * procs) as f64;
+    (s.traffic_per_access(), s.invalidations as f64 / (accesses * procs) as f64, per_access)
+}
+
+/// E3: cache coherence overhead vs scale and policy.
+pub fn e3() -> String {
+    let mut out = section(
+        "e3",
+        "Cache coherence overhead grows with scale",
+        "\"all such schemes inevitably introduce overhead and/or decrease parallelism \
+         ... the complexity goes up and the performance goes down rapidly as the machine \
+         is scaled\"; C.mmp shipped cacheless — \"the reason is, quite simply, the cache \
+         coherence problem\" (§1.1, §1.2.1)",
+    );
+    let mut t = Table::new(&[
+        "procs",
+        "store-in traffic/acc",
+        "store-thru traffic/acc",
+        "directory traffic/acc",
+        "invalidations/acc",
+        "cycles/acc",
+    ]);
+    for procs in [2usize, 4, 8, 16, 32] {
+        let (si, inv, cyc) = coherence_run(procs, WritePolicy::StoreIn, Protocol::Snoop, 30);
+        let (st, _, _) = coherence_run(procs, WritePolicy::StoreThrough, Protocol::Snoop, 30);
+        let (di, _, _) = coherence_run(procs, WritePolicy::StoreIn, Protocol::Directory, 30);
+        t.row_owned(vec![
+            procs.to_string(),
+            f3(si),
+            f3(st),
+            f3(di),
+            f3(inv),
+            f3(cyc),
+        ]);
+    }
+    out.push_str(&t.to_string());
+
+    let mut t2 = Table::new(&["shared %", "traffic/acc", "invalidations/acc", "cycles/acc"]);
+    for shared in [0usize, 10, 30, 60, 90] {
+        let (tr, inv, cyc) = coherence_run(8, WritePolicy::StoreIn, Protocol::Snoop, shared);
+        t2.row_owned(vec![shared.to_string(), f3(tr), f3(inv), f3(cyc)]);
+    }
+    out.push_str("\nSharing sweep at 8 processors (store-in, snooping):\n");
+    out.push_str(&t2.to_string());
+
+    // The Hydra-semaphore cost: §1.2.1 "the performance cost of this
+    // relative to, say, an ALU operation is rather high".
+    let mut t3 = Table::new(&["procs", "lock txns", "cycles/transaction", "vs 1 ALU op", "counter ok"]);
+    for procs in [1usize, 2, 4, 8, 16] {
+        let (per_txn, ok) = lock_cost(procs, 20);
+        t3.row_owned(vec![
+            procs.to_string(),
+            (procs * 20).to_string(),
+            format!("{per_txn:.0}"),
+            format!("{per_txn:.0}x"),
+            ok.to_string(),
+        ]);
+    }
+    out.push_str("\nHydra-style spin-lock transactions on the C.mmp model:\n");
+    out.push_str(&t3.to_string());
+    out.push_str(
+        "\nShape check: invalidation and traffic rates climb with both processor count\n\
+         and sharing; store-through pays memory on every write without eliminating\n\
+         invalidations; and a contended lock transaction costs many tens of ALU-op\n\
+         equivalents — the paper's Hydra-semaphore complaint, measured.\n",
+    );
+    out
+}
+
+/// Runs the spin-lock workload on a C.mmp; returns (cycles per
+/// transaction, counter exact).
+fn lock_cost(procs: usize, k: i64) -> (f64, bool) {
+    use ttda_machines::{Cmmp, CmmpConfig};
+    use ttda_vn::DataMemory;
+    let cfg = CmmpConfig { procs, ..CmmpConfig::default() };
+    let cores = vec![Core::new(ttda_workloads::vn::spin_lock_counter(k, 5)); procs];
+    let mut m = Cmmp::new(cores, cfg);
+    let stats = m.run().expect("locks run");
+    assert!(stats.completed);
+    let counter = m
+        .memory_mut()
+        .load(ttda_mem::Addr(ttda_workloads::vn::ARRAY_BASE as usize + 1))
+        .expect("counter readable");
+    (
+        stats.cycles.as_u64() as f64 / (procs as i64 * k) as f64,
+        counter == procs as i64 * k,
+    )
+}
+
+/// E7: the Ultracomputer's combining FETCH-AND-ADD.
+pub fn e7() -> String {
+    let mut out = section(
+        "e7",
+        "FETCH-AND-ADD combining on a hot spot",
+        "\"If two packets collide ... the switch extracts the values x and y, forms a \
+         new packet ... one memory reference may involve as many as log2 n additions, \
+         and implies substantial hardware complexity\" (§1.2.3)",
+    );
+    let mut t = Table::new(&[
+        "procs",
+        "serial cycles",
+        "combining cycles",
+        "speedup",
+        "mem ops (comb.)",
+        "switch adds/ref",
+    ]);
+    for n in [4usize, 8, 16, 32, 64, 128, 256] {
+        let mk = |combining| UltraConfig {
+            procs: n,
+            combining,
+            ..UltraConfig::default()
+        };
+        let serial = Ultra::new(mk(false)).expect("size ok").hot_spot(&vec![1; n]);
+        let comb = Ultra::new(mk(true)).expect("size ok").hot_spot(&vec![1; n]);
+        assert_eq!(serial.finals[&0], n as i64);
+        assert_eq!(comb.finals[&0], n as i64);
+        t.row_owned(vec![
+            n.to_string(),
+            serial.completion.as_u64().to_string(),
+            comb.completion.as_u64().to_string(),
+            format!(
+                "{:.1}x",
+                serial.completion.as_u64() as f64 / comb.completion.as_u64() as f64
+            ),
+            comb.memory_ops.to_string(),
+            f3(comb.switch_adds as f64 / n as f64),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nShape check: without combining the hot spot serializes (~linear in n); with\n\
+         combining exactly one request reaches memory and completion grows ~log n —\n\
+         at the cost of ~2 switch additions per reference, the hardware complexity\n\
+         the paper flags.\n",
+    );
+    out
+}
+
+/// E8: VLIW — static ILP vs dynamic latency.
+pub fn e8() -> String {
+    let mut out = section(
+        "e8",
+        "VLIW: compile-time parallelism, run-time fragility",
+        "\"able to fold many parallel operations into a single machine cycle ... \
+         [but] not suited at all to real-time multiuser multiprogramming, interrupt \
+         handling, or anything which relies on the ability to efficiently switch \
+         contexts\" (§1.2.4)",
+    );
+    let machine = Vliw::default();
+    let mut t = Table::new(&["kernel", "ops", "ILP", "cycles p=0", "cycles p=10%", "cycles p=50%"]);
+    let kernels: Vec<(&str, ttda_machines::DepGraph)> = vec![
+        ("regular (unrolled)", regular_kernel(16, 8)),
+        ("branchy (irregular)", branchy_kernel(64)),
+        ("pointer chase (mem)", memory_chain_kernel(8, 8)),
+    ];
+    for (name, g) in kernels {
+        let s = machine.schedule(&g);
+        let run = |p: f64| {
+            let mut rng = SimRng::seed(11);
+            machine.execute(&s, p, &mut rng).cycles.as_u64()
+        };
+        t.row_owned(vec![
+            name.to_string(),
+            g.len().to_string(),
+            f3(s.ilp()),
+            run(0.0).to_string(),
+            run(0.10).to_string(),
+            run(0.50).to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nShape check: the regular kernel packs ~10 ops/word; branchy code degenerates\n\
+         to ~1 (the shared branch unit); and any miss rate multiplies execution time\n\
+         because the lockstep machine stalls whole — no latency tolerance at all.\n",
+    );
+    out
+}
+
+/// E9: the Connection Machine's communication dominance.
+pub fn e9() -> String {
+    let mut out = section(
+        "e9",
+        "Connection Machine: communication dominates",
+        "\"the speed of one bit ALU operations is irrelevant because it will be \
+         insignificant in comparison with the communication time - a processor will \
+         spend almost all (90%?, 99%?) of its time communicating\" (§1.2.5)",
+    );
+    let mut t = Table::new(&[
+        "pattern",
+        "PEs",
+        "compute cy",
+        "comm cy",
+        "comm fraction",
+        "congestion",
+    ]);
+    let dim = 8;
+    let mut cm = ConnectionMachine::new(dim).expect("dim ok");
+    let n = cm.processors();
+
+    let patterns: Vec<(&str, Vec<CmInstr>)> = vec![
+        (
+            "graph step x10",
+            (0..10)
+                .flat_map(|round| {
+                    vec![
+                        CmInstr::Compute { bit_ops: 32 },
+                        CmInstr::Route {
+                            messages: (0..n).map(|p| (p, (p * 31 + 1 + 37 * round) % n)).collect(),
+                        },
+                    ]
+                })
+                .collect(),
+        ),
+        (
+            "neighbor shift x10",
+            (0..10)
+                .flat_map(|_| {
+                    vec![
+                        CmInstr::Compute { bit_ops: 32 },
+                        CmInstr::Route {
+                            messages: (0..n).map(|p| (p, p ^ 1)).collect(),
+                        },
+                    ]
+                })
+                .collect(),
+        ),
+        (
+            "hot spot x10",
+            (0..10)
+                .flat_map(|_| {
+                    vec![
+                        CmInstr::Compute { bit_ops: 32 },
+                        CmInstr::Route {
+                            messages: (1..n).map(|p| (p, 0)).collect(),
+                        },
+                    ]
+                })
+                .collect(),
+        ),
+    ];
+    for (name, prog) in patterns {
+        let s = cm.run(&prog);
+        t.row_owned(vec![
+            name.to_string(),
+            n.to_string(),
+            s.compute_cycles.as_u64().to_string(),
+            s.comm_cycles.as_u64().to_string(),
+            pct(s.comm_fraction()),
+            format!("{:.1}x", s.congestion()),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nShape check: even the friendliest pattern spends >80% of its time routing;\n\
+         irregular (graph) traffic lands in the paper's 90-99% band, and hot spots\n\
+         push congestion far past the 'minimum number of steps'.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmstar_speedup_saturates() {
+        let (_, t4, r4) = cmstar_run(4, 128);
+        let (_, t32, r32) = cmstar_run(32, 128);
+        // 8x the processors, nowhere near 8x faster.
+        assert!((t4 as f64) / (t32 as f64) < 6.0);
+        assert!(r32 > r4, "remote fraction must grow with scale");
+    }
+
+    #[test]
+    fn lock_transactions_are_mutually_exclusive_and_costly() {
+        let (per_txn, ok) = lock_cost(8, 10);
+        assert!(ok, "counter must be exact under contention");
+        assert!(per_txn > 20.0, "a lock txn must dwarf an ALU op: {per_txn}");
+    }
+
+    #[test]
+    fn coherence_traffic_grows_with_sharing() {
+        let (t0, _, _) = coherence_run(8, WritePolicy::StoreIn, Protocol::Snoop, 0);
+        let (t90, inv90, _) = coherence_run(8, WritePolicy::StoreIn, Protocol::Snoop, 90);
+        assert!(t90 > t0 * 2.0, "t0={t0} t90={t90}");
+        assert!(inv90 > 0.05);
+    }
+
+    #[test]
+    fn combining_speedup_grows_with_n() {
+        let t = |n: usize, c: bool| {
+            Ultra::new(UltraConfig { procs: n, combining: c, ..UltraConfig::default() })
+                .expect("ok")
+                .hot_spot(&vec![1; n])
+                .completion
+                .as_u64() as f64
+        };
+        let s32 = t(32, false) / t(32, true);
+        let s256 = t(256, false) / t(256, true);
+        assert!(s256 > s32, "speedup must grow: {s32} vs {s256}");
+    }
+}

@@ -1,0 +1,36 @@
+//! The experiment reproduction harness.
+//!
+//! The paper is a critique with no measured tables, so each "experiment"
+//! here reifies one of its *claims* as a measurement whose shape —
+//! who wins, by roughly what factor, where the crossover falls — either
+//! supports or refutes the text. `EXPERIMENTS.md` at the repository root
+//! records paper-claim vs measured for every one of them; the
+//! `experiments` binary regenerates any of the tables:
+//!
+//! ```text
+//! cargo run -p ttda-bench --bin experiments -- e7
+//! cargo run -p ttda-bench --bin experiments -- all
+//! ```
+//!
+//! | id | claim (section) |
+//! |----|-----------------|
+//! | e1 | blocking processors collapse with latency; TTDA does not (§1.1, §2.3) |
+//! | e2 | Cm*'s idle-on-remote bounds its speedup (§1.2.2) |
+//! | e3 | cache-coherence overhead grows with sharing and scale (§1.1, §1.2.1) |
+//! | e4 | contexts needed to mask latency grow without bound (§1.1) |
+//! | e5 | sync granularity trades overhead vs parallelism; I-structures escape the trade (§1.1, §2.1) |
+//! | e6 | HEP busy-waiting wastes traffic that deferred reads don't (§2.1 fn 2) |
+//! | e7 | FETCH-AND-ADD combining removes the hot-spot serialization (§1.2.3) |
+//! | e8 | VLIW wins on regular code, cannot tolerate dynamic latency (§1.2.4) |
+//! | e9 | the Connection Machine spends ~all its time communicating (§1.2.5) |
+//! | e10 | Fig 2-2's program compiles and runs; parallelism profiles (§2.2) |
+//! | e11 | I-structure reads cost 1×, writes 2×, deferral is free (§2.1) |
+//! | e12 | the hypercube testbed: routing tables, faults, partitioning (§3) |
+//! | e13 | waiting–matching store occupancy tracks exposed parallelism (§2.2.3) |
+//! | e14 | end-to-end: TTDA vs von Neumann as the machine scales (§2.3) |
+//! | e15 | multiprogramming: unrelated jobs share one machine (§2.3, §1.2.4) |
+//! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, EXPERIMENT_IDS};

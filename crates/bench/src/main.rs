@@ -1,0 +1,37 @@
+//! The `experiments` binary: regenerates any experiment table from
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p ttda-bench --bin experiments -- all
+//! cargo run --release -p ttda-bench --bin experiments -- e7 e12
+//! ```
+
+use std::process::ExitCode;
+
+use ttda_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!(
+            "usage: experiments <id>... | all\n       ids: {}",
+            EXPERIMENT_IDS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match run_experiment(id) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,211 @@
+//! The context manager: the flattened implementation of the recursive
+//! `u` field.
+//!
+//! The paper defines the context `u` recursively — "the context itself is
+//! specified by an activity name, thus making the definition recursive" —
+//! and notes that "names in this space are mapped dynamically into a
+//! finite namespace". The [`ContextManager`] is that mapping: it allocates
+//! dense context ids and remembers, per context, how to get back out
+//! (who invoked it, at which iteration, and where results go).
+
+use std::collections::HashMap;
+
+use crate::graph::{CodeBlockId, Dest};
+use crate::tag::{Ctx, Iter};
+
+/// Why a context exists, and how to leave it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContextKind {
+    /// The top-level program invocation.
+    Root,
+    /// A loop activation created by a `D` instruction.
+    Loop {
+        /// The loop's id (shared by all `D`s of one loop).
+        loop_id: u32,
+    },
+    /// A procedure activation created by `Apply`.
+    Call {
+        /// The caller's code block (where results return to).
+        ret_block: CodeBlockId,
+        /// The caller-side destinations of the result value.
+        dests: Vec<Dest>,
+    },
+}
+
+/// Everything the machine must remember about one context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextRecord {
+    /// The invoking context.
+    pub parent: Ctx,
+    /// The iteration number at the invocation site.
+    pub parent_iter: Iter,
+    /// The code block executing in this context.
+    pub block: CodeBlockId,
+    /// Loop or call linkage.
+    pub kind: ContextKind,
+}
+
+/// Allocates and resolves contexts (the `d=2` / PE-controller function of
+/// Fig 2-4).
+///
+/// Loop entry is **memoized**: every `D` instruction of the same loop,
+/// firing in the same parent activation `(u, i)`, must observe the *same*
+/// fresh context — otherwise tokens for different loop variables would
+/// never match inside the body.
+///
+/// # Example
+///
+/// ```
+/// use ttda_core::{ContextManager, Ctx, Iter};
+/// use ttda_core::CodeBlockId;
+///
+/// let mut cm = ContextManager::new(CodeBlockId(0));
+/// let root = ContextManager::ROOT;
+/// let a = cm.enter_loop(root, Iter(1), 7, CodeBlockId(0));
+/// let b = cm.enter_loop(root, Iter(1), 7, CodeBlockId(0));
+/// assert_eq!(a, b, "same activation joins the same context");
+/// let c = cm.enter_loop(root, Iter(2), 7, CodeBlockId(0));
+/// assert_ne!(a, c, "a different iteration is a different activation");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContextManager {
+    records: Vec<ContextRecord>,
+    loop_memo: HashMap<(Ctx, Iter, u32), Ctx>,
+}
+
+impl ContextManager {
+    /// The context every program starts in.
+    pub const ROOT: Ctx = Ctx(0);
+
+    /// Creates a manager whose root context runs `main`.
+    pub fn new(main: CodeBlockId) -> Self {
+        ContextManager {
+            records: vec![ContextRecord {
+                parent: Ctx(0),
+                parent_iter: Iter::ONE,
+                block: main,
+                kind: ContextKind::Root,
+            }],
+            loop_memo: HashMap::new(),
+        }
+    }
+
+    /// Total contexts allocated so far (a measure of d=2 controller
+    /// work).
+    pub fn allocated(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The record for `ctx`, or `None` for a never-allocated id.
+    pub fn record(&self, ctx: Ctx) -> Option<&ContextRecord> {
+        self.records.get(ctx.0 as usize)
+    }
+
+    /// Allocates a fresh root context for an independently launched job
+    /// running `block` (multiprogramming: each job gets its own context
+    /// tree, so tokens of different jobs can never match).
+    pub fn new_root(&mut self, block: CodeBlockId) -> Ctx {
+        let c = Ctx(self.records.len() as u32);
+        self.records.push(ContextRecord {
+            parent: c,
+            parent_iter: Iter::ONE,
+            block,
+            kind: ContextKind::Root,
+        });
+        c
+    }
+
+    /// Enters (or joins) the loop activation of `loop_id` at `(parent,
+    /// iter)` inside `block`; returns its context.
+    pub fn enter_loop(&mut self, parent: Ctx, iter: Iter, loop_id: u32, block: CodeBlockId) -> Ctx {
+        if let Some(&c) = self.loop_memo.get(&(parent, iter, loop_id)) {
+            return c;
+        }
+        let c = Ctx(self.records.len() as u32);
+        self.records.push(ContextRecord {
+            parent,
+            parent_iter: iter,
+            block,
+            kind: ContextKind::Loop { loop_id },
+        });
+        self.loop_memo.insert((parent, iter, loop_id), c);
+        c
+    }
+
+    /// Allocates a fresh procedure-call context: the callee runs in it,
+    /// and its `Return` sends the result to `dests` in `ret_block` at
+    /// `(parent, iter)`.
+    pub fn enter_call(
+        &mut self,
+        parent: Ctx,
+        iter: Iter,
+        ret_block: CodeBlockId,
+        callee: CodeBlockId,
+        dests: Vec<Dest>,
+    ) -> Ctx {
+        let c = Ctx(self.records.len() as u32);
+        self.records.push(ContextRecord {
+            parent,
+            parent_iter: iter,
+            block: callee,
+            kind: ContextKind::Call { ret_block, dests },
+        });
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DestBranch;
+    use crate::tag::Port;
+
+    #[test]
+    fn root_exists() {
+        let cm = ContextManager::new(CodeBlockId(3));
+        let r = cm.record(ContextManager::ROOT).unwrap();
+        assert_eq!(r.kind, ContextKind::Root);
+        assert_eq!(r.block, CodeBlockId(3));
+        assert_eq!(cm.allocated(), 1);
+        assert!(cm.record(Ctx(9)).is_none());
+    }
+
+    #[test]
+    fn loop_memoization_is_per_activation() {
+        let mut cm = ContextManager::new(CodeBlockId(0));
+        let a = cm.enter_loop(Ctx(0), Iter(1), 1, CodeBlockId(0));
+        let same = cm.enter_loop(Ctx(0), Iter(1), 1, CodeBlockId(0));
+        let other_loop = cm.enter_loop(Ctx(0), Iter(1), 2, CodeBlockId(0));
+        let other_iter = cm.enter_loop(Ctx(0), Iter(2), 1, CodeBlockId(0));
+        assert_eq!(a, same);
+        assert_ne!(a, other_loop);
+        assert_ne!(a, other_iter);
+        assert_eq!(cm.allocated(), 4); // root + 3 distinct activations
+    }
+
+    #[test]
+    fn nested_loops_chain_parents() {
+        let mut cm = ContextManager::new(CodeBlockId(0));
+        let outer = cm.enter_loop(Ctx(0), Iter(1), 1, CodeBlockId(0));
+        let inner = cm.enter_loop(outer, Iter(5), 2, CodeBlockId(0));
+        let r = cm.record(inner).unwrap();
+        assert_eq!(r.parent, outer);
+        assert_eq!(r.parent_iter, Iter(5));
+    }
+
+    #[test]
+    fn calls_are_never_shared() {
+        let mut cm = ContextManager::new(CodeBlockId(0));
+        let d = vec![Dest { instr: crate::graph::InstrId(4), port: Port(0), when: DestBranch::Always }];
+        let a = cm.enter_call(Ctx(0), Iter(1), CodeBlockId(0), CodeBlockId(1), d.clone());
+        let b = cm.enter_call(Ctx(0), Iter(1), CodeBlockId(0), CodeBlockId(1), d);
+        assert_ne!(a, b, "each Apply firing is a fresh activation");
+        match &cm.record(a).unwrap().kind {
+            ContextKind::Call { ret_block, dests } => {
+                assert_eq!(*ret_block, CodeBlockId(0));
+                assert_eq!(dests.len(), 1);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+}

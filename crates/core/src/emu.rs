@@ -1,0 +1,815 @@
+//! The fast graph interpreter (the *emulation* prong of Fig 3-1).
+//!
+//! The emulator executes a program in **waves**: every instruction that
+//! is enabled fires simultaneously, its output tokens enabling the next
+//! wave — the behaviour of an idealized machine with unbounded processing
+//! elements and unit-time everything. Besides the program's results, it
+//! therefore yields the *parallelism profile* (enabled instructions per
+//! wave) and the *critical path* (number of waves), the two quantities
+//! the paper's group built a 32–128-processor emulation facility to
+//! measure for "very large application programs".
+
+use std::collections::HashMap;
+
+use ttda_mem::{Addr, IStructure, ReadOutcome};
+
+use crate::context::ContextManager;
+use crate::exec::{execute, StructAction};
+use crate::graph::{Instruction, Program};
+use crate::tag::{ActivityName, Iter, Port, Token};
+use crate::value::{StructRef, Value};
+use crate::ExecError;
+
+/// Everything a finished emulation run reports.
+#[derive(Debug, Clone)]
+pub struct EmuResult {
+    /// Program outputs by slot.
+    pub outputs: HashMap<u32, Value>,
+    /// Total instruction firings.
+    pub instructions: u64,
+    /// Firings that were real ALU work (arithmetic/relational/boolean).
+    pub alu_ops: u64,
+    /// Critical-path length in waves (idealized time).
+    pub waves: u64,
+    /// Enabled-instruction count per wave — the parallelism profile.
+    pub profile: Vec<usize>,
+    /// Contexts allocated (loop activations + procedure calls).
+    pub contexts: usize,
+    /// Peak occupancy of the waiting–matching store.
+    pub peak_matching: usize,
+    /// Peak number of simultaneously outstanding deferred reads across
+    /// all I-structures (consumers running ahead of producers).
+    pub peak_deferred: usize,
+    /// I-structure reads satisfied immediately.
+    pub istore_immediate: u64,
+    /// I-structure reads deferred (consumer arrived before producer).
+    pub istore_deferred: u64,
+    /// I-structure writes.
+    pub istore_writes: u64,
+}
+
+impl EmuResult {
+    /// Average parallelism: firings / waves.
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.waves == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.waves as f64
+        }
+    }
+
+    /// Peak parallelism: the widest wave.
+    pub fn peak_parallelism(&self) -> usize {
+        self.profile.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The untimed tagged-token interpreter.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    ctx: ContextManager,
+    waiting: HashMap<ActivityName, Vec<Option<Value>>>,
+    structures: Vec<IStructure<Value, (ActivityName, Port)>>,
+    outputs: HashMap<u32, Value>,
+    fuel: u64,
+    loop_bound: Option<u32>,
+    instructions: u64,
+    alu_ops: u64,
+    peak_matching: usize,
+    istore_immediate: u64,
+    istore_deferred: u64,
+    istore_writes: u64,
+}
+
+impl<'p> Emulator<'p> {
+    /// Creates an emulator for `program` (which should have passed
+    /// [`Program::validate`], as anything from
+    /// [`GraphBuilder`](crate::GraphBuilder) has).
+    pub fn new(program: &'p Program) -> Self {
+        Emulator {
+            program,
+            ctx: ContextManager::new(program.main),
+            waiting: HashMap::new(),
+            structures: Vec::new(),
+            outputs: HashMap::new(),
+            fuel: 100_000_000,
+            loop_bound: None,
+            instructions: 0,
+            alu_ops: 0,
+            peak_matching: 0,
+            istore_immediate: 0,
+            istore_deferred: 0,
+            istore_writes: 0,
+        }
+    }
+
+    /// Overrides the firing budget (default 10⁸).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Enables **k-bounded loops**: at most `k` consecutive iterations of
+    /// any loop activation may be in flight at once. Tokens of iteration
+    /// `i` are held back until every iteration before `i − k` has drained
+    /// from the context.
+    ///
+    /// The paper's unbounded-iteration execution model exposes maximal
+    /// parallelism but also maximal waiting–matching occupancy; bounding
+    /// loops was the classic follow-on resource-management mechanism for
+    /// tagged-token machines, and ablation A4 measures the trade here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_loop_bound(mut self, k: u32) -> Self {
+        assert!(k > 0, "loop bound must be at least 1");
+        self.loop_bound = Some(k);
+        self
+    }
+
+    /// Runs the program on `inputs` (one value per `main` parameter).
+    ///
+    /// # Errors
+    ///
+    /// - [`ExecError::InputArity`] for the wrong number of inputs;
+    /// - [`ExecError::Type`] / [`ExecError::IStructure`] for runtime
+    ///   errors (including detected write-write races);
+    /// - [`ExecError::Deadlock`] if execution quiesces with tokens still
+    ///   unmatched or reads still deferred;
+    /// - [`ExecError::OutOfFuel`] past the firing budget.
+    pub fn run(&mut self, inputs: &[Value]) -> Result<EmuResult, ExecError> {
+        self.run_jobs(&[(self.program.main, inputs.to_vec())])
+    }
+
+    /// Multiprogramming: launches several independent jobs — each a code
+    /// block (typically a former `main` from [`Program::merge`]) with its
+    /// own inputs — under fresh root contexts, and runs them to joint
+    /// completion. Tagged tokens guarantee the jobs cannot interfere:
+    /// their activity names differ in `u` from the first wave on.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Emulator::run`]; `InputArity` refers to the
+    /// offending job's block.
+    pub fn run_jobs(
+        &mut self,
+        jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
+    ) -> Result<EmuResult, ExecError> {
+        let mut wave: Vec<Token> = Vec::new();
+        for (block_id, inputs) in jobs {
+            let block = self.program.block(*block_id).ok_or(ExecError::BadTarget {
+                activity: block_id.to_string(),
+            })?;
+            if inputs.len() != block.params.len() {
+                return Err(ExecError::InputArity {
+                    expected: block.params.len(),
+                    got: inputs.len(),
+                });
+            }
+            let root = self.ctx.new_root(*block_id);
+            for (k, v) in inputs.iter().enumerate() {
+                wave.push(Token::new(
+                    ActivityName {
+                        u: root,
+                        c: *block_id,
+                        s: block.params[k],
+                        i: Iter::ONE,
+                    },
+                    Port(0),
+                    *v,
+                ));
+            }
+        }
+
+        let mut profile = Vec::new();
+        let mut held: Vec<Token> = Vec::new();
+        let mut peak_deferred = 0usize;
+
+        while !wave.is_empty() || !held.is_empty() {
+            // k-bounded loops: a token of iteration i in context u is
+            // eligible only while i is within k of the oldest live
+            // iteration of u. Oldest = min over every pending place
+            // (this wave, the holding pen, and the matching store).
+            if let Some(k) = self.loop_bound {
+                let mut oldest: HashMap<crate::tag::Ctx, u32> = HashMap::new();
+                let mut note = |tag: &ActivityName| {
+                    oldest
+                        .entry(tag.u)
+                        .and_modify(|m| *m = (*m).min(tag.i.0))
+                        .or_insert(tag.i.0);
+                };
+                for t in wave.iter().chain(held.iter()) {
+                    note(&t.tag);
+                }
+                for tag in self.waiting.keys() {
+                    note(tag);
+                }
+                // Deferred readers are live too: their iteration has not
+                // finished until the datum arrives.
+                for st in &self.structures {
+                    st.for_each_deferred(|(tag, _)| note(tag));
+                }
+                let eligible = |t: &Token| t.tag.i.0 <= oldest[&t.tag.u].saturating_add(k);
+                let mut newly_held: Vec<Token> = Vec::new();
+                wave.retain(|t| {
+                    if eligible(t) {
+                        true
+                    } else {
+                        newly_held.push(t.clone());
+                        false
+                    }
+                });
+                let mut released: Vec<Token> = Vec::new();
+                held.retain(|t| {
+                    if eligible(t) {
+                        released.push(t.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                wave.extend(released);
+                held.extend(newly_held);
+                if wave.is_empty() {
+                    if held.is_empty() {
+                        break;
+                    }
+                    // Nothing eligible: release the oldest held iteration
+                    // to guarantee progress.
+                    let min_i = held.iter().map(|t| t.tag.i.0).min().expect("nonempty");
+                    let mut released: Vec<Token> = Vec::new();
+                    held.retain(|t| {
+                        if t.tag.i.0 == min_i {
+                            released.push(t.clone());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    wave = released;
+                }
+            }
+
+            let mut next = Vec::new();
+            let mut fired = 0usize;
+            for token in wave {
+                if let Some(operands) = self.absorb(token)? {
+                    fired += 1;
+                    self.fire(operands.0, operands.1, &mut next)?;
+                    if self.instructions > self.fuel {
+                        return Err(ExecError::OutOfFuel);
+                    }
+                }
+            }
+            self.peak_matching = self.peak_matching.max(self.waiting.len());
+            peak_deferred = peak_deferred.max(self.outstanding_deferred());
+            if fired > 0 {
+                profile.push(fired);
+            }
+            wave = next;
+        }
+
+        let stranded = self.waiting.len() + self.stranded_readers();
+        if stranded > 0 {
+            return Err(ExecError::Deadlock { stranded });
+        }
+
+        Ok(EmuResult {
+            outputs: self.outputs.clone(),
+            instructions: self.instructions,
+            alu_ops: self.alu_ops,
+            waves: profile.len() as u64,
+            profile,
+            contexts: self.ctx.allocated(),
+            peak_matching: self.peak_matching,
+            peak_deferred,
+            istore_immediate: self.istore_immediate,
+            istore_deferred: self.istore_deferred,
+            istore_writes: self.istore_writes,
+        })
+    }
+
+    /// Deferred readers currently parked across every structure.
+    fn outstanding_deferred(&self) -> usize {
+        self.stranded_readers()
+    }
+
+    fn stranded_readers(&self) -> usize {
+        self.structures
+            .iter()
+            .map(|s| {
+                (0..s.size())
+                    .map(|a| s.deferred_count(Addr(a)).unwrap_or(0))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn lookup(&self, tag: ActivityName) -> Result<&Instruction, ExecError> {
+        self.program
+            .block(tag.c)
+            .and_then(|b| b.instr(tag.s))
+            .ok_or_else(|| ExecError::BadTarget {
+                activity: tag.to_string(),
+            })
+    }
+
+    /// The waiting–matching section: inserts a token; returns the full
+    /// operand set when the instruction becomes enabled.
+    fn absorb(&mut self, token: Token) -> Result<Option<(ActivityName, Vec<Value>)>, ExecError> {
+        let r = crate::exec::absorb(self.program, &mut self.waiting, token)?;
+        self.peak_matching = self.peak_matching.max(self.waiting.len());
+        Ok(r)
+    }
+
+    /// The instruction-fetch + ALU + output sections: executes one
+    /// enabled instruction via the shared semantics in [`crate::exec`],
+    /// applying I-structure actions inline.
+    fn fire(
+        &mut self,
+        tag: ActivityName,
+        ops: Vec<Value>,
+        out: &mut Vec<Token>,
+    ) -> Result<(), ExecError> {
+        let instr = self.lookup(tag)?.clone();
+        self.instructions += 1;
+        let eff = execute(self.program, &mut self.ctx, tag, &instr, &ops)?;
+        if eff.is_alu {
+            self.alu_ops += 1;
+        }
+        out.extend(eff.tokens);
+        if let Some((slot, v)) = eff.output {
+            self.outputs.insert(slot, v);
+        }
+        match eff.action {
+            None => {}
+            Some(StructAction::Alloc { len, dests }) => {
+                let id = self.structures.len() as u32;
+                self.structures.push(IStructure::new(len));
+                let p = Value::Ptr(StructRef { id, len: len as u32 });
+                for (rtag, port) in dests {
+                    out.push(Token::new(rtag, port, p));
+                }
+            }
+            Some(StructAction::Fetch { ptr, idx, dests }) => {
+                let mut immediate = 0u64;
+                let mut deferred = 0u64;
+                let store = self.store_mut(tag, ptr)?;
+                for (rtag, port) in dests {
+                    match store.read(Addr(idx), (rtag, port))? {
+                        ReadOutcome::Value(v) => {
+                            immediate += 1;
+                            out.push(Token::new(rtag, port, v));
+                        }
+                        ReadOutcome::Deferred => {
+                            deferred += 1;
+                        }
+                    }
+                }
+                self.istore_immediate += immediate;
+                self.istore_deferred += deferred;
+            }
+            Some(StructAction::Store { ptr, idx, value, dests }) => {
+                let store = self.store_mut(tag, ptr)?;
+                let released = store.write(Addr(idx), value)?;
+                self.istore_writes += 1;
+                for (rtag, port) in released {
+                    out.push(Token::new(rtag, port, value));
+                }
+                for (rtag, port) in dests {
+                    out.push(Token::new(rtag, port, Value::Unit));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn store_mut(
+        &mut self,
+        tag: ActivityName,
+        ptr: StructRef,
+    ) -> Result<&mut IStructure<Value, (ActivityName, Port)>, ExecError> {
+        self.structures
+            .get_mut(ptr.id as usize)
+            .ok_or(ExecError::BadTarget {
+                activity: format!("{tag} (dangling {ptr:?})"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::{CodeBlockId, OpCode};
+    use crate::value::{AluOp, CmpOp};
+
+    fn run(g: GraphBuilder, inputs: &[Value]) -> EmuResult {
+        let p = g.finish_program().expect("build");
+        Emulator::new(&p).run(inputs).expect("run")
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut g = GraphBuilder::new("t");
+        let a = g.param();
+        let b = g.param();
+        let add = g.instr(OpCode::Alu(AluOp::Add));
+        let sq = g.instr(OpCode::Alu(AluOp::Mul));
+        let out = g.output(0);
+        g.wire(a, add, 0).wire(b, add, 1);
+        g.wire(add, sq, 0).wire(add, sq, 1);
+        g.wire(sq, out, 0);
+        let r = run(g, &[Value::Int(3), Value::Int(4)]);
+        assert_eq!(r.outputs[&0], Value::Int(49));
+        assert_eq!(r.instructions, 5); // 2 params + add + mul + output
+        assert_eq!(r.alu_ops, 2);
+    }
+
+    #[test]
+    fn parallel_adds_show_in_profile() {
+        // Eight independent additions fire in one wave.
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        for k in 0..8 {
+            let add = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(k));
+            let out = g.output(k as u32);
+            g.wire(x, add, 0);
+            g.wire(add, out, 0);
+        }
+        let r = run(g, &[Value::Int(10)]);
+        assert_eq!(r.peak_parallelism(), 8);
+        assert_eq!(r.outputs.len(), 8);
+        assert_eq!(r.outputs[&7], Value::Int(17));
+    }
+
+    #[test]
+    fn switch_routes_by_control() {
+        let build = |flag: bool| {
+            let mut g = GraphBuilder::new("t");
+            let x = g.param();
+            let c = g.lit(Value::Bool(flag));
+            g.wire(x, c, 0);
+            let sw = g.instr(OpCode::Switch);
+            g.wire(x, sw, 0).wire(c, sw, 1);
+            let t_out = g.output(0);
+            let f_out = g.output(1);
+            g.wire_true(sw, t_out, 0);
+            g.wire_false(sw, f_out, 0);
+            run(g, &[Value::Int(5)])
+        };
+        let r = build(true);
+        assert_eq!(r.outputs.get(&0), Some(&Value::Int(5)));
+        assert_eq!(r.outputs.get(&1), None);
+        let r = build(false);
+        assert_eq!(r.outputs.get(&0), None);
+        assert_eq!(r.outputs.get(&1), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn loop_schema_runs_many_iterations() {
+        // factorial via the full D/L/Switch/DInv schema
+        let mut g = GraphBuilder::new("fact");
+        let n = g.param();
+        let one = g.lit(Value::Int(1));
+        g.wire(n, one, 0);
+        let exits = g
+            .dataflow_loop(
+                &[one, n],
+                |g, tops| {
+                    let c = g.instr_lit(OpCode::Cmp(CmpOp::Gt), 1, Value::Int(1));
+                    g.wire(tops[1], c, 0);
+                    c
+                },
+                |g, vars| {
+                    let acc = g.instr(OpCode::Alu(AluOp::Mul));
+                    g.wire(vars[0], acc, 0);
+                    g.wire(vars[1], acc, 1);
+                    let m = g.instr_lit(OpCode::Alu(AluOp::Sub), 1, Value::Int(1));
+                    g.wire(vars[1], m, 0);
+                    vec![acc, m]
+                },
+            )
+            .unwrap();
+        let out = g.output(0);
+        g.wire(exits[0], out, 0);
+        let r = run(g, &[Value::Int(10)]);
+        assert_eq!(r.outputs[&0], Value::Int(3_628_800));
+        assert!(r.contexts >= 2, "loop allocated a context");
+    }
+
+    #[test]
+    fn procedure_call_roundtrips() {
+        let mut g = GraphBuilder::new("main");
+        // f(x) = x * x, called on 6
+        let f = {
+            let f = g.begin_block("square");
+            let x = g.param();
+            let m = g.instr(OpCode::Alu(AluOp::Mul));
+            let ret = g.instr(OpCode::Return);
+            g.wire(x, m, 0).wire(x, m, 1).wire(m, ret, 0);
+            f
+        };
+        g.select_block(CodeBlockId(0));
+        let a = g.param();
+        let call = g.instr(OpCode::Apply { callee: f, argc: 1 });
+        let out = g.output(0);
+        g.wire(a, call, 0).wire(call, out, 0);
+        let r = run(g, &[Value::Int(6)]);
+        assert_eq!(r.outputs[&0], Value::Int(36));
+        assert_eq!(r.contexts, 3); // program root + job root + one call
+    }
+
+    #[test]
+    fn recursive_procedure() {
+        // fib via recursion: fib(n) = n < 2 ? n : fib(n-1)+fib(n-2)
+        let mut g = GraphBuilder::new("main");
+        let fb = g.begin_block("fib");
+        let n = g.param();
+        let isbase = g.instr_lit(OpCode::Cmp(CmpOp::Lt), 1, Value::Int(2));
+        g.wire(n, isbase, 0);
+        let sw = g.instr(OpCode::Switch);
+        g.wire(n, sw, 0).wire(isbase, sw, 1);
+        // base: return n
+        let ret_base = g.instr(OpCode::Return);
+        g.wire_true(sw, ret_base, 0);
+        // recursive: two applies
+        let n1 = g.instr_lit(OpCode::Alu(AluOp::Sub), 1, Value::Int(1));
+        let n2 = g.instr_lit(OpCode::Alu(AluOp::Sub), 1, Value::Int(2));
+        g.wire_false(sw, n1, 0);
+        g.wire_false(sw, n2, 0);
+        let c1 = g.instr(OpCode::Apply { callee: fb, argc: 1 });
+        let c2 = g.instr(OpCode::Apply { callee: fb, argc: 1 });
+        g.wire(n1, c1, 0).wire(n2, c2, 0);
+        let add = g.instr(OpCode::Alu(AluOp::Add));
+        let ret = g.instr(OpCode::Return);
+        g.wire(c1, add, 0).wire(c2, add, 1).wire(add, ret, 0);
+
+        g.select_block(CodeBlockId(0));
+        let x = g.param();
+        let call = g.instr(OpCode::Apply { callee: fb, argc: 1 });
+        let out = g.output(0);
+        g.wire(x, call, 0).wire(call, out, 0);
+
+        let r = run(g, &[Value::Int(12)]);
+        assert_eq!(r.outputs[&0], Value::Int(144));
+        // fib spawns exponentially many contexts; parallelism shows up.
+        assert!(r.peak_parallelism() > 8);
+    }
+
+    #[test]
+    fn istructure_producer_consumer_defers() {
+        // Alloc a[1]; fetch a[0] *before* storing it; the deferred read
+        // must still deliver.
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let size = g.lit(Value::Int(1));
+        g.wire(x, size, 0);
+        let alloc = g.instr(OpCode::IAlloc);
+        g.wire(size, alloc, 0);
+        // Fetch immediately (producer delayed through a chain of 5 ids).
+        let fetch = g.instr_lit(OpCode::IFetch, 1, Value::Int(0));
+        g.wire(alloc, fetch, 0);
+        let out = g.output(0);
+        g.wire(fetch, out, 0);
+        // Slow producer path.
+        let mut v = x;
+        for _ in 0..5 {
+            let id = g.instr(OpCode::Identity);
+            g.wire(v, id, 0);
+            v = id;
+        }
+        let store = g.instr_lit(OpCode::IStore, 1, Value::Int(0));
+        g.wire(alloc, store, 0);
+        g.wire(v, store, 2);
+        let sink = g.instr(OpCode::Sink);
+        g.wire(store, sink, 0);
+
+        let r = run(g, &[Value::Int(99)]);
+        assert_eq!(r.outputs[&0], Value::Int(99));
+        assert_eq!(r.istore_deferred, 1, "the fetch must have been deferred");
+        assert_eq!(r.istore_writes, 1);
+    }
+
+    #[test]
+    fn write_write_race_is_detected() {
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let size = g.lit(Value::Int(1));
+        g.wire(x, size, 0);
+        let alloc = g.instr(OpCode::IAlloc);
+        g.wire(size, alloc, 0);
+        for _ in 0..2 {
+            let store = g.instr_lit(OpCode::IStore, 1, Value::Int(0));
+            g.wire(alloc, store, 0);
+            g.wire(x, store, 2);
+            let sink = g.instr(OpCode::Sink);
+            g.wire(store, sink, 0);
+        }
+        let p = g.finish_program().unwrap();
+        let err = Emulator::new(&p).run(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, ExecError::IStructure(_)));
+    }
+
+    #[test]
+    fn deadlock_reported_for_missing_operand() {
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let add = g.instr(OpCode::Alu(AluOp::Add)); // port 1 never arrives
+        let out = g.output(0);
+        g.wire(x, add, 0).wire(add, out, 0);
+        let p = g.finish_program().unwrap();
+        let err = Emulator::new(&p).run(&[Value::Int(1)]).unwrap_err();
+        assert_eq!(err, ExecError::Deadlock { stranded: 1 });
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let out = g.output(0);
+        g.wire(x, out, 0);
+        let p = g.finish_program().unwrap();
+        let err = Emulator::new(&p).run(&[]).unwrap_err();
+        assert_eq!(err, ExecError::InputArity { expected: 1, got: 0 });
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        // Infinite loop: always-true predicate.
+        let mut g = GraphBuilder::new("t");
+        let n = g.param();
+        let _ = g
+            .dataflow_loop(
+                &[n],
+                |g, tops| {
+                    let c = g.instr_lit(OpCode::Cmp(CmpOp::Ge), 1, Value::Int(0));
+                    g.wire(tops[0], c, 0);
+                    c
+                },
+                |g, vars| {
+                    let inc = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+                    g.wire(vars[0], inc, 0);
+                    vec![inc]
+                },
+            )
+            .unwrap();
+        let p = g.finish_program().unwrap();
+        let err = Emulator::new(&p)
+            .with_fuel(10_000)
+            .run(&[Value::Int(0)])
+            .unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn type_error_surfaces() {
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let not = g.instr(OpCode::Not);
+        let out = g.output(0);
+        g.wire(x, not, 0).wire(not, out, 0);
+        let p = g.finish_program().unwrap();
+        let err = Emulator::new(&p).run(&[Value::Int(3)]).unwrap_err();
+        assert!(matches!(err, ExecError::Type(_)));
+        assert!(err.to_string().contains("boolean"));
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        // sum_{i=1..=3} sum_{j=1..=4} 1  == 12
+        let mut g = GraphBuilder::new("t");
+        let trig = g.param();
+        let zero = g.lit(Value::Int(0));
+        let one_i = g.lit(Value::Int(1));
+        g.wire(trig, zero, 0);
+        g.wire(trig, one_i, 0);
+        let exits = g
+            .dataflow_loop(
+                &[zero, one_i],
+                |g, tops| {
+                    let c = g.instr_lit(OpCode::Cmp(CmpOp::Le), 1, Value::Int(3));
+                    g.wire(tops[1], c, 0);
+                    c
+                },
+                |g, vars| {
+                    // inner loop: add 1 four times to the accumulator
+                    let one_j = g.lit(Value::Int(1));
+                    g.wire(vars[1], one_j, 0);
+                    let inner = g
+                        .dataflow_loop(
+                            &[vars[0], one_j],
+                            |g, tops| {
+                                let c = g.instr_lit(OpCode::Cmp(CmpOp::Le), 1, Value::Int(4));
+                                g.wire(tops[1], c, 0);
+                                c
+                            },
+                            |g, ivars| {
+                                let acc = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+                                g.wire(ivars[0], acc, 0);
+                                let j = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+                                g.wire(ivars[1], j, 0);
+                                vec![acc, j]
+                            },
+                        )
+                        .unwrap();
+                    let i = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+                    g.wire(vars[1], i, 0);
+                    vec![inner[0], i]
+                },
+            )
+            .unwrap();
+        let out = g.output(0);
+        g.wire(exits[0], out, 0);
+        let r = run(g, &[Value::Unit]);
+        assert_eq!(r.outputs[&0], Value::Int(12));
+    }
+}
+
+#[cfg(test)]
+mod loop_bound_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::OpCode;
+    use crate::value::{AluOp, CmpOp};
+
+    /// A counting loop whose iterations are coupled only by the control
+    /// ring — the shape whose in-flight iteration count k-bounding
+    /// exists to control.
+    fn wide_loop() -> crate::graph::Program {
+        let mut g = GraphBuilder::new("sum");
+        let n_node = g.param();
+        let zero = g.lit(Value::Int(0));
+        let one = g.lit(Value::Int(1));
+        g.wire(n_node, zero, 0);
+        g.wire(n_node, one, 0);
+        let exits = g
+            .dataflow_loop(
+                &[zero, one, n_node],
+                |g, tops| {
+                    let c = g.instr(OpCode::Cmp(CmpOp::Le));
+                    g.wire(tops[1], c, 0);
+                    g.wire(tops[2], c, 1);
+                    c
+                },
+                |g, vars| {
+                    let acc = g.instr(OpCode::Alu(AluOp::Add));
+                    g.wire(vars[0], acc, 0);
+                    g.wire(vars[1], acc, 1);
+                    let i2 = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+                    g.wire(vars[1], i2, 0);
+                    vec![acc, i2, vars[2]]
+                },
+            )
+            .unwrap();
+        let out = g.output(0);
+        g.wire(exits[0], out, 0);
+        g.finish_program().unwrap()
+    }
+
+    #[test]
+    fn bounded_loops_compute_the_same_answers() {
+        let p = wide_loop();
+        let want = Emulator::new(&p).run(&[Value::Int(50)]).unwrap().outputs[&0];
+        for k in [1u32, 2, 4, 16, 1000] {
+            let r = Emulator::new(&p)
+                .with_loop_bound(k)
+                .run(&[Value::Int(50)])
+                .unwrap();
+            assert_eq!(r.outputs[&0], want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_lower_matching_occupancy() {
+        let p = wide_loop();
+        let run = |k: Option<u32>| {
+            let mut e = Emulator::new(&p);
+            if let Some(k) = k {
+                e = e.with_loop_bound(k);
+            }
+            e.run(&[Value::Int(60)]).unwrap()
+        };
+        let unbounded = run(None);
+        let k2 = run(Some(2));
+        assert!(
+            k2.peak_matching <= unbounded.peak_matching,
+            "k=2 peak {} vs unbounded {}",
+            k2.peak_matching,
+            unbounded.peak_matching
+        );
+        // Bounding cannot shorten the critical path.
+        assert!(k2.waves >= unbounded.waves);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_bound_panics() {
+        let p = wide_loop();
+        let _ = Emulator::new(&p).with_loop_bound(0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Shared operational semantics for both execution engines.
+//!
+//! [`execute`] implements the instruction-fetch + ALU + output-section
+//! behaviour of one enabled instruction, *independent of timing*: it
+//! returns the tokens to emit and any I-structure action to perform. The
+//! [`Emulator`](crate::Emulator) applies structure actions inline; the
+//! [`TimedMachine`](crate::TimedMachine) turns them into `d=1` packets
+//! that travel the network to I-structure storage. Keeping one copy of
+//! the semantics guarantees the two engines can never disagree on *what*
+//! a program computes, only on *when*.
+
+use crate::context::{ContextKind, ContextManager};
+use crate::graph::{Dest, DestBranch, Instruction, OpCode, Program};
+use crate::tag::{ActivityName, Iter, Port, Token};
+use crate::value::{as_bool, as_int, as_ptr, StructRef, Value};
+use crate::ExecError;
+
+/// A pending reader / destination continuation: fully tagged token slots
+/// awaiting a value.
+pub(crate) type Continuation = Vec<(ActivityName, Port)>;
+
+/// An I-structure operation requested by an instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum StructAction {
+    /// Allocate `len` cells; send the pointer to `dests`.
+    Alloc {
+        /// Element count.
+        len: usize,
+        /// Who receives the pointer.
+        dests: Continuation,
+    },
+    /// Fetch element `idx` of `ptr`; deliver to `dests` (possibly
+    /// deferred).
+    Fetch {
+        /// The structure.
+        ptr: StructRef,
+        /// Element index.
+        idx: usize,
+        /// Who receives the element.
+        dests: Continuation,
+    },
+    /// Store `value` at element `idx` of `ptr`; then signal `dests`.
+    Store {
+        /// The structure.
+        ptr: StructRef,
+        /// Element index.
+        idx: usize,
+        /// The element value.
+        value: Value,
+        /// Who receives the unit completion signal.
+        dests: Continuation,
+    },
+}
+
+/// Everything one firing produces.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Effect {
+    /// Ordinary (`d=0`) output tokens, fully tagged.
+    pub tokens: Vec<Token>,
+    /// At most one structure (`d=1`) action.
+    pub action: Option<StructAction>,
+    /// A program output, if the instruction was `Output`.
+    pub output: Option<(u32, Value)>,
+    /// Whether this firing counts as ALU work.
+    pub is_alu: bool,
+}
+
+fn retag(tag: ActivityName, dests: &[Dest], value: Value, out: &mut Vec<Token>) {
+    for d in dests {
+        if d.when == DestBranch::Always {
+            out.push(Token::new(ActivityName { s: d.instr, ..tag }, d.port, value));
+        }
+    }
+}
+
+fn retag_branch(tag: ActivityName, dests: &[Dest], take_true: bool, value: Value, out: &mut Vec<Token>) {
+    let want = if take_true { DestBranch::IfTrue } else { DestBranch::IfFalse };
+    for d in dests {
+        if d.when == want {
+            out.push(Token::new(ActivityName { s: d.instr, ..tag }, d.port, value));
+        }
+    }
+}
+
+fn continuation(tag: ActivityName, dests: &[Dest]) -> Continuation {
+    dests
+        .iter()
+        .filter(|d| d.when == DestBranch::Always)
+        .map(|d| (ActivityName { s: d.instr, ..tag }, d.port))
+        .collect()
+}
+
+fn nonneg_index(tag: ActivityName, idx: i64) -> Result<usize, ExecError> {
+    usize::try_from(idx).map_err(|_| ExecError::BadTarget {
+        activity: format!("{tag} (negative i-structure index {idx})"),
+    })
+}
+
+/// The waiting–matching section, shared by both engines: inserts a token
+/// into `waiting`; returns the complete operand set when the target
+/// instruction becomes enabled. Tokens for `nt = 1` instructions bypass
+/// the store, as in Fig 2-3.
+pub(crate) fn absorb(
+    program: &Program,
+    waiting: &mut std::collections::HashMap<ActivityName, Vec<Option<Value>>>,
+    token: Token,
+) -> Result<Option<(ActivityName, Vec<Value>)>, ExecError> {
+    let instr = program
+        .block(token.tag.c)
+        .and_then(|b| b.instr(token.tag.s))
+        .ok_or_else(|| ExecError::BadTarget {
+            activity: token.tag.to_string(),
+        })?;
+    let arity = instr.op.arity() as usize;
+    let literal = instr.literal;
+
+    if instr.nt <= 1 && arity <= 1 {
+        let v = match literal {
+            Some((_, lv)) => lv,
+            None => token.value,
+        };
+        return Ok(Some((token.tag, vec![v])));
+    }
+
+    let entry = waiting.entry(token.tag).or_insert_with(|| {
+        let mut slots: Vec<Option<Value>> = vec![None; arity];
+        if let Some((p, lv)) = literal {
+            slots[p.0 as usize] = Some(lv);
+        }
+        slots
+    });
+    let slot = entry
+        .get_mut(token.port.0 as usize)
+        .ok_or(ExecError::BadTarget {
+            activity: token.tag.to_string(),
+        })?;
+    *slot = Some(token.value);
+    if entry.iter().all(Option::is_some) {
+        let operands = waiting
+            .remove(&token.tag)
+            .expect("entry exists")
+            .into_iter()
+            .map(|o| o.expect("all present"))
+            .collect();
+        Ok(Some((token.tag, operands)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Executes one enabled instruction. See the module docs.
+pub(crate) fn execute(
+    program: &Program,
+    ctx: &mut ContextManager,
+    tag: ActivityName,
+    instr: &Instruction,
+    ops: &[Value],
+) -> Result<Effect, ExecError> {
+    let mut eff = Effect {
+        is_alu: instr.op.is_alu_work(),
+        ..Effect::default()
+    };
+    match &instr.op {
+        OpCode::Identity => retag(tag, &instr.dests, ops[0], &mut eff.tokens),
+        OpCode::Const(v) => retag(tag, &instr.dests, *v, &mut eff.tokens),
+        OpCode::Alu(op) => {
+            let v = op.apply(&ops[0], &ops[1])?;
+            retag(tag, &instr.dests, v, &mut eff.tokens);
+        }
+        OpCode::Cmp(op) => {
+            let v = op.apply(&ops[0], &ops[1])?;
+            retag(tag, &instr.dests, v, &mut eff.tokens);
+        }
+        OpCode::Not => {
+            let v = Value::Bool(!as_bool(&ops[0])?);
+            retag(tag, &instr.dests, v, &mut eff.tokens);
+        }
+        OpCode::And => {
+            let v = Value::Bool(as_bool(&ops[0])? && as_bool(&ops[1])?);
+            retag(tag, &instr.dests, v, &mut eff.tokens);
+        }
+        OpCode::Or => {
+            let v = Value::Bool(as_bool(&ops[0])? || as_bool(&ops[1])?);
+            retag(tag, &instr.dests, v, &mut eff.tokens);
+        }
+        OpCode::Switch => {
+            let take = as_bool(&ops[1])?;
+            retag_branch(tag, &instr.dests, take, ops[0], &mut eff.tokens);
+        }
+        OpCode::D { loop_id } => {
+            let inner = ctx.enter_loop(tag.u, tag.i, *loop_id, tag.c);
+            let ntag = ActivityName { u: inner, i: Iter::ONE, ..tag };
+            retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
+        }
+        OpCode::DInv => {
+            let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
+                activity: tag.to_string(),
+            })?;
+            let ntag = ActivityName { u: rec.parent, i: rec.parent_iter, ..tag };
+            retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
+        }
+        OpCode::L => {
+            let ntag = ActivityName { i: tag.i.next(), ..tag };
+            retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
+        }
+        OpCode::LInv => {
+            let ntag = ActivityName { i: Iter::ONE, ..tag };
+            retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
+        }
+        OpCode::Apply { callee, argc } => {
+            let cb = program.block(*callee).ok_or(ExecError::BadTarget {
+                activity: tag.to_string(),
+            })?;
+            let new_ctx = ctx.enter_call(tag.u, tag.i, tag.c, *callee, instr.dests.clone());
+            for k in 0..*argc as usize {
+                eff.tokens.push(Token::new(
+                    ActivityName {
+                        u: new_ctx,
+                        c: *callee,
+                        s: cb.params[k],
+                        i: Iter::ONE,
+                    },
+                    Port(0),
+                    ops[k],
+                ));
+            }
+        }
+        OpCode::Return => {
+            let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
+                activity: tag.to_string(),
+            })?;
+            let ContextKind::Call { ret_block, ref dests } = rec.kind else {
+                return Err(ExecError::BadTarget {
+                    activity: format!("{tag} (Return outside a call context)"),
+                });
+            };
+            let rtag = ActivityName {
+                u: rec.parent,
+                c: ret_block,
+                s: tag.s, // replaced per-dest
+                i: rec.parent_iter,
+            };
+            let dests = dests.clone();
+            retag(rtag, &dests, ops[0], &mut eff.tokens);
+        }
+        OpCode::IAlloc => {
+            let len = as_int(&ops[0])?;
+            if len < 0 {
+                return Err(ExecError::Type(crate::value::TypeError {
+                    expected: "a nonnegative size",
+                    got: len.to_string(),
+                }));
+            }
+            eff.action = Some(StructAction::Alloc {
+                len: len as usize,
+                dests: continuation(tag, &instr.dests),
+            });
+        }
+        OpCode::IFetch => {
+            let ptr = as_ptr(&ops[0])?;
+            let idx = nonneg_index(tag, as_int(&ops[1])?)?;
+            eff.action = Some(StructAction::Fetch {
+                ptr,
+                idx,
+                dests: continuation(tag, &instr.dests),
+            });
+        }
+        OpCode::IStore => {
+            let ptr = as_ptr(&ops[0])?;
+            let idx = nonneg_index(tag, as_int(&ops[1])?)?;
+            eff.action = Some(StructAction::Store {
+                ptr,
+                idx,
+                value: ops[2],
+                dests: continuation(tag, &instr.dests),
+            });
+        }
+        OpCode::Output(slot) => {
+            eff.output = Some((*slot, ops[0]));
+        }
+        OpCode::Sink => {}
+    }
+    Ok(eff)
+}

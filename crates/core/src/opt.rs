@@ -1,0 +1,325 @@
+//! Graph optimization passes.
+//!
+//! The Id compiler's output is deliberately schematic — one `Identity`
+//! junction per loop variable, one per conditional branch input, one per
+//! parameter fork — which keeps codegen simple but costs a machine cycle
+//! per junction per activation. [`optimize`] applies the two passes a
+//! real dataflow compiler would:
+//!
+//! 1. **Identity forwarding**: an `Identity` with no literal simply
+//!    re-emits its input, so every edge `S →(w) I` plus `I → T` composes
+//!    to `S →(w) T`; the junction disappears. (Parameter entries are
+//!    kept — they are the block's input ports.)
+//! 2. **Dead-code elimination**: instructions with no destinations and no
+//!    side effects (pure ALU/compare/tag ops, absorbers) can never affect
+//!    the program's outputs; removing them may strand their producers,
+//!    so the pass iterates to a fixed point.
+//!
+//! Both passes preserve semantics exactly — the optimizer's test suite
+//! re-runs every workload and compares results and I-structure traffic
+//! against the unoptimized graph.
+
+use std::collections::HashMap;
+
+use crate::graph::{CodeBlock, Dest, InstrId, OpCode, Program};
+
+/// What [`optimize`] did, per pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// `Identity` junctions removed by forwarding.
+    pub identities_collapsed: usize,
+    /// Dead instructions removed.
+    pub dead_removed: usize,
+}
+
+/// Optimizes a program; returns the new program and what changed.
+///
+/// The input should be valid (from
+/// [`GraphBuilder`](crate::GraphBuilder) or [`crate::Program::validate`]);
+/// the output is revalidated by debug assertion.
+pub fn optimize(program: &Program) -> (Program, OptStats) {
+    let mut stats = OptStats::default();
+    let blocks = program
+        .blocks
+        .iter()
+        .map(|b| optimize_block(b, &mut stats))
+        .collect();
+    let out = Program {
+        blocks,
+        main: program.main,
+    };
+    debug_assert_eq!(out.validate(), Ok(()), "optimizer broke the graph");
+    (out, stats)
+}
+
+fn is_pure(op: &OpCode) -> bool {
+    matches!(
+        op,
+        OpCode::Identity
+            | OpCode::Const(_)
+            | OpCode::Alu(_)
+            | OpCode::Cmp(_)
+            | OpCode::Not
+            | OpCode::And
+            | OpCode::Or
+            | OpCode::Switch
+            | OpCode::L
+            | OpCode::LInv
+            | OpCode::D { .. }
+            | OpCode::DInv
+            | OpCode::Sink
+            | OpCode::IFetch
+    )
+}
+
+fn optimize_block(block: &CodeBlock, stats: &mut OptStats) -> CodeBlock {
+    let mut instrs = block.instrs.clone();
+    let params = block.params.clone();
+    let is_param = |id: usize| params.iter().any(|p| p.0 as usize == id);
+
+    // --- Pass 1: identity forwarding (to a fixed point, to collapse
+    // chains). An Identity is collapsible if it has no literal and is not
+    // a parameter entry.
+    loop {
+        let collapsible: Option<usize> = instrs.iter().enumerate().position(|(i, ins)| {
+            ins.op == OpCode::Identity && ins.literal.is_none() && !is_param(i) && {
+                // Self-loops through the identity (possible in principle)
+                // are not collapsible.
+                ins.dests.iter().all(|d| d.instr.0 as usize != i)
+            }
+        });
+        let Some(victim) = collapsible else { break };
+        let victim_dests = instrs[victim].dests.clone();
+        // Rewire every edge into the victim.
+        for src in instrs.iter_mut() {
+            let mut new_dests = Vec::with_capacity(src.dests.len());
+            for d in &src.dests {
+                if d.instr.0 as usize == victim {
+                    for vd in &victim_dests {
+                        new_dests.push(Dest {
+                            instr: vd.instr,
+                            port: vd.port,
+                            when: d.when, // compose: identity out-edges are Always
+                        });
+                    }
+                } else {
+                    new_dests.push(*d);
+                }
+            }
+            src.dests = new_dests;
+        }
+        // The victim keeps its slot but becomes unreachable dead code;
+        // clear its dests so DCE can take it.
+        instrs[victim].dests.clear();
+        instrs[victim].op = OpCode::Sink;
+        instrs[victim].nt = 1;
+        stats.identities_collapsed += 1;
+    }
+
+    // --- Pass 2: iterative DCE. An instruction is dead if pure with no
+    // destinations; remove edges into dead instructions, repeat.
+    let mut dead = vec![false; instrs.len()];
+    loop {
+        let mut changed = false;
+        for (i, ins) in instrs.iter().enumerate() {
+            if dead[i] || is_param(i) {
+                continue;
+            }
+            let live_dests = ins.dests.iter().filter(|d| !dead[d.instr.0 as usize]).count();
+            if live_dests == 0 && is_pure(&ins.op) {
+                dead[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats.dead_removed += dead.iter().filter(|&&d| d).count();
+
+    // --- Renumber: compact live instructions and remap ids.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut new_instrs = Vec::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        if !dead[i] {
+            remap.insert(i as u32, new_instrs.len() as u32);
+            new_instrs.push(ins.clone());
+        }
+    }
+    for ins in &mut new_instrs {
+        ins.dests = ins
+            .dests
+            .iter()
+            .filter(|d| !dead[d.instr.0 as usize])
+            .map(|d| Dest {
+                instr: InstrId(remap[&d.instr.0]),
+                ..*d
+            })
+            .collect();
+    }
+    let new_params = params.iter().map(|p| InstrId(remap[&p.0])).collect();
+
+    CodeBlock {
+        name: block.name.clone(),
+        instrs: new_instrs,
+        params: new_params,
+    }
+}
+
+/// Convenience: compile-quality check that two programs compute the same
+/// outputs on the given inputs (used by tests and by callers who want to
+/// verify an optimization).
+///
+/// # Panics
+///
+/// Panics if either program fails to run.
+pub fn assert_equivalent(a: &Program, b: &Program, inputs: &[crate::Value]) {
+    let ra = crate::Emulator::new(a).run(inputs).expect("program a runs");
+    let rb = crate::Emulator::new(b).run(inputs).expect("program b runs");
+    assert_eq!(ra.outputs, rb.outputs, "optimization changed results");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::value::{AluOp, CmpOp};
+    use crate::{Emulator, OpCode, Value};
+
+    fn sum_loop() -> Program {
+        let mut g = GraphBuilder::new("sum");
+        let n = g.param();
+        let zero = g.lit(Value::Int(0));
+        let one = g.lit(Value::Int(1));
+        g.wire(n, zero, 0);
+        g.wire(n, one, 0);
+        let exits = g
+            .dataflow_loop(
+                &[zero, one, n],
+                |g, tops| {
+                    let c = g.instr(OpCode::Cmp(CmpOp::Le));
+                    g.wire(tops[1], c, 0);
+                    g.wire(tops[2], c, 1);
+                    c
+                },
+                |g, vars| {
+                    let acc = g.instr(OpCode::Alu(AluOp::Add));
+                    g.wire(vars[0], acc, 0);
+                    g.wire(vars[1], acc, 1);
+                    let i2 = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+                    g.wire(vars[1], i2, 0);
+                    vec![acc, i2, vars[2]]
+                },
+            )
+            .unwrap();
+        let out = g.output(0);
+        g.wire(exits[0], out, 0);
+        g.finish_program().unwrap()
+    }
+
+    #[test]
+    fn optimized_loop_is_equivalent_and_smaller() {
+        let p = sum_loop();
+        let (opt, stats) = optimize(&p);
+        assert!(stats.identities_collapsed > 0, "loop tops collapse");
+        assert!(opt.instr_count() < p.instr_count());
+        for n in [0i64, 1, 10, 100] {
+            assert_equivalent(&p, &opt, &[Value::Int(n)]);
+        }
+        // And the optimized program executes fewer firings.
+        let before = Emulator::new(&p).run(&[Value::Int(50)]).unwrap().instructions;
+        let after = Emulator::new(&opt).run(&[Value::Int(50)]).unwrap().instructions;
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn dead_pure_chains_removed() {
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        // Live path.
+        let inc = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+        let out = g.output(0);
+        g.wire(x, inc, 0);
+        g.wire(inc, out, 0);
+        // Dead chain: three pure ops going nowhere.
+        let d1 = g.instr_lit(OpCode::Alu(AluOp::Mul), 1, Value::Int(2));
+        let d2 = g.instr(OpCode::Identity);
+        let d3 = g.instr_lit(OpCode::Cmp(CmpOp::Lt), 1, Value::Int(9));
+        g.wire(x, d1, 0);
+        g.wire(d1, d2, 0);
+        g.wire(d2, d3, 0);
+        let p = g.finish_program().unwrap();
+        let (opt, stats) = optimize(&p);
+        assert!(stats.dead_removed >= 3, "{stats:?}");
+        assert_equivalent(&p, &opt, &[Value::Int(4)]);
+    }
+
+    #[test]
+    fn stores_and_outputs_never_removed() {
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let size = g.lit(Value::Int(1));
+        g.wire(x, size, 0);
+        let alloc = g.instr(OpCode::IAlloc);
+        g.wire(size, alloc, 0);
+        let st = g.instr_lit(OpCode::IStore, 1, Value::Int(0));
+        g.wire(alloc, st, 0);
+        g.wire(x, st, 2);
+        let sink = g.instr(OpCode::Sink);
+        g.wire(st, sink, 0);
+        let f = g.instr_lit(OpCode::IFetch, 1, Value::Int(0));
+        g.wire(alloc, f, 0);
+        let out = g.output(0);
+        g.wire(f, out, 0);
+        let p = g.finish_program().unwrap();
+        let (opt, _) = optimize(&p);
+        // The store must survive (the fetch depends on it at run time,
+        // invisibly to the graph).
+        assert!(opt.blocks[0].instrs.iter().any(|i| i.op == OpCode::IStore));
+        assert_equivalent(&p, &opt, &[Value::Int(9)]);
+    }
+
+    #[test]
+    fn params_survive_even_when_unused() {
+        let mut g = GraphBuilder::new("t");
+        let _unused = g.param();
+        let y = g.param();
+        let out = g.output(0);
+        g.wire(y, out, 0);
+        let p = g.finish_program().unwrap();
+        let (opt, _) = optimize(&p);
+        assert_eq!(opt.blocks[0].params.len(), 2);
+        assert_equivalent(&p, &opt, &[Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn switch_branch_wiring_composes_through_identities() {
+        // x > 0 ? x+1 : x-1 via explicit identities on both branches.
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let c = g.instr_lit(OpCode::Cmp(CmpOp::Gt), 1, Value::Int(0));
+        g.wire(x, c, 0);
+        let sw = g.instr(OpCode::Switch);
+        g.wire(x, sw, 0);
+        g.wire(c, sw, 1);
+        let t_id = g.instr(OpCode::Identity);
+        let e_id = g.instr(OpCode::Identity);
+        g.wire_true(sw, t_id, 0);
+        g.wire_false(sw, e_id, 0);
+        let plus = g.instr_lit(OpCode::Alu(AluOp::Add), 1, Value::Int(1));
+        let minus = g.instr_lit(OpCode::Alu(AluOp::Sub), 1, Value::Int(1));
+        g.wire(t_id, plus, 0);
+        g.wire(e_id, minus, 0);
+        let join = g.instr(OpCode::Identity);
+        g.wire(plus, join, 0);
+        g.wire(minus, join, 0);
+        let out = g.output(0);
+        g.wire(join, out, 0);
+        let p = g.finish_program().unwrap();
+        let (opt, stats) = optimize(&p);
+        assert!(stats.identities_collapsed >= 3);
+        for v in [-5i64, 0, 7] {
+            assert_equivalent(&p, &opt, &[Value::Int(v)]);
+        }
+    }
+}

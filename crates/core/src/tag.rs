@@ -1,0 +1,156 @@
+//! Activity names and tokens — the paper's §2.2.2.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// The context field `u`: "uniquely identifies the context in which a
+/// code block is invoked".
+///
+/// The paper defines `u` recursively (a context is itself named by an
+/// activity name); any real implementation flattens that recursion into
+/// dynamically allocated ids plus a context table — ours is
+/// [`ContextManager`](crate::ContextManager).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ctx(pub u32);
+
+impl fmt::Display for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The initiation (iteration) number `i`: "identifies the loop iteration
+/// in which this activity occurs. This field is 1 if the activity occurs
+/// outside a loop."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Iter(pub u32);
+
+impl Iter {
+    /// The iteration number of any activity outside a loop.
+    pub const ONE: Iter = Iter(1);
+
+    /// The next iteration (the `L` operator's arithmetic).
+    pub fn next(self) -> Iter {
+        Iter(self.0 + 1)
+    }
+}
+
+impl Default for Iter {
+    fn default() -> Self {
+        Iter::ONE
+    }
+}
+
+impl fmt::Display for Iter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// The operand index on a token ("an index value (called the *port*)
+/// which specifies the operand number associated with this token").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(pub u8);
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An activity name: the four-part dynamic instruction label
+/// `(u, c, s, i)` of §2.2.2.
+///
+/// Activity names define the unbounded namespace in which tagged tokens
+/// live; the waiting–matching section pairs tokens whose activity names
+/// are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActivityName {
+    /// Invocation context.
+    pub u: Ctx,
+    /// Code block.
+    pub c: crate::graph::CodeBlockId,
+    /// Statement (instruction) number within the code block.
+    pub s: crate::graph::InstrId,
+    /// Initiation (iteration) number.
+    pub i: Iter,
+}
+
+impl fmt::Display for ActivityName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{},{},{}>", self.u, self.c, self.s, self.i)
+    }
+}
+
+/// A normal (`d=0`) token: an activity name, a port, and a datum.
+///
+/// The paper's full format is `<d=0, PE, tag, nt, port, data>`; here `PE`
+/// is computed by the output section's mapping function when the token is
+/// routed, and `nt` is read from the target instruction (both are
+/// redundant with machine state, as they were in practice — they rode on
+/// the token as an optimization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Where this token is going.
+    pub tag: ActivityName,
+    /// Which operand slot it fills.
+    pub port: Port,
+    /// The datum.
+    pub value: Value,
+}
+
+impl Token {
+    /// Convenience constructor.
+    pub fn new(tag: ActivityName, port: Port, value: Value) -> Self {
+        Token { tag, port, value }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} = {}", self.tag, self.port, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CodeBlockId, InstrId};
+
+    fn an() -> ActivityName {
+        ActivityName {
+            u: Ctx(2),
+            c: CodeBlockId(1),
+            s: InstrId(5),
+            i: Iter(3),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ctx(2).to_string(), "u2");
+        assert_eq!(Iter(3).to_string(), "i3");
+        assert_eq!(Port(1).to_string(), "p1");
+        assert_eq!(an().to_string(), "<u2,c1,s5,i3>");
+        let t = Token::new(an(), Port(0), Value::Int(9));
+        assert_eq!(t.to_string(), "<u2,c1,s5,i3>@p0 = 9");
+    }
+
+    #[test]
+    fn iteration_arithmetic() {
+        assert_eq!(Iter::ONE.next(), Iter(2));
+        assert_eq!(Iter::default(), Iter::ONE);
+    }
+
+    #[test]
+    fn activity_names_hash_by_all_fields() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        let base = an();
+        set.insert(base);
+        set.insert(ActivityName { i: Iter(4), ..base });
+        set.insert(ActivityName { u: Ctx(9), ..base });
+        assert_eq!(set.len(), 3);
+    }
+}

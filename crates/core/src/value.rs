@@ -1,0 +1,339 @@
+//! Runtime values carried on tokens.
+
+use std::error::Error;
+use std::fmt;
+
+/// A handle to an I-structure allocated at run time.
+///
+/// Tokens "carry only pointers to the structure" (§2.2.4); the machine's
+/// structure table maps the id to the storage modules that hold the
+/// elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructRef {
+    /// Allocation id, unique within one program run.
+    pub id: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+impl fmt::Display for StructRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "istruct#{}[{}]", self.id, self.len)
+    }
+}
+
+/// A datum on a token.
+///
+/// The TTDA is dynamically typed at the hardware level: every token
+/// carries a value whose type the consuming instruction checks. Mixed
+/// int/float arithmetic promotes to float, as the Id language does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// The unit value, used by signal/trigger tokens.
+    Unit,
+    /// A boolean (produced by comparisons, consumed by `Switch`).
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A pointer to an I-structure.
+    Ptr(StructRef),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Ptr(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A type mismatch detected at instruction firing time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// What the operation needed.
+    pub expected: &'static str,
+    /// What arrived, rendered.
+    pub got: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {}, got {}", self.expected, self.got)
+    }
+}
+
+impl Error for TypeError {}
+
+fn type_err(expected: &'static str, got: &Value) -> TypeError {
+    TypeError {
+        expected,
+        got: got.to_string(),
+    }
+}
+
+/// Arithmetic operations on [`Value`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division. Integer division by zero is a [`TypeError`]-class
+    /// runtime error; float division follows IEEE.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Applies the operation with Id-style numeric promotion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] for non-numeric operands or integer
+    /// division by zero.
+    pub fn apply(self, a: &Value, b: &Value) -> Result<Value, TypeError> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => match self {
+                AluOp::Add => Ok(Value::Int(x.wrapping_add(*y))),
+                AluOp::Sub => Ok(Value::Int(x.wrapping_sub(*y))),
+                AluOp::Mul => Ok(Value::Int(x.wrapping_mul(*y))),
+                AluOp::Div => {
+                    if *y == 0 {
+                        Err(TypeError {
+                            expected: "nonzero divisor",
+                            got: "0".into(),
+                        })
+                    } else {
+                        Ok(Value::Int(x.wrapping_div(*y)))
+                    }
+                }
+                AluOp::Min => Ok(Value::Int(*x.min(y))),
+                AluOp::Max => Ok(Value::Int(*x.max(y))),
+            },
+            _ => {
+                let x = as_float(a)?;
+                let y = as_float(b)?;
+                Ok(Value::Float(match self {
+                    AluOp::Add => x + y,
+                    AluOp::Sub => x - y,
+                    AluOp::Mul => x * y,
+                    AluOp::Div => x / y,
+                    AluOp::Min => x.min(y),
+                    AluOp::Max => x.max(y),
+                }))
+            }
+        }
+    }
+}
+
+/// Relational operations (produce [`Value::Bool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison (numeric, with promotion; booleans compare
+    /// with `Eq`/`Ne` only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] for incomparable operands.
+    pub fn apply(self, a: &Value, b: &Value) -> Result<Value, TypeError> {
+        if let (Value::Bool(x), Value::Bool(y)) = (a, b) {
+            return match self {
+                CmpOp::Eq => Ok(Value::Bool(x == y)),
+                CmpOp::Ne => Ok(Value::Bool(x != y)),
+                _ => Err(TypeError {
+                    expected: "numbers for ordered comparison",
+                    got: "bool".into(),
+                }),
+            };
+        }
+        if let (Value::Int(x), Value::Int(y)) = (a, b) {
+            return Ok(Value::Bool(match self {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }));
+        }
+        let x = as_float(a)?;
+        let y = as_float(b)?;
+        Ok(Value::Bool(match self {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }))
+    }
+}
+
+/// Coerces a numeric value to `f64`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] for non-numeric values.
+pub(crate) fn as_float(v: &Value) -> Result<f64, TypeError> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(x) => Ok(*x),
+        other => Err(type_err("a number", other)),
+    }
+}
+
+/// Extracts a boolean.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] for non-boolean values.
+pub(crate) fn as_bool(v: &Value) -> Result<bool, TypeError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(type_err("a boolean", other)),
+    }
+}
+
+/// Extracts an integer (floats are not silently truncated).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] for non-integer values.
+pub(crate) fn as_int(v: &Value) -> Result<i64, TypeError> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        other => Err(type_err("an integer", other)),
+    }
+}
+
+/// Extracts a structure pointer.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] for non-pointer values.
+pub(crate) fn as_ptr(v: &Value) -> Result<StructRef, TypeError> {
+    match v {
+        Value::Ptr(p) => Ok(*p),
+        other => Err(type_err("an i-structure pointer", other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arith() {
+        assert_eq!(AluOp::Add.apply(&Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(AluOp::Sub.apply(&Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(AluOp::Mul.apply(&Value::Int(4), &Value::Int(3)).unwrap(), Value::Int(12));
+        assert_eq!(AluOp::Div.apply(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(AluOp::Min.apply(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(2));
+        assert_eq!(AluOp::Max.apply(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn mixed_arith_promotes() {
+        assert_eq!(
+            AluOp::Add.apply(&Value::Int(1), &Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            AluOp::Div.apply(&Value::Float(1.0), &Value::Int(4)).unwrap(),
+            Value::Float(0.25)
+        );
+    }
+
+    #[test]
+    fn int_div_by_zero_is_error() {
+        assert!(AluOp::Div.apply(&Value::Int(1), &Value::Int(0)).is_err());
+        // Float division by zero is IEEE infinity, not an error.
+        assert_eq!(
+            AluOp::Div.apply(&Value::Float(1.0), &Value::Float(0.0)).unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(CmpOp::Lt.apply(&Value::Int(1), &Value::Int(2)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            CmpOp::Ge.apply(&Value::Float(2.0), &Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            CmpOp::Eq.apply(&Value::Bool(true), &Value::Bool(true)).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(CmpOp::Lt.apply(&Value::Bool(true), &Value::Bool(false)).is_err());
+        assert!(CmpOp::Eq.apply(&Value::Unit, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn extractors() {
+        assert_eq!(as_bool(&Value::Bool(true)).unwrap(), true);
+        assert!(as_bool(&Value::Int(1)).is_err());
+        assert_eq!(as_int(&Value::Int(4)).unwrap(), 4);
+        assert!(as_int(&Value::Float(4.0)).is_err());
+        let p = StructRef { id: 3, len: 10 };
+        assert_eq!(as_ptr(&Value::Ptr(p)).unwrap(), p);
+        assert!(as_ptr(&Value::Unit).is_err());
+        let e = as_ptr(&Value::Int(1)).unwrap_err();
+        assert!(e.to_string().contains("pointer"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Ptr(StructRef { id: 1, len: 4 }).to_string(), "istruct#1[4]");
+        assert_eq!(Value::from(2i64), Value::Int(2));
+        assert_eq!(Value::from(0.5), Value::Float(0.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

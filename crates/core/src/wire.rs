@@ -1,0 +1,208 @@
+//! The token wire format of §2.2.2.
+//!
+//! "The complete token, then, looks like this:
+//! `<d=0,PE,tag,nt,port,data>`" — this module provides the byte-level
+//! encoding a real packet network would carry, so the suite can reason
+//! about packet sizes (the §3 facility's 4 MB/s bit-serial links move
+//! these bytes one bit at a time) and so tokens can round-trip through
+//! any byte transport.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{CodeBlockId, InstrId};
+use crate::tag::{ActivityName, Ctx, Iter, Port, Token};
+use crate::value::{StructRef, Value};
+
+/// The `d` field: which section of the PE consumes the packet (Fig 2-4's
+/// three input paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// `d=0`: a normal token for the waiting–matching section.
+    Normal = 0,
+    /// `d=1`: an I-structure request.
+    Structure = 1,
+    /// `d=2`: a PE-controller (manager) packet.
+    Control = 2,
+}
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the packet did.
+    Truncated,
+    /// An unknown discriminant was encountered.
+    BadTag(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadTag(t) => write!(f, "unknown discriminant {t}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Unit => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Ptr(p) => {
+            out.push(4);
+            out.extend_from_slice(&p.id.to_le_bytes());
+            out.extend_from_slice(&p.len.to_le_bytes());
+        }
+    }
+}
+
+fn take<const N: usize>(b: &[u8], at: &mut usize) -> Result<[u8; N], WireError> {
+    let end = *at + N;
+    let s = b.get(*at..end).ok_or(WireError::Truncated)?;
+    *at = end;
+    Ok(s.try_into().expect("slice is N bytes"))
+}
+
+fn take_value(b: &[u8], at: &mut usize) -> Result<Value, WireError> {
+    let tag = take::<1>(b, at)?[0];
+    Ok(match tag {
+        0 => Value::Unit,
+        1 => Value::Bool(take::<1>(b, at)?[0] != 0),
+        2 => Value::Int(i64::from_le_bytes(take::<8>(b, at)?)),
+        3 => Value::Float(f64::from_le_bytes(take::<8>(b, at)?)),
+        4 => Value::Ptr(StructRef {
+            id: u32::from_le_bytes(take::<4>(b, at)?),
+            len: u32::from_le_bytes(take::<4>(b, at)?),
+        }),
+        other => return Err(WireError::BadTag(other)),
+    })
+}
+
+/// Encodes a `d=0` token exactly as §2.2.2 lays it out:
+/// `<d, PE, tag(u,c,s,i), nt, port, data>`.
+pub fn encode_token(token: &Token, pe: u16, nt: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.push(PacketKind::Normal as u8);
+    out.extend_from_slice(&pe.to_le_bytes());
+    out.extend_from_slice(&token.tag.u.0.to_le_bytes());
+    out.extend_from_slice(&token.tag.c.0.to_le_bytes());
+    out.extend_from_slice(&token.tag.s.0.to_le_bytes());
+    out.extend_from_slice(&token.tag.i.0.to_le_bytes());
+    out.push(nt);
+    out.push(token.port.0);
+    put_value(&mut out, &token.value);
+    out
+}
+
+/// Decodes a `d=0` token; returns `(token, pe, nt)`.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for truncated or malformed packets.
+pub fn decode_token(bytes: &[u8]) -> Result<(Token, u16, u8), WireError> {
+    let mut at = 0usize;
+    let d = take::<1>(bytes, &mut at)?[0];
+    if d != PacketKind::Normal as u8 {
+        return Err(WireError::BadTag(d));
+    }
+    let pe = u16::from_le_bytes(take::<2>(bytes, &mut at)?);
+    let u = Ctx(u32::from_le_bytes(take::<4>(bytes, &mut at)?));
+    let c = CodeBlockId(u32::from_le_bytes(take::<4>(bytes, &mut at)?));
+    let s = InstrId(u32::from_le_bytes(take::<4>(bytes, &mut at)?));
+    let i = Iter(u32::from_le_bytes(take::<4>(bytes, &mut at)?));
+    let nt = take::<1>(bytes, &mut at)?[0];
+    let port = Port(take::<1>(bytes, &mut at)?[0]);
+    let value = take_value(bytes, &mut at)?;
+    Ok((
+        Token::new(ActivityName { u, c, s, i }, port, value),
+        pe,
+        nt,
+    ))
+}
+
+/// Encoded size in bits — what the §3 facility's 4 MB/s bit-serial
+/// links actually shift. An integer token is 30 bytes = 240 bits, which
+/// at 4 MB/s is ~7.5 µs per hop: the physical grounding for the cycle
+/// numbers in [`FabricConfig::bit_serial_4mbs`](ttda_net::FabricConfig).
+pub fn encoded_bits(token: &Token) -> u64 {
+    encode_token(token, 0, 2).len() as u64 * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(v: Value) -> Token {
+        Token::new(
+            ActivityName {
+                u: Ctx(7),
+                c: CodeBlockId(3),
+                s: InstrId(99),
+                i: Iter(12),
+            },
+            Port(1),
+            v,
+        )
+    }
+
+    #[test]
+    fn roundtrip_every_value_kind() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-123456789),
+            Value::Float(std::f64::consts::E),
+            Value::Ptr(StructRef { id: 42, len: 1000 }),
+        ] {
+            let t = tok(v);
+            let bytes = encode_token(&t, 513, 2);
+            let (back, pe, nt) = decode_token(&bytes).expect("decodes");
+            assert_eq!(back, t);
+            assert_eq!(pe, 513);
+            assert_eq!(nt, 2);
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let bytes = encode_token(&tok(Value::Int(5)), 1, 2);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_token(&bytes[..cut]), Err(WireError::Truncated), "cut={cut}");
+        }
+        assert!(decode_token(&bytes).is_ok());
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        let mut bytes = encode_token(&tok(Value::Int(5)), 1, 2);
+        bytes[0] = 9;
+        assert_eq!(decode_token(&bytes), Err(WireError::BadTag(9)));
+        let mut bytes = encode_token(&tok(Value::Unit), 1, 2);
+        let vpos = bytes.len() - 1;
+        bytes[vpos] = 200;
+        assert_eq!(decode_token(&bytes), Err(WireError::BadTag(200)));
+        assert!(WireError::BadTag(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn integer_token_is_the_paper_scale() {
+        // The §1.2.5 Connection Machine model assumes ~48-bit messages;
+        // our full tagged token with a 64-bit datum is 240 bits — the
+        // price of carrying the whole activity name on every datum.
+        assert_eq!(encoded_bits(&tok(Value::Int(0))), 240);
+    }
+}

@@ -1,0 +1,310 @@
+//! The abstract syntax of the Id subset.
+
+use std::collections::HashSet;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// One `new x = e` rebinding or `a[i] <- e` store in a loop body or let
+/// block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    /// `name = e` (let) or `new name = e` (loop body).
+    Bind(String, Expr),
+    /// `target[idx] <- value`: an I-structure APPEND.
+    Store {
+        /// The array variable.
+        target: String,
+        /// Element index.
+        idx: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `if c then t else e`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function application `f(args…)`.
+    Call(String, Vec<Expr>),
+    /// `{ b1; b2; …; e }` — bindings then the block value.
+    Let(Vec<Binding>, Box<Expr>),
+    /// The paper's loop expression.
+    Loop {
+        /// `initial` bindings.
+        inits: Vec<(String, Expr)>,
+        /// `for v from e1 to e2 [by e3]`, if present.
+        for_clause: Option<Box<ForClause>>,
+        /// `while e`, if present.
+        while_clause: Option<Box<Expr>>,
+        /// The `new` bindings and stores of the body.
+        body: Vec<Binding>,
+        /// The `return` expression.
+        ret: Box<Expr>,
+    },
+    /// `array(n)`: allocate an I-structure.
+    Array(Box<Expr>),
+    /// `a[i]`: I-structure SELECT.
+    Select(Box<Expr>, Box<Expr>),
+}
+
+/// The induction-variable clause of a `for` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForClause {
+    /// Induction variable name.
+    pub var: String,
+    /// Initial value.
+    pub from: Expr,
+    /// Inclusive upper bound.
+    pub to: Expr,
+    /// Step (default 1).
+    pub by: Option<Expr>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Def {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body expression.
+    pub body: Expr,
+}
+
+/// A compilation unit: function definitions (one must be `main`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProgram {
+    /// The definitions, in source order.
+    pub defs: Vec<Def>,
+}
+
+impl Expr {
+    /// Collects free variable names into `out` (variables referenced but
+    /// not bound within the expression).
+    pub fn free_vars(&self, out: &mut HashSet<String>) {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Unary(_, e) | Expr::Array(e) => e.free_vars(out),
+            Expr::Binary(_, a, b) | Expr::Select(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::If(c, t, e) => {
+                c.free_vars(out);
+                t.free_vars(out);
+                e.free_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            Expr::Let(binds, body) => {
+                let mut inner = HashSet::new();
+                body.free_vars(&mut inner);
+                let mut bound = HashSet::new();
+                // Bindings are sequential: each sees earlier names.
+                for b in binds.iter().rev() {
+                    match b {
+                        Binding::Bind(name, e) => {
+                            inner.remove(name);
+                            bound.insert(name.clone());
+                            e.free_vars(&mut inner);
+                        }
+                        Binding::Store { target, idx, value } => {
+                            inner.insert(target.clone());
+                            idx.free_vars(&mut inner);
+                            value.free_vars(&mut inner);
+                        }
+                    }
+                }
+                for name in &bound {
+                    inner.remove(name);
+                }
+                out.extend(inner);
+            }
+            Expr::Loop {
+                inits,
+                for_clause,
+                while_clause,
+                body,
+                ret,
+            } => {
+                let mut inner = HashSet::new();
+                for b in body {
+                    match b {
+                        Binding::Bind(_, e) => e.free_vars(&mut inner),
+                        Binding::Store { target, idx, value } => {
+                            inner.insert(target.clone());
+                            idx.free_vars(&mut inner);
+                            value.free_vars(&mut inner);
+                        }
+                    }
+                }
+                if let Some(w) = while_clause {
+                    w.free_vars(&mut inner);
+                }
+                ret.free_vars(&mut inner);
+                // Loop variables are bound inside.
+                for (name, _) in inits {
+                    inner.remove(name);
+                }
+                let mut body_new: HashSet<&String> = HashSet::new();
+                for b in body {
+                    if let Binding::Bind(name, _) = b {
+                        body_new.insert(name);
+                        inner.remove(name);
+                    }
+                }
+                if let Some(fc) = for_clause {
+                    inner.remove(&fc.var);
+                    fc.from.free_vars(&mut inner);
+                    fc.to.free_vars(&mut inner);
+                    if let Some(by) = &fc.by {
+                        by.free_vars(&mut inner);
+                    }
+                }
+                for (_, e) in inits {
+                    e.free_vars(&mut inner);
+                }
+                out.extend(inner);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(e: &Expr) -> Vec<String> {
+        let mut s = HashSet::new();
+        e.free_vars(&mut s);
+        let mut v: Vec<String> = s.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn var_and_binary() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Int(1)),
+        );
+        assert_eq!(fv(&e), vec!["x"]);
+    }
+
+    #[test]
+    fn let_binds_names() {
+        // { y = x + 1; y + z }
+        let e = Expr::Let(
+            vec![Binding::Bind(
+                "y".into(),
+                Expr::Binary(
+                    BinOp::Add,
+                    Box::new(Expr::Var("x".into())),
+                    Box::new(Expr::Int(1)),
+                ),
+            )],
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var("y".into())),
+                Box::new(Expr::Var("z".into())),
+            )),
+        );
+        assert_eq!(fv(&e), vec!["x", "z"]);
+    }
+
+    #[test]
+    fn loop_binds_loop_vars() {
+        // (initial s = a for i from 1 to n do new s = s + i return s)
+        let e = Expr::Loop {
+            inits: vec![("s".into(), Expr::Var("a".into()))],
+            for_clause: Some(Box::new(ForClause {
+                var: "i".into(),
+                from: Expr::Int(1),
+                to: Expr::Var("n".into()),
+                by: None,
+            })),
+            while_clause: None,
+            body: vec![Binding::Bind(
+                "s".into(),
+                Expr::Binary(
+                    BinOp::Add,
+                    Box::new(Expr::Var("s".into())),
+                    Box::new(Expr::Var("i".into())),
+                ),
+            )],
+            ret: Box::new(Expr::Var("s".into())),
+        };
+        assert_eq!(fv(&e), vec!["a", "n"]);
+    }
+
+    #[test]
+    fn store_targets_are_free() {
+        // { a[0] <- x; a }
+        let e = Expr::Let(
+            vec![Binding::Store {
+                target: "a".into(),
+                idx: Expr::Int(0),
+                value: Expr::Var("x".into()),
+            }],
+            Box::new(Expr::Var("a".into())),
+        );
+        assert_eq!(fv(&e), vec!["a", "x"]);
+    }
+}

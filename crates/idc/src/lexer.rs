@@ -1,0 +1,353 @@
+//! Tokenization of Id source text.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for LexError {}
+
+/// Token kinds of the Id subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `def`
+    Def,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `initial`
+    Initial,
+    /// `for`
+    For,
+    /// `from`
+    From,
+    /// `to`
+    To,
+    /// `by`
+    By,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `new`
+    New,
+    /// `return`
+    Return,
+    /// `array`
+    Array,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<-`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+fn keyword(s: &str) -> Option<TokenKind> {
+    Some(match s {
+        "def" => TokenKind::Def,
+        "if" => TokenKind::If,
+        "then" => TokenKind::Then,
+        "else" => TokenKind::Else,
+        "initial" => TokenKind::Initial,
+        "for" => TokenKind::For,
+        "from" => TokenKind::From,
+        "to" => TokenKind::To,
+        "by" => TokenKind::By,
+        "while" => TokenKind::While,
+        "do" => TokenKind::Do,
+        "new" => TokenKind::New,
+        "return" => TokenKind::Return,
+        "array" => TokenKind::Array,
+        "and" => TokenKind::And,
+        "or" => TokenKind::Or,
+        "not" => TokenKind::Not,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `src`. `--` starts a comment running to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for malformed numbers or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let n = bytes.len();
+
+    let err = |line: u32, msg: String| LexError { line, msg };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < n && bytes[i + 1] == '-' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = keyword(&word).unwrap_or(TokenKind::Ident(word));
+                out.push(Token { kind, line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < n && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < n && (bytes[i] == '+' || bytes[i] == '-') {
+                        i += 1;
+                    }
+                    if i >= n || !bytes[i].is_ascii_digit() {
+                        return Err(err(line, "malformed exponent".into()));
+                    }
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|e| err(line, format!("bad float `{text}`: {e}")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|e| err(line, format!("bad integer `{text}`: {e}")))?,
+                    )
+                };
+                out.push(Token { kind, line });
+            }
+            _ => {
+                let two: Option<TokenKind> = if i + 1 < n {
+                    match (c, bytes[i + 1]) {
+                        ('=', '=') => Some(TokenKind::EqEq),
+                        ('<', '>') => Some(TokenKind::Ne),
+                        ('<', '=') => Some(TokenKind::Le),
+                        ('>', '=') => Some(TokenKind::Ge),
+                        ('<', '-') => Some(TokenKind::Arrow),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(kind) = two {
+                    out.push(Token { kind, line });
+                    i += 2;
+                    continue;
+                }
+                let kind = match c {
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '/' => TokenKind::Slash,
+                    '=' => TokenKind::Eq,
+                    '<' => TokenKind::Lt,
+                    '>' => TokenKind::Gt,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semi,
+                    ',' => TokenKind::Comma,
+                    other => return Err(err(line, format!("unexpected character `{other}`"))),
+                };
+                out.push(Token { kind, line });
+                i += 1;
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("def foo for fortune"),
+            vec![
+                TokenKind::Def,
+                TokenKind::Ident("foo".into()),
+                TokenKind::For,
+                TokenKind::Ident("fortune".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("== <> <= >= <- < > ="),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Arrow,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let toks = lex("a -- comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn integer_minus_is_two_tokens() {
+        // `n - 1` and `n-1` both lex as ident minus int.
+        assert_eq!(
+            kinds("n-1"),
+            vec![
+                TokenKind::Ident("n".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let e = lex("a\n  ?").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unexpected"));
+        assert!(lex("1e").is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! A compiler for an Id-like dataflow language, targeting `ttda-core`
+//! graphs.
+//!
+//! The paper's Fig 2-2 shows the compilation of an Id loop expression —
+//! "data flow compilers translate high-level programs into directed
+//! graphs" — and this crate is that compiler for the Id subset the paper
+//! uses: `initial … for … do new … return` loop expressions, `if/then/
+//! else`, function definitions (including recursion), and I-structure
+//! arrays with `array(n)` / `a[i]` / `a[i] <- e` (SELECT and APPEND,
+//! lowered to `IFetch`/`IStore` per §2.2.4).
+//!
+//! The paper's own example compiles and runs:
+//!
+//! ```
+//! use ttda_core::{Emulator, Value};
+//!
+//! // Integrate f(x) = 4 / (1 + x^2) from 0 to 1 by the trapezoidal
+//! // rule — the ID program of Fig 2-2.
+//! let src = r#"
+//!     def f(x) = 4.0 / (1.0 + x * x);
+//!     def main(a, b, n) =
+//!       { h = (b - a) / n;
+//!         (initial s = (f(a) + f(b)) / 2.0; x = a + h
+//!          for i from 1 to n - 1 do
+//!            new x = x + h;
+//!            new s = s + f(x)
+//!          return s) * h };
+//! "#;
+//! let program = ttda_idc::compile(src).unwrap();
+//! let mut emu = Emulator::new(&program);
+//! let r = emu
+//!     .run(&[Value::Float(0.0), Value::Float(1.0), Value::Int(100)])
+//!     .unwrap();
+//! let Value::Float(pi) = r.outputs[&0] else { panic!() };
+//! assert!((pi - std::f64::consts::PI).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Binding, Def, Expr, SourceProgram, UnOp};
+pub use codegen::compile_ast;
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::parse;
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error from source text to dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Code generation failed (unknown name, arity mismatch, …).
+    Codegen(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex(e) => write!(f, "lex error: {e}"),
+            CompileError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            CompileError::Codegen(msg) => write!(f, "codegen error: {msg}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<LexError> for CompileError {
+    fn from(e: LexError) -> Self {
+        CompileError::Lex(e)
+    }
+}
+
+/// Compiles Id source text to an executable dataflow [`Program`]
+/// (`ttda-core`).
+///
+/// The program must contain a `def main(...)`; its parameters become the
+/// program inputs and its body value becomes output slot 0.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first problem found.
+///
+/// [`Program`]: ttda_core::Program
+pub fn compile(source: &str) -> Result<ttda_core::Program, CompileError> {
+    let ast = parse(source)?;
+    compile_ast(&ast)
+}
+
+/// Compiles and then optimizes (identity forwarding + dead-code
+/// elimination; see [`ttda_core::opt`]). Same results as [`compile`],
+/// fewer instruction firings.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first problem found.
+pub fn compile_optimized(source: &str) -> Result<ttda_core::Program, CompileError> {
+    let p = compile(source)?;
+    Ok(ttda_core::opt::optimize(&p).0)
+}

@@ -1,0 +1,495 @@
+//! Recursive-descent parser for the Id subset.
+//!
+//! ```text
+//! program := def+
+//! def     := "def" ident "(" params ")" "=" expr ";"
+//! expr    := "if" expr "then" expr "else" expr
+//!          | "{" (binding ";")* expr "}"
+//!          | loop-or-paren
+//!          | or
+//! loop    := "(" "initial" binds [for] [while] "do" newbinds "return" expr ")"
+//! binding := ident "=" expr | ident "[" expr "]" "<-" expr
+//! or      := and ("or" and)*
+//! and     := cmp ("and" cmp)*
+//! cmp     := add (("=="|"<>"|"<"|"<="|">"|">=") add)?
+//! add     := mul (("+"|"-") mul)*
+//! mul     := unary (("*"|"/") unary)*
+//! unary   := "-" unary | "not" unary | postfix
+//! postfix := atom ("[" expr "]")*
+//! atom    := number | "true" | "false" | ident ["(" args ")"]
+//!          | "array" "(" expr ")" | "(" expr ")" | "{"-block
+//! ```
+
+use crate::ast::{BinOp, Binding, Def, Expr, ForClause, SourceProgram, UnOp};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, CompileError>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(CompileError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> PResult<()> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> PResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self) -> PResult<SourceProgram> {
+        let mut defs = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            defs.push(self.def()?);
+        }
+        if defs.is_empty() {
+            return self.err("empty program: expected at least one `def`");
+        }
+        Ok(SourceProgram { defs })
+    }
+
+    fn def(&mut self) -> PResult<Def> {
+        self.expect(TokenKind::Def, "`def`")?;
+        let name = self.ident("function name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        self.expect(TokenKind::Eq, "`=`")?;
+        let body = self.expr()?;
+        self.expect(TokenKind::Semi, "`;` after definition")?;
+        Ok(Def { name, params, body })
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            TokenKind::If => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(TokenKind::Then, "`then`")?;
+                let t = self.expr()?;
+                self.expect(TokenKind::Else, "`else`")?;
+                let e = self.expr()?;
+                Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            _ => self.or_expr(),
+        }
+    }
+
+    fn block(&mut self) -> PResult<Expr> {
+        // `{` already consumed by the caller.
+        let mut bindings = Vec::new();
+        loop {
+            // A binding is `ident = …` or `ident [ … ] <- …`; anything
+            // else is the block's result expression.
+            let is_bind = matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.peek2(), TokenKind::Eq | TokenKind::LBracket);
+            if is_bind {
+                let save = self.pos;
+                let name = self.ident("binding name")?;
+                if self.eat(TokenKind::Eq) {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::Semi, "`;` after binding")?;
+                    bindings.push(Binding::Bind(name, e));
+                    continue;
+                }
+                if self.eat(TokenKind::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    if self.eat(TokenKind::Arrow) {
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;` after store")?;
+                        bindings.push(Binding::Store { target: name, idx, value });
+                        continue;
+                    }
+                }
+                // It was actually an expression like `a[i] + 1`: rewind.
+                self.pos = save;
+            }
+            let result = self.expr()?;
+            self.expect(TokenKind::RBrace, "`}` closing the block")?;
+            return Ok(Expr::Let(bindings, Box::new(result)));
+        }
+    }
+
+    fn loop_expr(&mut self) -> PResult<Expr> {
+        // `(` and `initial` already consumed.
+        let mut inits = Vec::new();
+        loop {
+            let name = self.ident("loop variable")?;
+            self.expect(TokenKind::Eq, "`=`")?;
+            let e = self.expr()?;
+            inits.push((name, e));
+            if !self.eat(TokenKind::Semi) {
+                break;
+            }
+        }
+        let for_clause = if self.eat(TokenKind::For) {
+            let var = self.ident("induction variable")?;
+            self.expect(TokenKind::From, "`from`")?;
+            let from = self.expr()?;
+            self.expect(TokenKind::To, "`to`")?;
+            let to = self.expr()?;
+            let by = if self.eat(TokenKind::By) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Some(Box::new(ForClause { var, from, to, by }))
+        } else {
+            None
+        };
+        let while_clause = if self.eat(TokenKind::While) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        if for_clause.is_none() && while_clause.is_none() {
+            return self.err("loop needs a `for` or `while` clause");
+        }
+        self.expect(TokenKind::Do, "`do`")?;
+        let mut body = Vec::new();
+        loop {
+            if self.eat(TokenKind::New) {
+                let name = self.ident("loop variable")?;
+                self.expect(TokenKind::Eq, "`=`")?;
+                let e = self.expr()?;
+                body.push(Binding::Bind(name, e));
+            } else if matches!(self.peek(), TokenKind::Ident(_))
+                && *self.peek2() == TokenKind::LBracket
+            {
+                let name = self.ident("array name")?;
+                self.expect(TokenKind::LBracket, "`[`")?;
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket, "`]`")?;
+                self.expect(TokenKind::Arrow, "`<-`")?;
+                let value = self.expr()?;
+                body.push(Binding::Store { target: name, idx, value });
+            } else {
+                return self.err("expected `new` binding or array store in loop body");
+            }
+            if !self.eat(TokenKind::Semi) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Return, "`return`")?;
+        let ret = self.expr()?;
+        self.expect(TokenKind::RParen, "`)` closing the loop")?;
+        Ok(Expr::Loop {
+            inits,
+            for_clause,
+            while_clause,
+            body,
+            ret: Box::new(ret),
+        })
+    }
+
+    fn binop_chain(
+        &mut self,
+        next: fn(&mut Self) -> PResult<Expr>,
+        table: &[(TokenKind, BinOp)],
+    ) -> PResult<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if *self.peek() == *tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        self.binop_chain(Self::and_expr, &[(TokenKind::Or, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        self.binop_chain(Self::cmp_expr, &[(TokenKind::And, BinOp::And)])
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        self.binop_chain(
+            Self::mul_expr,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        self.binop_chain(
+            Self::unary_expr,
+            &[(TokenKind::Star, BinOp::Mul), (TokenKind::Slash, BinOp::Div)],
+        )
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if self.eat(TokenKind::Minus) {
+            Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+        } else if self.eat(TokenKind::Not) {
+            Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.atom()?;
+        while self.eat(TokenKind::LBracket) {
+            let idx = self.expr()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            e = Expr::Select(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Array => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let n = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(Expr::Array(Box::new(n)))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                self.block()
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(TokenKind::Initial) {
+                    self.loop_expr()
+                } else {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    Ok(e)
+                }
+            }
+            TokenKind::If => self.expr(),
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// Parses Id source into an AST.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with line information.
+pub fn parse(src: &str) -> Result<SourceProgram, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_def() {
+        let sp = parse("def main(x) = x + 1;").unwrap();
+        assert_eq!(sp.defs.len(), 1);
+        assert_eq!(sp.defs[0].params, vec!["x"]);
+        assert!(matches!(sp.defs[0].body, Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let sp = parse("def main(x) = x + 2 * x < 9;").unwrap();
+        let Expr::Binary(BinOp::Lt, lhs, _) = &sp.defs[0].body else {
+            panic!("expected <");
+        };
+        let Expr::Binary(BinOp::Add, _, rhs) = lhs.as_ref() else {
+            panic!("expected + under <");
+        };
+        assert!(matches!(rhs.as_ref(), Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_paper_loop() {
+        let src = "def main(a, n, h) =
+            (initial s = a; x = a + h
+             for i from 1 to n - 1 do
+               new x = x + h;
+               new s = s + x
+             return s);";
+        let sp = parse(src).unwrap();
+        let Expr::Loop { inits, for_clause, body, .. } = &sp.defs[0].body else {
+            panic!("expected loop");
+        };
+        assert_eq!(inits.len(), 2);
+        assert_eq!(for_clause.as_ref().unwrap().var, "i");
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn parses_while_loop() {
+        let src = "def main(n) =
+            (initial x = n while x > 1 do new x = x / 2 return x);";
+        let sp = parse(src).unwrap();
+        assert!(matches!(
+            sp.defs[0].body,
+            Expr::Loop { while_clause: Some(_), for_clause: None, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_blocks_and_stores() {
+        let src = "def main(n) =
+            { a = array(n);
+              a[0] <- 42;
+              a[0] };";
+        let sp = parse(src).unwrap();
+        let Expr::Let(binds, result) = &sp.defs[0].body else {
+            panic!("expected block");
+        };
+        assert_eq!(binds.len(), 2);
+        assert!(matches!(binds[1], Binding::Store { .. }));
+        assert!(matches!(result.as_ref(), Expr::Select(_, _)));
+    }
+
+    #[test]
+    fn parses_if_and_calls() {
+        let src = "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);
+                   def main(k) = fib(k);";
+        let sp = parse(src).unwrap();
+        assert_eq!(sp.defs.len(), 2);
+        assert!(matches!(sp.defs[0].body, Expr::If(_, _, _)));
+        assert!(matches!(sp.defs[1].body, Expr::Call(_, _)));
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let err = parse("def main(x) =\n  x +;").unwrap_err();
+        match err {
+            CompileError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error {other}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("def f(x) = (initial s = 1 do new s = 2 return s);").is_err());
+    }
+
+    #[test]
+    fn select_in_expression_position_inside_block() {
+        // `a[i] + 1` as a block result must not be mistaken for a store.
+        let src = "def main(i) = { a = array(4); a[0] <- 7; a[i] + 1 };";
+        let sp = parse(src).unwrap();
+        let Expr::Let(binds, result) = &sp.defs[0].body else {
+            panic!();
+        };
+        assert_eq!(binds.len(), 2);
+        assert!(matches!(result.as_ref(), Expr::Binary(BinOp::Add, _, _)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Compiler edge cases beyond the unit tests.
+
+use ttda_core::{Emulator, Value};
+use ttda_idc::{compile, CompileError};
+
+fn run(src: &str, inputs: &[Value]) -> Value {
+    let p = compile(src).expect("compiles");
+    Emulator::new(&p).run(inputs).expect("runs").outputs[&0]
+}
+
+#[test]
+fn deeply_nested_conditionals() {
+    let src = "def main(x) =
+        if x > 100 then 4
+        else if x > 10 then 3
+        else if x > 1 then 2
+        else if x > 0 then 1
+        else 0;";
+    assert_eq!(run(src, &[Value::Int(500)]), Value::Int(4));
+    assert_eq!(run(src, &[Value::Int(50)]), Value::Int(3));
+    assert_eq!(run(src, &[Value::Int(5)]), Value::Int(2));
+    assert_eq!(run(src, &[Value::Int(1)]), Value::Int(1));
+    assert_eq!(run(src, &[Value::Int(-7)]), Value::Int(0));
+}
+
+#[test]
+fn conditional_with_side_branches_into_loops() {
+    // Each branch is itself a loop expression.
+    let src = "def main(x) =
+        if x > 0
+        then (initial s = 0 for i from 1 to x do new s = s + i return s)
+        else (initial s = 0 for i from x to 0 do new s = s - i return s);";
+    assert_eq!(run(src, &[Value::Int(4)]), Value::Int(10));
+    assert_eq!(run(src, &[Value::Int(-3)]), Value::Int(6)); // -(-3)-(-2)-(-1)-0
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = "
+        def is_even(n) = if n == 0 then 1 else is_odd(n - 1);
+        def is_odd(n) = if n == 0 then 0 else is_even(n - 1);
+        def main(k) = is_even(k);";
+    assert_eq!(run(src, &[Value::Int(10)]), Value::Int(1));
+    assert_eq!(run(src, &[Value::Int(7)]), Value::Int(0));
+}
+
+#[test]
+fn loop_with_both_for_and_while() {
+    // Stop at i > n OR when x passes 100.
+    let src = "def main(n) =
+        (initial x = 1
+         for i from 1 to n
+         while x < 100 do
+           new x = x * 2
+         return x);";
+    assert_eq!(run(src, &[Value::Int(3)]), Value::Int(8));
+    assert_eq!(run(src, &[Value::Int(50)]), Value::Int(128)); // while stops it
+}
+
+#[test]
+fn shadowing_parameters_in_blocks() {
+    let src = "def main(x) = { x = x + 1; x = x * x; x };";
+    assert_eq!(run(src, &[Value::Int(3)]), Value::Int(16));
+}
+
+#[test]
+fn arrays_of_arrays_via_indices() {
+    // A flat array used as a 2-level table.
+    let src = "def main(n) =
+        { t = array(n);
+          a = (initial j = 0 for i from 0 to n - 1 do
+                 t[i] <- i * 10;
+                 new j = j + 1
+               return j);
+          t[t[2] / 10] };"; // t[2] = 20; t[2]/10 = 2; t[2] = 20
+    assert_eq!(run(src, &[Value::Int(5)]), Value::Int(20));
+}
+
+#[test]
+fn float_int_mixing_through_everything() {
+    let src = "def main(x) =
+        { half = x / 2.0;
+          (initial s = 0.0 for i from 1 to 4 do new s = s + half return s) };";
+    assert_eq!(run(src, &[Value::Int(3)]), Value::Float(6.0));
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = "
+        -- leading comment
+        def main(x) = -- trailing
+          -- interior
+          x + 1; -- after
+        -- closing
+        ";
+    assert_eq!(run(src, &[Value::Int(1)]), Value::Int(2));
+}
+
+#[test]
+fn boolean_values_flow_through_data() {
+    let src = "def main(x) = { p = x > 3 and x < 10; if p then 1 else 0 };";
+    assert_eq!(run(src, &[Value::Int(5)]), Value::Int(1));
+    assert_eq!(run(src, &[Value::Int(11)]), Value::Int(0));
+}
+
+#[test]
+fn runtime_errors_are_reported_not_panicked() {
+    // Integer division by zero.
+    let p = compile("def main(x) = 10 / x;").unwrap();
+    let err = Emulator::new(&p).run(&[Value::Int(0)]).unwrap_err();
+    assert!(err.to_string().contains("divisor"), "{err}");
+
+    // Negative array index.
+    let p = compile("def main(x) = { a = array(4); a[0] <- 1; a[x] };").unwrap();
+    let err = Emulator::new(&p).run(&[Value::Int(-2)]).unwrap_err();
+    assert!(err.to_string().contains("negative"), "{err}");
+}
+
+#[test]
+fn parse_error_positions_are_useful() {
+    let check_line = |src: &str, line: u32| {
+        match compile(src) {
+            Err(CompileError::Parse { line: l, .. }) => assert_eq!(l, line, "{src}"),
+            other => panic!("expected parse error for {src}, got {other:?}"),
+        }
+    };
+    check_line("def main(x) =\nx +;", 2);
+    check_line("def main(x =\nx;", 1);
+    check_line("def main(x) = x;\ndef f(y) = (initial s = 1 do new s = 2 return s);", 2);
+}
+
+#[test]
+fn zero_trip_and_single_trip_loops() {
+    let src = "def main(n) =
+        (initial s = 100 for i from 1 to n do new s = s + 1 return s);";
+    assert_eq!(run(src, &[Value::Int(0)]), Value::Int(100)); // zero trips
+    assert_eq!(run(src, &[Value::Int(1)]), Value::Int(101)); // one trip
+}

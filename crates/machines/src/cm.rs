@@ -1,0 +1,293 @@
+//! The Connection Machine: second-generation SIMD (§1.2.5).
+//!
+//! One instruction stream drives `2^dim` one-bit processors. Compute
+//! instructions cost bit-serial ALU time; `Route` instructions run the
+//! packet router until every message arrives — "a global flag is raised
+//! when all processors are done communicating, and only then can the
+//! next instruction begin". Router conflicts make messages take
+//! "significantly more steps than the required minimum number", and the
+//! measurement the paper asks for is the fraction of all time spent
+//! communicating (its guess: "90%?, 99%?").
+
+use std::collections::HashSet;
+
+use ttda_sim::Cycle;
+
+/// One instruction of the (SIMD) front-end program.
+#[derive(Debug, Clone)]
+pub enum CmInstr {
+    /// Every active processor performs `bit_ops` one-bit ALU steps.
+    Compute {
+        /// Serial bit operations (a 32-bit add is 32).
+        bit_ops: u64,
+    },
+    /// The router delivers every `(source, destination)` message; the
+    /// machine proceeds only when the last one lands.
+    Route {
+        /// The messages, by processor index.
+        messages: Vec<(usize, usize)>,
+    },
+}
+
+/// Measurements from one program run.
+#[derive(Debug, Clone, Default)]
+pub struct CmStats {
+    /// Cycles spent in ALU (compute) instructions.
+    pub compute_cycles: Cycle,
+    /// Cycles spent routing.
+    pub comm_cycles: Cycle,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Router rounds actually needed, summed over Route instructions.
+    pub route_rounds: u64,
+    /// Lower bound: the max Hamming distance per Route, summed (what a
+    /// conflict-free router would need).
+    pub ideal_rounds: u64,
+}
+
+impl CmStats {
+    /// Total time.
+    pub fn total(&self) -> Cycle {
+        self.compute_cycles + self.comm_cycles
+    }
+
+    /// Fraction of time spent communicating — the paper's "90%? 99%?".
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total().as_u64();
+        if t == 0 {
+            0.0
+        } else {
+            self.comm_cycles.as_u64() as f64 / t as f64
+        }
+    }
+
+    /// Congestion: actual router rounds over the conflict-free minimum.
+    pub fn congestion(&self) -> f64 {
+        if self.ideal_rounds == 0 {
+            1.0
+        } else {
+            self.route_rounds as f64 / self.ideal_rounds as f64
+        }
+    }
+}
+
+/// The machine: a `2^dim`-processor hypercube of one-bit ALUs.
+///
+/// # Example
+///
+/// ```
+/// use ttda_machines::{CmInstr, ConnectionMachine};
+///
+/// let mut cm = ConnectionMachine::new(6).unwrap(); // 64 PEs
+/// let stats = cm.run(&[
+///     CmInstr::Compute { bit_ops: 32 },
+///     CmInstr::Route { messages: (0..64).map(|p| (p, 63 - p)).collect() },
+/// ]);
+/// assert!(stats.comm_fraction() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct ConnectionMachine {
+    dim: usize,
+    n: usize,
+    /// Time per one-bit ALU step.
+    pub alu_bit_time: Cycle,
+    /// Time per bit per hop on the bit-serial hypercube links.
+    pub route_bit_time: Cycle,
+    /// Message length in bits (the CM proposal's packets carried a
+    /// 32-bit datum plus addressing).
+    pub message_bits: u64,
+}
+
+impl ConnectionMachine {
+    /// Creates a `2^dim` machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `dim` is 0 or over 20 (the simulation
+    /// bound; the proposal's 2¹⁴ groups fit comfortably).
+    pub fn new(dim: usize) -> Result<Self, String> {
+        if dim == 0 || dim > 20 {
+            return Err(format!("dimension must be in 1..=20, got {dim}"));
+        }
+        Ok(ConnectionMachine {
+            dim,
+            n: 1 << dim,
+            alu_bit_time: Cycle(1),
+            route_bit_time: Cycle(1),
+            message_bits: 48,
+        })
+    }
+
+    /// Processor count.
+    pub fn processors(&self) -> usize {
+        self.n
+    }
+
+    /// Hypercube dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Runs a front-end program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message endpoint is out of range.
+    pub fn run(&mut self, program: &[CmInstr]) -> CmStats {
+        let mut stats = CmStats::default();
+        for instr in program {
+            match instr {
+                CmInstr::Compute { bit_ops } => {
+                    stats.compute_cycles += self.alu_bit_time.saturating_mul(*bit_ops);
+                }
+                CmInstr::Route { messages } => {
+                    let (rounds, ideal) = self.route(messages);
+                    stats.messages += messages.len() as u64;
+                    stats.route_rounds += rounds;
+                    stats.ideal_rounds += ideal;
+                    stats.comm_cycles += self
+                        .route_bit_time
+                        .saturating_mul(self.message_bits)
+                        .saturating_mul(rounds);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Dimension-order store-and-forward routing, one message per
+    /// directed link per round. Returns (rounds, conflict-free minimum).
+    fn route(&self, messages: &[(usize, usize)]) -> (u64, u64) {
+        #[derive(Debug)]
+        struct Msg {
+            cur: usize,
+            dst: usize,
+        }
+        let mut msgs: Vec<Msg> = messages
+            .iter()
+            .map(|&(s, d)| {
+                assert!(s < self.n && d < self.n, "message endpoint out of range");
+                Msg { cur: s, dst: d }
+            })
+            .collect();
+        let ideal = msgs
+            .iter()
+            .map(|m| (m.cur ^ m.dst).count_ones() as u64)
+            .max()
+            .unwrap_or(0);
+
+        let mut rounds = 0u64;
+        loop {
+            let mut pending = false;
+            let mut used: HashSet<(usize, usize)> = HashSet::new();
+            let mut moved = false;
+            for m in &mut msgs {
+                if m.cur == m.dst {
+                    continue;
+                }
+                pending = true;
+                let dim = (m.cur ^ m.dst).trailing_zeros() as usize;
+                if used.insert((m.cur, dim)) {
+                    m.cur ^= 1 << dim;
+                    moved = true;
+                }
+            }
+            if !pending {
+                break;
+            }
+            rounds += 1;
+            debug_assert!(moved, "router made no progress");
+        }
+        (rounds, ideal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_free_permutation_routes_at_distance() {
+        // Each PE sends to its complement: distance dim, and since all
+        // messages cross dimensions in the same order, there are heavy
+        // conflicts only when paths share links; complement permutation
+        // is link-disjoint per round.
+        let mut cm = ConnectionMachine::new(4).unwrap();
+        let msgs: Vec<(usize, usize)> = (0..16).map(|p| (p, p ^ 0xF)).collect();
+        let s = cm.run(&[CmInstr::Route { messages: msgs }]);
+        assert_eq!(s.ideal_rounds, 4);
+        assert_eq!(s.route_rounds, 4, "complement permutation is conflict-free");
+        assert_eq!(s.congestion(), 1.0);
+    }
+
+    #[test]
+    fn hot_spot_congests_router() {
+        // Everyone sends to PE 0: last hop serializes.
+        let mut cm = ConnectionMachine::new(5).unwrap();
+        let msgs: Vec<(usize, usize)> = (1..32).map(|p| (p, 0)).collect();
+        let s = cm.run(&[CmInstr::Route { messages: msgs }]);
+        assert!(s.route_rounds >= 31 / 5, "rounds = {}", s.route_rounds);
+        assert!(s.congestion() > 1.0, "congestion = {}", s.congestion());
+    }
+
+    #[test]
+    fn communication_dominates_on_pointer_chasing() {
+        // A graph-exploration step: 32 bits of compute, one full routing
+        // phase. The paper's claim: ALU time is insignificant.
+        let mut cm = ConnectionMachine::new(8).unwrap();
+        let n = cm.processors();
+        let mut program = Vec::new();
+        for round in 0..10 {
+            program.push(CmInstr::Compute { bit_ops: 32 });
+            let shift = 1 + round * 37;
+            program.push(CmInstr::Route {
+                messages: (0..n).map(|p| (p, (p * 31 + shift) % n)).collect(),
+            });
+        }
+        let s = cm.run(&program);
+        assert!(
+            s.comm_fraction() > 0.85,
+            "comm fraction = {}",
+            s.comm_fraction()
+        );
+    }
+
+    #[test]
+    fn compute_only_is_all_alu() {
+        let mut cm = ConnectionMachine::new(3).unwrap();
+        let s = cm.run(&[CmInstr::Compute { bit_ops: 100 }]);
+        assert_eq!(s.comm_fraction(), 0.0);
+        assert_eq!(s.total(), Cycle(100));
+        assert_eq!(s.congestion(), 1.0);
+    }
+
+    #[test]
+    fn empty_route_is_free() {
+        let mut cm = ConnectionMachine::new(3).unwrap();
+        let s = cm.run(&[CmInstr::Route { messages: vec![] }]);
+        assert_eq!(s.comm_cycles, Cycle::ZERO);
+        assert_eq!(s.messages, 0);
+    }
+
+    #[test]
+    fn self_messages_deliver_instantly() {
+        let mut cm = ConnectionMachine::new(3).unwrap();
+        let s = cm.run(&[CmInstr::Route {
+            messages: (0..8).map(|p| (p, p)).collect(),
+        }]);
+        assert_eq!(s.route_rounds, 0);
+    }
+
+    #[test]
+    fn bad_dim_rejected() {
+        assert!(ConnectionMachine::new(0).is_err());
+        assert!(ConnectionMachine::new(21).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let mut cm = ConnectionMachine::new(3).unwrap();
+        let _ = cm.run(&[CmInstr::Route { messages: vec![(0, 99)] }]);
+    }
+}

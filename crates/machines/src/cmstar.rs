@@ -1,0 +1,250 @@
+//! Cm*: the hierarchical cluster machine that idles on remote references
+//! (§1.2.2).
+
+use ttda_net::{ClusterLevel, ClusterTree, Fabric, FabricConfig, NodeId, Topology};
+use ttda_sim::Cycle;
+use ttda_vn::{Core, CoreError, MemRef, RunConfig};
+
+use crate::smp::{Smp, SmpStats};
+
+/// Configuration for a [`CmStar`] machine.
+#[derive(Debug, Clone)]
+pub struct CmStarConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Computer modules per cluster (Cm* grew to 5 clusters × 10 LSI-11s).
+    pub per_cluster: usize,
+    /// Local memory access time (the "1" of the 1:3:9 ratio).
+    pub local_access: Cycle,
+    /// Words of address space owned by each computer module.
+    pub words_per_module: usize,
+    /// Kmap / intercluster link queueing.
+    pub fabric: FabricConfig,
+    /// Processor timing.
+    pub run: RunConfig,
+}
+
+impl Default for CmStarConfig {
+    fn default() -> Self {
+        CmStarConfig {
+            clusters: 4,
+            per_cluster: 8,
+            local_access: Cycle(3),
+            words_per_module: 1 << 12,
+            fabric: FabricConfig {
+                link_service: Cycle(2),
+                switch_delay: Cycle(1),
+                injection_delay: Cycle(0),
+            },
+            run: RunConfig::default(),
+        }
+    }
+}
+
+struct CmStarModel {
+    fabric: Fabric<ClusterTree>,
+    local_access: Cycle,
+    words_per_module: usize,
+    refs: [u64; 3], // local / intra / inter counters
+}
+
+impl crate::smp::LatencyModel for CmStarModel {
+    fn latency(&mut self, proc: usize, r: &MemRef, now: Cycle) -> Cycle {
+        let home = NodeId((r.addr.0 / self.words_per_module) % self.fabric.topology().ports());
+        let level = self.fabric.topology().level(NodeId(proc), home);
+        match level {
+            ClusterLevel::Local => {
+                self.refs[0] += 1;
+                self.local_access
+            }
+            lvl => {
+                self.refs[if lvl == ClusterLevel::IntraCluster { 1 } else { 2 }] += 1;
+                // Request travels through the Kmap hierarchy, memory is
+                // accessed, the response mirrors the path. The processor
+                // idles the whole time — "any processor making a nonlocal
+                // memory reference would idle until the reference was
+                // completed".
+                let arrive = self.fabric.send(now, NodeId(proc), home);
+                let served = arrive + self.local_access;
+                let one_way = arrive - now;
+                (served - now) + one_way
+            }
+        }
+    }
+}
+
+/// The Cm* machine: blocking LSI-11-style processors, per-module local
+/// memory, Kmap-mediated nonlocal references at the published latency
+/// ratios.
+///
+/// Address `a` is *local* to processor `a / words_per_module`; workloads
+/// lay out their data to give each processor a local partition, exactly
+/// as Cm* programmers had to.
+///
+/// # Example
+///
+/// ```
+/// use ttda_machines::{CmStar, CmStarConfig};
+/// use ttda_vn::{Core, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.load(Reg(1), Reg(0), 0).halt(); // one local reference
+/// let prog = b.build()?;
+/// let cfg = CmStarConfig { clusters: 2, per_cluster: 2, ..CmStarConfig::default() };
+/// let mut m = CmStar::new(vec![Core::new(prog); 4], cfg);
+/// let stats = m.run()?;
+/// assert!(stats.completed);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CmStar {
+    smp: Smp,
+    config: CmStarConfig,
+    ref_mix: [u64; 3],
+}
+
+impl CmStar {
+    /// Builds the machine. Each core's register `r31` is preloaded with
+    /// the base address of its local partition, so programs can address
+    /// local data relative to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores.len() != clusters * per_cluster`.
+    pub fn new(mut cores: Vec<Core>, config: CmStarConfig) -> Self {
+        let n = config.clusters * config.per_cluster;
+        assert_eq!(cores.len(), n, "one core per computer module");
+        for (p, c) in cores.iter_mut().enumerate() {
+            c.set_reg(ttda_vn::Reg(31), (p * config.words_per_module) as i64);
+        }
+        let mem = ttda_vn::FlatMemory::new(n * config.words_per_module);
+        CmStar {
+            smp: Smp::new(cores, mem, config.run),
+            config,
+            ref_mix: [0; 3],
+        }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.config.clusters * self.config.per_cluster
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from any processor.
+    pub fn run(&mut self) -> Result<SmpStats, CoreError> {
+        let tree = ClusterTree::new(self.config.clusters, self.config.per_cluster)
+            .expect("validated sizes");
+        let mut model = CmStarModel {
+            fabric: Fabric::new(tree, self.config.fabric),
+            local_access: self.config.local_access,
+            words_per_module: self.config.words_per_module,
+            refs: [0; 3],
+        };
+        let stats = self.smp.run(&mut model)?;
+        self.ref_mix = model.refs;
+        Ok(stats)
+    }
+
+    /// `(local, intra-cluster, inter-cluster)` reference counts from the
+    /// last run.
+    pub fn reference_mix(&self) -> (u64, u64, u64) {
+        (self.ref_mix[0], self.ref_mix[1], self.ref_mix[2])
+    }
+
+    /// Post-run core access.
+    pub fn core(&self, proc: usize) -> &Core {
+        self.smp.core(proc)
+    }
+
+    /// Post-run memory access.
+    pub fn memory_mut(&mut self) -> &mut ttda_vn::FlatMemory {
+        self.smp.memory_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttda_vn::{AluOp, Cond, ProgramBuilder, Reg};
+
+    /// Reads `k` words starting at absolute address in r30.
+    fn reader(k: i64) -> ttda_vn::Program {
+        let (i, n, t) = (Reg(2), Reg(3), Reg(4));
+        let mut b = ProgramBuilder::new();
+        b.li(i, 0).li(n, k);
+        b.label("l");
+        b.alu(AluOp::Add, t, Reg(30), i);
+        b.load(t, t, 0);
+        b.alui(AluOp::Add, i, i, 1);
+        b.branch(Cond::Lt, i, n, "l");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn machine_with_target(target_of: impl Fn(usize) -> i64, k: i64) -> CmStar {
+        let cfg = CmStarConfig {
+            clusters: 2,
+            per_cluster: 2,
+            words_per_module: 64,
+            ..CmStarConfig::default()
+        };
+        let cores: Vec<Core> = (0..4)
+            .map(|p| {
+                let mut c = Core::new(reader(k));
+                c.set_reg(Reg(30), target_of(p));
+                c
+            })
+            .collect();
+        CmStar::new(cores, cfg)
+    }
+
+    #[test]
+    fn local_references_fastest() {
+        // All local.
+        let mut local = machine_with_target(|p| (p * 64) as i64, 20);
+        let t_local = local.run().unwrap().cycles;
+        assert_eq!(local.reference_mix().0, 80);
+
+        // All intra-cluster (neighbor module).
+        let mut intra = machine_with_target(|p| ((p ^ 1) * 64) as i64, 20);
+        let t_intra = intra.run().unwrap().cycles;
+        assert_eq!(intra.reference_mix().1, 80);
+
+        // All inter-cluster (other cluster).
+        let mut inter = machine_with_target(|p| (((p + 2) % 4) * 64) as i64, 20);
+        let t_inter = inter.run().unwrap().cycles;
+        assert_eq!(inter.reference_mix().2, 80);
+
+        assert!(t_local < t_intra, "{t_local} !< {t_intra}");
+        assert!(t_intra < t_inter, "{t_intra} !< {t_inter}");
+        // The published shape: inter is several times local.
+        assert!(t_inter.as_u64() > 3 * t_local.as_u64());
+    }
+
+    #[test]
+    fn remote_utilization_collapses() {
+        let mut local = machine_with_target(|p| (p * 64) as i64, 30);
+        let u_local = local.run().unwrap().utilization();
+        let mut inter = machine_with_target(|p| (((p + 2) % 4) * 64) as i64, 30);
+        let u_inter = inter.run().unwrap().utilization();
+        assert!(u_inter < u_local / 2.0, "u_local={u_local} u_inter={u_inter}");
+    }
+
+    #[test]
+    fn base_register_preloaded() {
+        let m = machine_with_target(|_| 0, 1);
+        assert_eq!(m.core(1).reg(Reg(31)), 64);
+        assert_eq!(m.procs(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one core per computer module")]
+    fn wrong_core_count_panics() {
+        let cfg = CmStarConfig { clusters: 2, per_cluster: 2, ..CmStarConfig::default() };
+        let _ = CmStar::new(vec![Core::new(reader(1)); 3], cfg);
+    }
+}

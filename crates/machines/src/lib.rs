@@ -1,0 +1,43 @@
+//! The surveyed von Neumann multiprocessors (§1.2).
+//!
+//! Each machine the paper examines is reproduced as a timing model built
+//! from the `ttda-vn` processor, the `ttda-net` networks and the
+//! `ttda-mem` memories, parameterized to the organization the paper
+//! describes:
+//!
+//! - [`Cmmp`] — §1.2.1: PDP-11s on a crossbar into shared memory, with
+//!   *optional* per-processor caches (the option C.mmp shipped without:
+//!   "the reason is, quite simply, the cache coherence problem");
+//! - [`CmStar`] — §1.2.2: a cluster hierarchy whose processors *idle*
+//!   for the full duration of any nonlocal reference, putting "an upper
+//!   limit on the number of processors that could cooperate";
+//! - [`Ultra`] — §1.2.3: the NYU Ultracomputer's omega network with
+//!   combining FETCH-AND-ADD switches (and a non-combining mode to show
+//!   what the combining buys);
+//! - [`Vliw`] — §1.2.4: an ELI-512-style wide-word machine whose
+//!   compile-time schedule cannot tolerate dynamic memory latency;
+//! - [`ConnectionMachine`] — §1.2.5: 2^k 1-bit SIMD processors on a
+//!   grid + hypercube router, where "a processor will spend almost all
+//!   (90%?, 99%?) of its time communicating".
+//!
+//! The common substrate is [`Smp`], an event-driven interleaver for
+//! shared-memory machines with pluggable per-reference latency models.
+
+#![warn(missing_docs)]
+
+mod cm;
+mod cmmp;
+mod cmstar;
+mod smp;
+mod ultra;
+mod vliw;
+
+pub use cm::{CmInstr, CmStats, ConnectionMachine};
+pub use cmmp::{Cmmp, CmmpConfig};
+pub use cmstar::{CmStar, CmStarConfig};
+pub use smp::{LatencyModel, Smp, SmpStats};
+pub use ultra::{Ultra, UltraConfig, UltraStats};
+pub use vliw::{
+    branchy_kernel, memory_chain_kernel, regular_kernel, DepGraph, OpKind, Schedule, Vliw,
+    VliwStats,
+};

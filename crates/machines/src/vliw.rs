@@ -1,0 +1,351 @@
+//! A VLIW machine in the ELI-512 mold (§1.2.4).
+//!
+//! "A smart compiler ... is able to fold many parallel operations into a
+//! single machine cycle." The model has two halves: a **list scheduler**
+//! that packs a dependence DAG into wide instruction words at compile
+//! time, and an **executor** that replays the schedule — stalling the
+//! *entire machine* whenever a memory operation takes longer than the
+//! compiler assumed, because a lockstep horizontal architecture has no
+//! way to slip one operation. That stall behaviour is exactly the
+//! paper's charge: these machines "are not suited at all to ... anything
+//! which relies on the ability to efficiently switch contexts".
+
+use ttda_sim::{Cycle, SimRng};
+
+/// The operation classes the scheduler distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Register-to-register arithmetic: always the compiler's assumed
+    /// latency.
+    Alu,
+    /// A memory reference: the compiler schedules it at the *hit*
+    /// latency; at run time it may miss.
+    Mem,
+    /// A control transfer: at most one per word (the jump mechanism
+    /// is shared), which limits packing of branchy code.
+    Branch,
+}
+
+/// A dependence DAG of operations to schedule.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    kinds: Vec<OpKind>,
+    deps: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation depending on earlier ops; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is not smaller than the new op's id
+    /// (the graph must be topologically constructed).
+    pub fn op(&mut self, kind: OpKind, deps: &[usize]) -> usize {
+        let id = self.kinds.len();
+        assert!(deps.iter().all(|&d| d < id), "deps must precede the op");
+        self.kinds.push(kind);
+        self.deps.push(deps.to_vec());
+        id
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+/// A compiled schedule: one `Vec<usize>` of op ids per long instruction
+/// word.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The long instruction words, in issue order.
+    pub words: Vec<Vec<usize>>,
+    kinds: Vec<OpKind>,
+}
+
+impl Schedule {
+    /// Instruction-level parallelism achieved: ops per word.
+    pub fn ilp(&self) -> f64 {
+        if self.words.is_empty() {
+            0.0
+        } else {
+            self.kinds.len() as f64 / self.words.len() as f64
+        }
+    }
+}
+
+/// What an execution replay measured.
+#[derive(Debug, Clone, Copy)]
+pub struct VliwStats {
+    /// Total cycles including stalls.
+    pub cycles: Cycle,
+    /// Cycles lost to memory-miss stalls (the whole machine waits).
+    pub stall_cycles: Cycle,
+    /// Words issued.
+    pub words: u64,
+    /// Achieved operations per cycle.
+    pub ops_per_cycle: f64,
+}
+
+/// The machine: issue width, per-word branch limit, and timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Vliw {
+    /// Functional-unit slots per long word (ELI-512 had 16 clusters).
+    pub width: usize,
+    /// Branches per word.
+    pub max_branches: usize,
+    /// The latency the compiler assumes for every memory op (a hit).
+    pub mem_hit: Cycle,
+    /// Extra cycles a miss costs at run time (whole-machine stall).
+    pub miss_penalty: Cycle,
+}
+
+impl Default for Vliw {
+    fn default() -> Self {
+        Vliw {
+            width: 16,
+            max_branches: 1,
+            mem_hit: Cycle(1),
+            miss_penalty: Cycle(20),
+        }
+    }
+}
+
+impl Vliw {
+    /// Greedy list scheduling: each word takes as many ready ops as the
+    /// width (and branch limit) allow; an op is ready once all its
+    /// dependencies have issued in *earlier* words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn schedule(&self, g: &DepGraph) -> Schedule {
+        assert!(self.width > 0, "zero-width machine");
+        let n = g.len();
+        let mut issued = vec![false; n];
+        let mut word_of = vec![usize::MAX; n];
+        let mut words: Vec<Vec<usize>> = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let wi = words.len();
+            let mut word = Vec::new();
+            let mut branches = 0;
+            for op in 0..n {
+                if issued[op] || word.len() >= self.width {
+                    continue;
+                }
+                if g.deps[op].iter().any(|&d| !issued[d] || word_of[d] == wi) {
+                    continue;
+                }
+                if g.kinds[op] == OpKind::Branch {
+                    if branches >= self.max_branches {
+                        continue;
+                    }
+                    branches += 1;
+                }
+                issued[op] = true;
+                word_of[op] = wi;
+                word.push(op);
+                remaining -= 1;
+            }
+            assert!(!word.is_empty(), "cyclic dependence graph");
+            words.push(word);
+        }
+        Schedule {
+            words,
+            kinds: g.kinds.clone(),
+        }
+    }
+
+    /// Replays a schedule with run-time memory behaviour: each memory op
+    /// misses with probability `p_miss`, and any miss in a word stalls
+    /// the whole machine for the penalty (misses in one word overlap —
+    /// the memory system is pipelined; the *machine* is not).
+    pub fn execute(&self, s: &Schedule, p_miss: f64, rng: &mut SimRng) -> VliwStats {
+        let mut cycles = Cycle::ZERO;
+        let mut stalls = Cycle::ZERO;
+        for word in &s.words {
+            cycles += Cycle(1);
+            let mut word_mem = Cycle::ZERO;
+            for &op in word {
+                if s.kinds[op] == OpKind::Mem {
+                    let extra = if rng.chance(p_miss) {
+                        self.mem_hit + self.miss_penalty
+                    } else {
+                        self.mem_hit
+                    };
+                    word_mem = word_mem.max(extra);
+                }
+            }
+            // The compiler budgeted mem_hit into the pipeline; anything
+            // beyond it is a stall.
+            let over = word_mem.saturating_sub(self.mem_hit);
+            stalls += over;
+            cycles += over;
+        }
+        let total_ops = s.kinds.len() as f64;
+        VliwStats {
+            cycles,
+            stall_cycles: stalls,
+            words: s.words.len() as u64,
+            ops_per_cycle: if cycles == Cycle::ZERO {
+                0.0
+            } else {
+                total_ops / cycles.as_u64() as f64
+            },
+        }
+    }
+}
+
+/// A regular numeric kernel: `chains` independent chains of
+/// `ops_per_chain` dependent ALU ops fed by one load each — unrolled
+/// loop bodies, the workload VLIW thrives on.
+pub fn regular_kernel(chains: usize, ops_per_chain: usize) -> DepGraph {
+    let mut g = DepGraph::new();
+    for _ in 0..chains {
+        let mut prev = g.op(OpKind::Mem, &[]);
+        for _ in 0..ops_per_chain {
+            prev = g.op(OpKind::Alu, &[prev]);
+        }
+    }
+    g
+}
+
+/// A pointer-chasing kernel: `chains` independent chains of `loads`
+/// *dependent* memory operations each — the workload where a static
+/// schedule meets dynamic latency head-on.
+pub fn memory_chain_kernel(chains: usize, loads: usize) -> DepGraph {
+    let mut g = DepGraph::new();
+    for _ in 0..chains {
+        let mut prev: Option<usize> = None;
+        for _ in 0..loads {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(g.op(OpKind::Mem, &deps));
+        }
+    }
+    g
+}
+
+/// Irregular, branchy code: a serial chain where every other op is a
+/// data-dependent branch — the workload the paper says these machines
+/// cannot handle.
+pub fn branchy_kernel(length: usize) -> DepGraph {
+    let mut g = DepGraph::new();
+    let mut prev = None;
+    for i in 0..length {
+        let kind = if i % 2 == 0 { OpKind::Alu } else { OpKind::Branch };
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(g.op(kind, &deps));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_respects_dependences() {
+        let mut g = DepGraph::new();
+        let a = g.op(OpKind::Alu, &[]);
+        let b = g.op(OpKind::Alu, &[a]);
+        let c = g.op(OpKind::Alu, &[a]);
+        let d = g.op(OpKind::Alu, &[b, c]);
+        let s = Vliw::default().schedule(&g);
+        let word_of = |op: usize| s.words.iter().position(|w| w.contains(&op)).unwrap();
+        assert!(word_of(a) < word_of(b));
+        assert!(word_of(a) < word_of(c));
+        assert!(word_of(d) > word_of(b));
+        assert!(word_of(d) > word_of(c));
+        assert_eq!(word_of(b), word_of(c), "independent ops pack together");
+    }
+
+    #[test]
+    fn regular_code_achieves_high_ilp() {
+        let g = regular_kernel(16, 8);
+        let m = Vliw { width: 16, ..Vliw::default() };
+        let s = m.schedule(&g);
+        assert!(s.ilp() > 8.0, "ilp = {}", s.ilp());
+    }
+
+    #[test]
+    fn branchy_code_achieves_no_ilp() {
+        let g = branchy_kernel(40);
+        let m = Vliw { width: 16, ..Vliw::default() };
+        let s = m.schedule(&g);
+        assert!(s.ilp() < 1.5, "ilp = {}", s.ilp());
+    }
+
+    #[test]
+    fn branch_limit_constrains_packing() {
+        // 8 independent branches: width would allow one word, the branch
+        // unit forces 8.
+        let mut g = DepGraph::new();
+        for _ in 0..8 {
+            g.op(OpKind::Branch, &[]);
+        }
+        let m = Vliw { width: 16, max_branches: 1, ..Vliw::default() };
+        assert_eq!(m.schedule(&g).words.len(), 8);
+        let m2 = Vliw { width: 16, max_branches: 4, ..Vliw::default() };
+        assert_eq!(m2.schedule(&g).words.len(), 2);
+    }
+
+    #[test]
+    fn misses_stall_the_whole_machine() {
+        // Dependent loads: every word contains memory ops, so every miss
+        // stalls the lockstep machine with nothing to overlap.
+        let g = memory_chain_kernel(8, 8);
+        let m = Vliw::default();
+        let s = m.schedule(&g);
+        let mut rng = SimRng::seed(42);
+        let hit = m.execute(&s, 0.0, &mut rng);
+        assert_eq!(hit.stall_cycles, Cycle::ZERO);
+        let mut rng = SimRng::seed(42);
+        let miss = m.execute(&s, 1.0, &mut rng);
+        assert!(
+            miss.cycles > hit.cycles.saturating_mul(5),
+            "hit={} miss={}",
+            hit.cycles,
+            miss.cycles
+        );
+        assert!(miss.ops_per_cycle < hit.ops_per_cycle / 5.0);
+    }
+
+    #[test]
+    fn stats_consistent() {
+        let g = regular_kernel(4, 4);
+        let m = Vliw::default();
+        let s = m.schedule(&g);
+        let mut rng = SimRng::seed(1);
+        let st = m.execute(&s, 0.3, &mut rng);
+        assert_eq!(st.words as usize, s.words.len());
+        assert!(st.cycles >= Cycle(st.words));
+        assert_eq!(st.cycles.saturating_sub(st.stall_cycles), Cycle(st.words));
+    }
+
+    #[test]
+    fn empty_graph_schedules_empty() {
+        let g = DepGraph::new();
+        let s = Vliw::default().schedule(&g);
+        assert!(s.words.is_empty());
+        assert_eq!(s.ilp(), 0.0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "deps must precede")]
+    fn forward_dep_panics() {
+        let mut g = DepGraph::new();
+        g.op(OpKind::Alu, &[5]);
+    }
+}

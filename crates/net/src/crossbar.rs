@@ -1,0 +1,118 @@
+//! The C.mmp-style processor–memory crossbar.
+
+use crate::topology::{check_node, LinkId, NodeId, Topology, TopologyError};
+
+/// A full crossbar connecting `n` ports, as in C.mmp's 16×16 switch.
+///
+/// Each transfer occupies the source's input link and the destination's
+/// output link, so concurrent transfers to *different* destinations never
+/// interfere — the defining property of a crossbar — while transfers to
+/// the same destination port serialize (memory-port contention).
+///
+/// The paper's critique of this organization is economic, not functional:
+/// "the cost of building a larger switch which maintains the same
+/// performance level grows at least quadratically" (§1.2.1).
+/// [`Crossbar::hardware_cost`] exposes that n² crosspoint count so the
+/// scaling experiments can report it alongside performance.
+///
+/// # Example
+///
+/// ```
+/// use ttda_net::{Crossbar, NodeId, Topology};
+///
+/// let xbar = Crossbar::new(16).unwrap();
+/// assert_eq!(xbar.hops(NodeId(0), NodeId(9)).unwrap(), 2); // in-link + out-link
+/// assert_eq!(xbar.hardware_cost(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    ports: usize,
+}
+
+impl Crossbar {
+    /// Creates an `n`-port crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if `ports == 0`.
+    pub fn new(ports: usize) -> Result<Self, TopologyError> {
+        if ports == 0 {
+            return Err(TopologyError::InvalidParameter(
+                "crossbar needs at least one port".into(),
+            ));
+        }
+        Ok(Crossbar { ports })
+    }
+
+    /// Number of crosspoints: the n² figure behind the paper's
+    /// quadratic-cost remark.
+    pub fn hardware_cost(&self) -> u64 {
+        (self.ports as u64) * (self.ports as u64)
+    }
+}
+
+impl Topology for Crossbar {
+    fn ports(&self) -> usize {
+        self.ports
+    }
+
+    // Links 0..n are input (source) links; n..2n are output (dest) links.
+    fn links(&self) -> usize {
+        2 * self.ports
+    }
+
+    fn route(&self, from: NodeId, to: NodeId, path: &mut Vec<LinkId>) -> Result<(), TopologyError> {
+        check_node(from, self.ports)?;
+        check_node(to, self.ports)?;
+        if from != to {
+            path.push(LinkId(from.0));
+            path.push(LinkId(self.ports + to.0));
+        }
+        Ok(())
+    }
+
+    fn diameter(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+    use ttda_sim::Cycle;
+
+    #[test]
+    fn distinct_destinations_do_not_interfere() {
+        let mut f = Fabric::new(Crossbar::new(4).unwrap(), FabricConfig::default());
+        let a = f.send(Cycle(0), NodeId(0), NodeId(2));
+        let b = f.send(Cycle(0), NodeId(1), NodeId(3));
+        assert_eq!(a, b, "disjoint crossbar paths must be conflict-free");
+    }
+
+    #[test]
+    fn same_destination_serializes() {
+        let mut f = Fabric::new(Crossbar::new(4).unwrap(), FabricConfig::default());
+        let a = f.send(Cycle(0), NodeId(0), NodeId(2));
+        let b = f.send(Cycle(0), NodeId(1), NodeId(2));
+        assert!(b > a, "memory-port contention must serialize");
+    }
+
+    #[test]
+    fn cost_grows_quadratically() {
+        assert_eq!(Crossbar::new(4).unwrap().hardware_cost(), 16);
+        assert_eq!(Crossbar::new(8).unwrap().hardware_cost(), 64);
+        assert_eq!(Crossbar::new(16).unwrap().hardware_cost(), 256);
+    }
+
+    #[test]
+    fn zero_ports_rejected() {
+        assert!(Crossbar::new(0).is_err());
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let x = Crossbar::new(2).unwrap();
+        assert_eq!(x.hops(NodeId(1), NodeId(1)).unwrap(), 0);
+    }
+}

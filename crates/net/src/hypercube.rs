@@ -1,0 +1,332 @@
+//! The Section-3 emulation facility's hypercube network.
+
+use std::collections::VecDeque;
+
+use crate::topology::{check_node, LinkId, NodeId, Topology, TopologyError};
+
+const NO_ROUTE: u8 = u8::MAX;
+
+/// A `d`-dimensional binary hypercube with **table-based routing**,
+/// link-fault tolerance and static partitioning.
+///
+/// This models the packet-communication network of the paper's Section 3
+/// testbed: "The network topology will be a seven dimensional hypercube
+/// ... Each switch module also includes a routing table which allows the
+/// experimenter to specify any emulated topology ... The hardware has the
+/// capability of exploiting the redundancy in the hypercube network for
+/// message routing and for fault tolerance. Table-based routing also
+/// allows the facility to be statically partitioned into two or more
+/// smaller emulation machines."
+///
+/// Concretely:
+///
+/// - every node holds a routing table (`next dimension` per destination),
+///   initialized to dimension-order routes;
+/// - [`Hypercube::fail_link`] removes a (bidirectional) link and rebuilds
+///   the tables by breadth-first search, exploiting the cube's `d`
+///   edge-disjoint paths to route around the fault;
+/// - [`Hypercube::partition`] restricts a node to a subcube (fixed high
+///   address bits), after which routes never leave the partition — two
+///   partitions are fully independent emulation machines.
+///
+/// # Example
+///
+/// ```
+/// use ttda_net::{Hypercube, NodeId, Topology};
+///
+/// let mut cube = Hypercube::new(7).unwrap(); // the testbed's 128 nodes
+/// assert_eq!(cube.ports(), 128);
+/// assert_eq!(cube.hops(NodeId(0), NodeId(127)).unwrap(), 7);
+///
+/// // Kill a link on the default path; routing reroutes one hop longer.
+/// cube.fail_link(NodeId(0), NodeId(1)).unwrap();
+/// assert_eq!(cube.hops(NodeId(0), NodeId(1)).unwrap(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    dim: usize,
+    n: usize,
+    /// `table[from * n + to]` = dimension of the next hop, or `NO_ROUTE`.
+    table: Vec<u8>,
+    /// `dead[node * dim + d]` marks the directed link as failed.
+    dead: Vec<bool>,
+    /// Partition id per node; routes must stay within one id.
+    part: Vec<u32>,
+}
+
+impl Hypercube {
+    /// Creates a `d`-dimensional hypercube (`2^d` nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] unless `1 <= d <= 16`.
+    pub fn new(dim: usize) -> Result<Self, TopologyError> {
+        if dim == 0 || dim > 16 {
+            return Err(TopologyError::InvalidParameter(format!(
+                "hypercube dimension must be in 1..=16, got {dim}"
+            )));
+        }
+        let n = 1usize << dim;
+        let mut cube = Hypercube {
+            dim,
+            n,
+            table: vec![NO_ROUTE; n * n],
+            dead: vec![false; n * dim],
+            part: vec![0; n],
+        };
+        cube.rebuild_tables();
+        Ok(cube)
+    }
+
+    /// The cube's dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The neighbor of `node` across dimension `d`.
+    pub fn neighbor(&self, node: NodeId, d: usize) -> NodeId {
+        NodeId(node.0 ^ (1 << d))
+    }
+
+    /// Marks the link between two adjacent nodes as failed (both
+    /// directions) and rebuilds all routing tables around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if the nodes are not
+    /// hypercube neighbors, or a range error for bad nodes.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let d = self.adjacent_dim(a, b)?;
+        self.dead[a.0 * self.dim + d] = true;
+        self.dead[b.0 * self.dim + d] = true;
+        self.rebuild_tables();
+        Ok(())
+    }
+
+    /// Restores a previously failed link and rebuilds the tables.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hypercube::fail_link`].
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let d = self.adjacent_dim(a, b)?;
+        self.dead[a.0 * self.dim + d] = false;
+        self.dead[b.0 * self.dim + d] = false;
+        self.rebuild_tables();
+        Ok(())
+    }
+
+    /// Number of currently failed (bidirectional) links.
+    pub fn failed_links(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count() / 2
+    }
+
+    /// Statically partitions the machine into `2^split_dims` independent
+    /// subcubes distinguished by their high address bits. Routes never
+    /// cross a partition boundary afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] if `split_dims > dim`.
+    pub fn partition(&mut self, split_dims: usize) -> Result<(), TopologyError> {
+        if split_dims > self.dim {
+            return Err(TopologyError::InvalidParameter(format!(
+                "cannot split {split_dims} dims of a {}-cube",
+                self.dim
+            )));
+        }
+        let low = self.dim - split_dims;
+        for node in 0..self.n {
+            self.part[node] = (node >> low) as u32;
+        }
+        self.rebuild_tables();
+        Ok(())
+    }
+
+    /// Removes any partitioning, restoring one whole machine.
+    pub fn unpartition(&mut self) {
+        self.part.iter_mut().for_each(|p| *p = 0);
+        self.rebuild_tables();
+    }
+
+    /// The partition id a node currently belongs to.
+    pub fn partition_of(&self, node: NodeId) -> Option<u32> {
+        self.part.get(node.0).copied()
+    }
+
+    fn adjacent_dim(&self, a: NodeId, b: NodeId) -> Result<usize, TopologyError> {
+        check_node(a, self.n)?;
+        check_node(b, self.n)?;
+        let x = a.0 ^ b.0;
+        if x.count_ones() == 1 {
+            Ok(x.trailing_zeros() as usize)
+        } else {
+            Err(TopologyError::InvalidParameter(format!(
+                "{a} and {b} are not hypercube neighbors"
+            )))
+        }
+    }
+
+    /// Rebuilds every node's routing table by BFS over healthy,
+    /// same-partition links. This is the software analog of the facility's
+    /// microcode recomputing routing tables after a fault.
+    fn rebuild_tables(&mut self) {
+        self.table.iter_mut().for_each(|t| *t = NO_ROUTE);
+        let mut dist = vec![u32::MAX; self.n];
+        let mut first_dim = vec![NO_ROUTE; self.n];
+        let mut queue = VecDeque::new();
+
+        for src in 0..self.n {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            first_dim.iter_mut().for_each(|f| *f = NO_ROUTE);
+            dist[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for d in 0..self.dim {
+                    if self.dead[u * self.dim + d] {
+                        continue;
+                    }
+                    let v = u ^ (1 << d);
+                    if self.part[v] != self.part[src] {
+                        continue;
+                    }
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        first_dim[v] = if u == src { d as u8 } else { first_dim[u] };
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for (dst, &fd) in first_dim.iter().enumerate() {
+                self.table[src * self.n + dst] = fd;
+            }
+        }
+    }
+
+    fn next_dim(&self, from: usize, to: usize) -> Option<usize> {
+        let d = self.table[from * self.n + to];
+        (d != NO_ROUTE).then_some(d as usize)
+    }
+}
+
+impl Topology for Hypercube {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn links(&self) -> usize {
+        self.n * self.dim
+    }
+
+    fn route(&self, from: NodeId, to: NodeId, path: &mut Vec<LinkId>) -> Result<(), TopologyError> {
+        check_node(from, self.n)?;
+        check_node(to, self.n)?;
+        if from == to {
+            return Ok(());
+        }
+        let start = path.len();
+        let mut cur = from.0;
+        // Routing tables could in principle contain a loop after a buggy
+        // rebuild; bound the walk to fail loudly instead of hanging.
+        for _ in 0..2 * self.n {
+            if cur == to.0 {
+                return Ok(());
+            }
+            let Some(d) = self.next_dim(cur, to.0) else {
+                path.truncate(start);
+                return Err(TopologyError::Unreachable { from, to });
+            };
+            path.push(LinkId(cur * self.dim + d));
+            cur ^= 1 << d;
+        }
+        path.truncate(start);
+        Err(TopologyError::Unreachable { from, to })
+    }
+
+    fn diameter(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_routes_are_hamming_distance() {
+        let cube = Hypercube::new(4).unwrap();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let hops = cube.hops(NodeId(a), NodeId(b)).unwrap();
+                assert_eq!(hops, (a ^ b).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn reroutes_around_single_fault() {
+        let mut cube = Hypercube::new(3).unwrap();
+        cube.fail_link(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(cube.failed_links(), 1);
+        // Still reachable, two hops longer than the direct link.
+        assert_eq!(cube.hops(NodeId(0), NodeId(4)).unwrap(), 3);
+        // Unrelated routes unchanged.
+        assert_eq!(cube.hops(NodeId(1), NodeId(3)).unwrap(), 1);
+        cube.restore_link(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(cube.hops(NodeId(0), NodeId(4)).unwrap(), 1);
+    }
+
+    #[test]
+    fn survives_dim_minus_one_faults_on_a_node() {
+        // A d-cube has d edge-disjoint paths between any pair; kill d-1 of
+        // node 0's links and it must still reach everyone.
+        let mut cube = Hypercube::new(4).unwrap();
+        for d in 0..3 {
+            cube.fail_link(NodeId(0), cube.neighbor(NodeId(0), d)).unwrap();
+        }
+        for b in 1..16 {
+            assert!(cube.hops(NodeId(0), NodeId(b)).is_ok(), "node {b} unreachable");
+        }
+    }
+
+    #[test]
+    fn isolating_a_node_yields_unreachable() {
+        let mut cube = Hypercube::new(2).unwrap();
+        cube.fail_link(NodeId(0), NodeId(1)).unwrap();
+        cube.fail_link(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(
+            cube.path(NodeId(0), NodeId(3)),
+            Err(TopologyError::Unreachable {
+                from: NodeId(0),
+                to: NodeId(3)
+            })
+        );
+    }
+
+    #[test]
+    fn partition_isolates_subcubes() {
+        let mut cube = Hypercube::new(3).unwrap();
+        cube.partition(1).unwrap(); // two 4-node machines
+        assert_eq!(cube.partition_of(NodeId(0)), Some(0));
+        assert_eq!(cube.partition_of(NodeId(7)), Some(1));
+        assert!(cube.path(NodeId(0), NodeId(3)).is_ok());
+        assert!(cube.path(NodeId(0), NodeId(4)).is_err());
+        cube.unpartition();
+        assert!(cube.path(NodeId(0), NodeId(4)).is_ok());
+    }
+
+    #[test]
+    fn non_neighbor_fault_rejected() {
+        let mut cube = Hypercube::new(3).unwrap();
+        assert!(cube.fail_link(NodeId(0), NodeId(3)).is_err());
+        assert!(cube.fail_link(NodeId(0), NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn dimension_bounds() {
+        assert!(Hypercube::new(0).is_err());
+        assert!(Hypercube::new(17).is_err());
+        assert_eq!(Hypercube::new(7).unwrap().ports(), 128);
+    }
+}

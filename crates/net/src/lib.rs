@@ -1,0 +1,57 @@
+//! Interconnection-network models for the TTDA suite.
+//!
+//! The paper's abstract multiprocessor (Fig 1-1) interconnects processing
+//! and memory elements through a network whose ports have bounded
+//! bandwidth, and whose latency *grows with machine size*. This crate
+//! provides every network organization the paper discusses:
+//!
+//! - [`Ideal`]: a parametric fixed-latency network (the analytical
+//!   baseline used to sweep latency in Experiment E1);
+//! - [`Crossbar`]: C.mmp's processor–memory crossbar, with its
+//!   quadratically growing hardware cost ([`Crossbar::hardware_cost`]);
+//! - [`ClusterTree`]: Cm*'s hierarchy, with the 1 : k₁ : k₂
+//!   local / intra-cluster / inter-cluster latency ratios;
+//! - [`Omega`]: the NYU Ultracomputer's log-depth multistage network of
+//!   2×2 switches (the combining of FETCH-AND-ADD packets is modelled at
+//!   the machine level on top of this wiring);
+//! - [`Grid2d`]: the Illiac-IV / Connection-Machine end-around grid;
+//! - [`Hypercube`]: the Section-3 emulation facility's hypercube with
+//!   **table-based routing**, static **partitioning**, and **fault
+//!   tolerance** through redundant paths.
+//!
+//! All of them implement [`Topology`] (which yields a hop path between two
+//! nodes) and are driven through [`Fabric`], a deterministic link-queueing
+//! engine that turns paths into contention-aware delivery times.
+//!
+//! # Example
+//!
+//! ```
+//! use ttda_net::{Fabric, FabricConfig, Hypercube, NodeId, Topology};
+//! use ttda_sim::Cycle;
+//!
+//! let cube = Hypercube::new(4).unwrap(); // 16 nodes
+//! assert_eq!(cube.ports(), 16);
+//! let mut fabric = Fabric::new(cube, FabricConfig::default());
+//! let arrival = fabric.send(Cycle(0), NodeId(0), NodeId(15));
+//! assert!(arrival > Cycle(0)); // 4 hops away
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod crossbar;
+mod fabric;
+mod grid;
+mod hypercube;
+mod ideal;
+mod omega;
+mod topology;
+
+pub use cluster::{ClusterLevel, ClusterTree};
+pub use crossbar::Crossbar;
+pub use fabric::{Fabric, FabricConfig, NetStats};
+pub use grid::Grid2d;
+pub use hypercube::Hypercube;
+pub use ideal::Ideal;
+pub use omega::Omega;
+pub use topology::{LinkId, NodeId, Topology, TopologyError};

@@ -1,0 +1,173 @@
+//! The [`Topology`] trait and its vocabulary types.
+
+use std::error::Error;
+use std::fmt;
+
+use ttda_sim::Cycle;
+
+/// Identifies a port (a processing or memory element attachment point) of
+/// a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifies one directed link inside a network; link ids are dense in
+/// `0..Topology::links()` so the [`Fabric`](crate::Fabric) can keep per-link
+/// queue state in a flat vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Errors produced when constructing or routing through a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node index was outside `0..ports()`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of ports in the topology.
+        ports: usize,
+    },
+    /// A constructor parameter was invalid (e.g. zero size).
+    InvalidParameter(String),
+    /// No route exists between the requested endpoints (after faults or
+    /// partitioning).
+    Unreachable {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, ports } => {
+                write!(f, "node {node} out of range for {ports}-port network")
+            }
+            TopologyError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            TopologyError::Unreachable { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// A static interconnection topology.
+///
+/// A topology knows its ports, its directed links, and how to route a
+/// packet between two ports as a sequence of links. The queueing behaviour
+/// of those links — the part that produces *contention* — lives in
+/// [`Fabric`](crate::Fabric), so each topology only has to describe wiring.
+pub trait Topology {
+    /// Number of ports (attachment points for PEs / memory elements).
+    fn ports(&self) -> usize;
+
+    /// Number of directed links; link ids are `0..links()`.
+    fn links(&self) -> usize;
+
+    /// Appends the link path from `from` to `to` onto `path`.
+    ///
+    /// An empty path means the endpoints are co-located (zero network
+    /// traversal), which every topology reports for `from == to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] for invalid endpoints and
+    /// [`TopologyError::Unreachable`] when faults or partitioning have
+    /// disconnected the pair.
+    fn route(&self, from: NodeId, to: NodeId, path: &mut Vec<LinkId>) -> Result<(), TopologyError>;
+
+    /// Propagation latency of one link, *excluding* queueing (default: one
+    /// cycle per hop).
+    fn link_latency(&self, _link: LinkId) -> Cycle {
+        Cycle(1)
+    }
+
+    /// The maximum hop count between any two ports.
+    fn diameter(&self) -> usize;
+
+    /// Convenience: routes and returns a fresh path vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Topology::route`].
+    fn path(&self, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+        let mut p = Vec::new();
+        self.route(from, to, &mut p)?;
+        Ok(p)
+    }
+
+    /// Hop count between two ports.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Topology::route`].
+    fn hops(&self, from: NodeId, to: NodeId) -> Result<usize, TopologyError> {
+        Ok(self.path(from, to)?.len())
+    }
+}
+
+/// Validates that `node` is a legal port index for a `ports`-port network.
+pub(crate) fn check_node(node: NodeId, ports: usize) -> Result<(), TopologyError> {
+    if node.0 < ports {
+        Ok(())
+    } else {
+        Err(TopologyError::NodeOutOfRange { node, ports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(5).to_string(), "l5");
+        let e = TopologyError::NodeOutOfRange {
+            node: NodeId(9),
+            ports: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+        assert!(TopologyError::InvalidParameter("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(TopologyError::Unreachable {
+            from: NodeId(0),
+            to: NodeId(1)
+        }
+        .to_string()
+        .contains("no route"));
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        assert!(check_node(NodeId(0), 1).is_ok());
+        assert!(check_node(NodeId(1), 1).is_err());
+    }
+
+    #[test]
+    fn node_from_usize() {
+        assert_eq!(NodeId::from(7), NodeId(7));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the network models.
+
+use proptest::prelude::*;
+use ttda_net::{
+    ClusterTree, Crossbar, Fabric, FabricConfig, Grid2d, Hypercube, NodeId, Omega, Topology,
+};
+use ttda_sim::Cycle;
+
+fn check_path_links_valid<T: Topology>(topo: &T) {
+    for a in 0..topo.ports() {
+        for b in 0..topo.ports() {
+            let path = topo.path(NodeId(a), NodeId(b)).expect("route");
+            for l in path {
+                assert!(l.0 < topo.links(), "link {l} out of range");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn all_topologies_emit_valid_links(dim in 1usize..5, w in 1usize..5, h in 1usize..5, c in 1usize..4, pc in 1usize..4) {
+        check_path_links_valid(&Hypercube::new(dim).unwrap());
+        check_path_links_valid(&Grid2d::new(w, h).unwrap());
+        check_path_links_valid(&Omega::new(1 << dim).unwrap());
+        check_path_links_valid(&Crossbar::new(w * h).unwrap());
+        check_path_links_valid(&ClusterTree::new(c, pc).unwrap());
+    }
+
+    #[test]
+    fn fabric_arrivals_never_precede_departure(
+        sends in proptest::collection::vec((0u64..100, 0usize..16, 0usize..16), 1..60)
+    ) {
+        let mut f = Fabric::new(Hypercube::new(4).unwrap(), FabricConfig::default());
+        let mut sorted = sends.clone();
+        sorted.sort();
+        for (t, a, b) in sorted {
+            let arrive = f.send(Cycle(t), NodeId(a), NodeId(b));
+            prop_assert!(arrive >= Cycle(t));
+            if a != b {
+                // At least one hop of service + latency + switch.
+                prop_assert!(arrive > Cycle(t));
+            }
+        }
+        prop_assert_eq!(f.stats().packets.get(), sends.len() as u64);
+    }
+
+    #[test]
+    fn contention_only_delays(loads in 1usize..40) {
+        // Sending k packets over the same route: the i-th arrival is
+        // nondecreasing in i, and the first equals the uncontended time.
+        let mut f = Fabric::new(Crossbar::new(4).unwrap(), FabricConfig::default());
+        let solo = f.send(Cycle(0), NodeId(0), NodeId(1));
+        f.reset();
+        let mut last = Cycle::ZERO;
+        for i in 0..loads {
+            let t = f.send(Cycle(0), NodeId(0), NodeId(1));
+            if i == 0 {
+                prop_assert_eq!(t, solo);
+            }
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn hypercube_partition_is_an_equivalence(dim in 2usize..6, split in 0usize..3, a in 0usize..64, b in 0usize..64) {
+        let split = split.min(dim);
+        let n = 1usize << dim;
+        let mut cube = Hypercube::new(dim).unwrap();
+        cube.partition(split).unwrap();
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let same = cube.partition_of(a) == cube.partition_of(b);
+        prop_assert_eq!(cube.path(a, b).is_ok(), same);
+    }
+}

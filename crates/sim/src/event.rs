@@ -1,0 +1,173 @@
+//! The timed event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A deterministic, stable priority queue of `(time, event)` pairs.
+///
+/// Events pop in nondecreasing time order; events scheduled for the *same*
+/// cycle pop in the order they were pushed (FIFO among ties). This
+/// stability is what makes the whole simulation suite deterministic — a
+/// plain `BinaryHeap` over time alone would pop equal-time events in
+/// arbitrary order.
+///
+/// # Example
+///
+/// ```
+/// use ttda_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'x');
+/// q.push(Cycle(1), 'y');
+/// assert_eq!(q.peek_time(), Some(Cycle(1)));
+/// assert_eq!(q.pop(), Some((Cycle(1), 'y')));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    key: Reverse<(Cycle, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| ((e.key.0).0, e.event))
+    }
+
+    /// Returns the time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| (e.key.0).0)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`. Useful for cycle-stepped models that interleave an event
+    /// queue with a per-cycle loop.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), "later");
+        assert_eq!(q.pop_due(Cycle(9)), None);
+        assert_eq!(q.pop_due(Cycle(10)), Some((Cycle(10), "later")));
+        assert_eq!(q.pop_due(Cycle(10)), None);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), ());
+        q.push(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! Aligned text tables for experiment output.
+//!
+//! Every experiment in `ttda-bench` prints its results through [`Table`],
+//! which right-aligns numeric-looking cells and left-aligns text, matching
+//! the rows recorded in `EXPERIMENTS.md`.
+
+use std::fmt;
+
+/// An aligned text table builder.
+///
+/// # Example
+///
+/// ```
+/// use ttda_sim::table::Table;
+///
+/// let mut t = Table::new(&["n", "utilization"]);
+/// t.row(&["4", "0.91"]);
+/// t.row(&["64", "0.17"]);
+/// let s = t.to_string();
+/// assert!(s.contains("utilization"));
+/// assert!(s.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut r: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Appends a row of already-owned strings (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut r = cells;
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < w.len() {
+                    w[i] = w[i].max(c.len());
+                }
+            }
+        }
+        w
+    }
+}
+
+fn looks_numeric(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | '%' | 'x'))
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        // Header.
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{:<width$}", h, width = w[i])?;
+        }
+        writeln!(f)?;
+        // Rule.
+        for (i, width) in w.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}", "-".repeat(*width))?;
+        }
+        writeln!(f)?;
+        // Rows: right-align numeric cells.
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if looks_numeric(c) {
+                    write!(f, "{:>width$}", c, width = w[i])?;
+                } else {
+                    write!(f, "{:<width$}", c, width = w[i])?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a series of nonnegative values as a one-line Unicode
+/// sparkline (8 levels), downsampled to at most `width` columns by
+/// taking the max of each bucket — used to print parallelism profiles.
+pub fn sparkline(values: &[usize], width: usize) -> String {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets: Vec<usize> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        (0..width)
+            .map(|b| {
+                let lo = b * values.len() / width;
+                let hi = ((b + 1) * values.len() / width).max(lo + 1);
+                values[lo..hi.min(values.len())].iter().copied().max().unwrap_or(0)
+            })
+            .collect()
+    };
+    let max = buckets.iter().copied().max().unwrap_or(0).max(1);
+    buckets
+        .iter()
+        .map(|&v| BARS[(v * 7).div_ceil(max).min(7)])
+        .collect()
+}
+
+/// Formats a float with 3 decimal places (the convention used across all
+/// experiment tables).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal place.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rule_rows() {
+        let mut t = Table::new(&["name", "val"]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("-"));
+        assert!(lines[2].contains("alpha"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+        t.row(&["x", "y", "z"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn numeric_cells_right_aligned() {
+        let mut t = Table::new(&["metric", "value"]);
+        t.row(&["util", "0.5"]);
+        t.row(&["util-long-name", "100.0"]);
+        let s = t.to_string();
+        // The numeric column should be right aligned: "  0.5" ends each line.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].ends_with("0.5"));
+        assert!(lines[3].ends_with("100.0"));
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5], 0), "");
+        let ramp = sparkline(&[1, 2, 3, 4, 5, 6, 7, 8], 8);
+        assert_eq!(ramp.chars().count(), 8);
+        let chars: Vec<char> = ramp.chars().collect();
+        assert!(chars.windows(2).all(|w| w[0] <= w[1]), "{ramp}");
+        // Downsampling keeps the peak visible.
+        let spike = vec![1usize; 100].into_iter().chain([100]).collect::<Vec<_>>();
+        let line = sparkline(&spike, 10);
+        assert!(line.ends_with('\u{2588}'), "{line}");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(f3(0.123456), "0.123");
+        assert_eq!(pct(0.5), "50.0%");
+        assert!(looks_numeric("3.14"));
+        assert!(looks_numeric("1e-9"));
+        assert!(!looks_numeric("abc"));
+        assert!(!looks_numeric(""));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

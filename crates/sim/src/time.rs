@@ -1,0 +1,154 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, measured in machine cycles.
+///
+/// `Cycle` is a transparent newtype over `u64`. It exists so that the type
+/// system distinguishes simulated time from ordinary counters — a
+/// surprisingly common source of bugs in simulators.
+///
+/// Durations and instants share this one type, mirroring how the paper's
+/// own simulator accounted "communication as well as processing simulated
+/// time" in a single clock domain.
+///
+/// # Example
+///
+/// ```
+/// use ttda_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let latency = Cycle(25);
+/// assert_eq!(start + latency, Cycle(125));
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero: the instant at which every simulation starts.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; used as "never" / +infinity.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this time saturating-added to `d` (never wraps).
+    #[inline]
+    pub fn saturating_add(self, d: Cycle) -> Cycle {
+        Cycle(self.0.saturating_add(d.0))
+    }
+
+    /// Returns `self - other`, or [`Cycle::ZERO`] if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales a duration by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Cycle {
+        Cycle(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(7);
+        let b = Cycle(3);
+        assert_eq!(a + b, Cycle(10));
+        assert_eq!(a - b, Cycle(4));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle(10));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_wrap() {
+        assert_eq!(Cycle::MAX.saturating_add(Cycle(1)), Cycle::MAX);
+        assert_eq!(Cycle(1).saturating_sub(Cycle(5)), Cycle::ZERO);
+        assert_eq!(Cycle::MAX.saturating_mul(2), Cycle::MAX);
+        assert_eq!(Cycle(4).saturating_mul(3), Cycle(12));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(42).to_string(), "42cy");
+        assert_eq!(u64::from(Cycle(9)), 9);
+        assert_eq!(Cycle::from(9u64), Cycle(9));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+}

@@ -1,0 +1,289 @@
+//! The label-resolving program builder.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Instr, Program, Reg};
+
+/// Errors detected while assembling a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A register index was out of range.
+    BadRegister(Reg),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BadRegister(r) => {
+                write!(f, "register {r} out of range (file has {})", Reg::COUNT)
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Instr),
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, label: String },
+    Jump { label: String },
+}
+
+/// A builder that assembles [`Instr`] sequences with symbolic labels.
+///
+/// Methods mirror the instruction set and return `&mut Self` for
+/// chaining; [`ProgramBuilder::build`] resolves every label and validates
+/// register indices, so a successfully built [`Program`] can be executed
+/// without per-instruction checks.
+///
+/// # Example
+///
+/// ```
+/// use ttda_vn::{Cond, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg(1), 3);
+/// b.label("spin");
+/// b.alui(ttda_vn::AluOp::Sub, Reg(1), Reg(1), 1)
+///  .branch(Cond::Gt, Reg(1), Reg(0), "spin")
+///  .halt();
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 4);
+/// # Ok::<(), ttda_vn::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    items: Vec<Pending>,
+    labels: HashMap<String, usize>,
+    errors: Vec<AsmError>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self
+            .labels
+            .insert(name.to_string(), self.items.len())
+            .is_some()
+        {
+            self.errors.push(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Current instruction index (useful for computed jumps in
+    /// generators).
+    pub fn here(&self) -> usize {
+        self.items.len()
+    }
+
+    fn reg_ok(&mut self, rs: &[Reg]) {
+        for &r in rs {
+            if (r.0 as usize) >= Reg::COUNT {
+                self.errors.push(AsmError::BadRegister(r));
+            }
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.items.push(Pending::Ready(i));
+        self
+    }
+
+    /// `rd ← imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.reg_ok(&[rd]);
+        self.push(Instr::Li { rd, imm })
+    }
+
+    /// `rd ← rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.reg_ok(&[rd, rs]);
+        self.push(Instr::Move { rd, rs })
+    }
+
+    /// `rd ← rs1 op rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.reg_ok(&[rd, rs1, rs2]);
+        self.push(Instr::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd ← rs op imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.reg_ok(&[rd, rs]);
+        self.push(Instr::AluI { op, rd, rs, imm })
+    }
+
+    /// `rd ← mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.reg_ok(&[rd, base]);
+        self.push(Instr::Load { rd, base, offset })
+    }
+
+    /// `mem[base + offset] ← rs`.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.reg_ok(&[rs, base]);
+        self.push(Instr::Store { rs, base, offset })
+    }
+
+    /// Atomic fetch-and-add.
+    pub fn fetch_add(&mut self, rd: Reg, base: Reg, offset: i64, inc: Reg) -> &mut Self {
+        self.reg_ok(&[rd, base, inc]);
+        self.push(Instr::FetchAdd { rd, base, offset, inc })
+    }
+
+    /// Atomic test-and-set.
+    pub fn test_set(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.reg_ok(&[rd, base]);
+        self.push(Instr::TestSet { rd, base, offset })
+    }
+
+    /// Full/empty read-when-full.
+    pub fn fe_load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.reg_ok(&[rd, base]);
+        self.push(Instr::FeLoad { rd, base, offset })
+    }
+
+    /// Full/empty write-when-empty.
+    pub fn fe_store(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.reg_ok(&[rs, base]);
+        self.push(Instr::FeStore { rs, base, offset })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.reg_ok(&[rs1, rs2]);
+        self.items.push(Pending::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.items.push(Pending::Jump {
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded [`AsmError`] (bad register, duplicate
+    /// label, or a branch to a label that was never defined).
+    pub fn build(&self) -> Result<Program, AsmError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        let mut instrs = Vec::with_capacity(self.items.len());
+        for item in &self.items {
+            let i = match item {
+                Pending::Ready(i) => *i,
+                Pending::Branch { cond, rs1, rs2, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    Instr::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        target,
+                    }
+                }
+                Pending::Jump { label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    Instr::Jump { target }
+                }
+            };
+            instrs.push(i);
+        }
+        Ok(Program { instrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        b.jump("end");
+        b.label("mid");
+        b.nop();
+        b.jump("mid");
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.instrs()[0], Instr::Jump { target: 3 });
+        assert_eq!(p.instrs()[2], Instr::Jump { target: 1 });
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.jump("nowhere");
+        assert_eq!(
+            b.build().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").nop();
+        b.label("x").halt();
+        assert_eq!(b.build().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn bad_register_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(200), 1);
+        assert_eq!(b.build().unwrap_err(), AsmError::BadRegister(Reg(200)));
+        assert!(AsmError::BadRegister(Reg(200)).to_string().contains("r200"));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.here(), 0);
+        b.nop().nop();
+        assert_eq!(b.here(), 2);
+    }
+}

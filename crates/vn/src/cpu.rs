@@ -1,0 +1,380 @@
+//! The functional core: one hardware context.
+
+use std::error::Error;
+use std::fmt;
+
+use ttda_mem::Addr;
+
+use crate::isa::{Instr, Program, Reg};
+use crate::memory::{DataMemory, MemError};
+
+/// Classifies the memory traffic one instruction produced, so the timing
+/// layers can charge the right latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccess {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// An atomic read-modify-write (fetch-and-add, test-and-set).
+    Atomic,
+    /// A successful full/empty load.
+    FeLoad,
+    /// A successful full/empty store.
+    FeStore,
+}
+
+/// One memory reference: which word, and what kind of access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// The word touched.
+    pub addr: Addr,
+    /// The access class.
+    pub op: MemAccess,
+}
+
+/// What one [`Core::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An instruction retired; if it touched memory, here is the
+    /// reference.
+    Executed {
+        /// The memory reference, if any.
+        mem: Option<MemRef>,
+    },
+    /// A full/empty operation found the wrong state: the program counter
+    /// did not advance and the access must be retried — the HEP
+    /// busy-wait.
+    BusyWait {
+        /// The contested word.
+        addr: Addr,
+    },
+    /// The core has executed `Halt` (now or earlier).
+    Halted,
+}
+
+/// Execution errors (all are program bugs, surfaced rather than masked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The program counter ran off the end of the program.
+    PcOutOfRange(usize),
+    /// A memory operand computed a bad effective address.
+    Mem(MemError),
+    /// The functional run exceeded its fuel (likely an infinite loop).
+    OutOfFuel,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::PcOutOfRange(pc) => write!(f, "program counter {pc} out of range"),
+            CoreError::Mem(e) => write!(f, "memory error: {e}"),
+            CoreError::OutOfFuel => write!(f, "functional run exceeded its fuel"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for CoreError {
+    fn from(e: MemError) -> Self {
+        CoreError::Mem(e)
+    }
+}
+
+/// One von Neumann hardware context: a register file and the program
+/// counter the paper identifies as "the most troublesome aspect of von
+/// Neumann architecture ... the built-in sequentiality".
+///
+/// `Core` is purely functional: [`Core::step`] executes exactly one
+/// instruction against a [`DataMemory`] and reports what happened; all
+/// timing disciplines (blocking, multi-context, per-machine) are layered
+/// on top in [`runner`](crate::run_blocking) and `ttda-machines`.
+#[derive(Debug, Clone)]
+pub struct Core {
+    program: Program,
+    regs: [i64; Reg::COUNT],
+    pc: usize,
+    halted: bool,
+}
+
+impl Core {
+    /// Creates a core at pc 0 with zeroed registers.
+    pub fn new(program: Program) -> Self {
+        Core {
+            program,
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.0 as usize]
+    }
+
+    /// Writes a register (used by machines to pass per-processor
+    /// parameters, e.g. the processor id).
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        self.regs[r.0 as usize] = v;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether `Halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ea(&self, base: Reg, offset: i64) -> Result<Addr, CoreError> {
+        let a = self.reg(base).wrapping_add(offset);
+        if a < 0 {
+            Err(CoreError::Mem(MemError::BadAddress(a)))
+        } else {
+            Ok(Addr(a as usize))
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on a runaway program counter or a bad
+    /// effective address.
+    pub fn step(&mut self, mem: &mut dyn DataMemory) -> Result<Step, CoreError> {
+        if self.halted {
+            return Ok(Step::Halted);
+        }
+        let instr = *self
+            .program
+            .instrs
+            .get(self.pc)
+            .ok_or(CoreError::PcOutOfRange(self.pc))?;
+        let mut next = self.pc + 1;
+        let mut memref = None;
+
+        match instr {
+            Instr::Li { rd, imm } => self.regs[rd.0 as usize] = imm,
+            Instr::Move { rd, rs } => self.regs[rd.0 as usize] = self.reg(rs),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                self.regs[rd.0 as usize] = op.apply(self.reg(rs1), self.reg(rs2))
+            }
+            Instr::AluI { op, rd, rs, imm } => {
+                self.regs[rd.0 as usize] = op.apply(self.reg(rs), imm)
+            }
+            Instr::Load { rd, base, offset } => {
+                let a = self.ea(base, offset)?;
+                self.regs[rd.0 as usize] = mem.load(a)?;
+                memref = Some(MemRef { addr: a, op: MemAccess::Load });
+            }
+            Instr::Store { rs, base, offset } => {
+                let a = self.ea(base, offset)?;
+                mem.store(a, self.reg(rs))?;
+                memref = Some(MemRef { addr: a, op: MemAccess::Store });
+            }
+            Instr::FetchAdd { rd, base, offset, inc } => {
+                let a = self.ea(base, offset)?;
+                self.regs[rd.0 as usize] = mem.fetch_add(a, self.reg(inc))?;
+                memref = Some(MemRef { addr: a, op: MemAccess::Atomic });
+            }
+            Instr::TestSet { rd, base, offset } => {
+                let a = self.ea(base, offset)?;
+                self.regs[rd.0 as usize] = mem.test_set(a)?;
+                memref = Some(MemRef { addr: a, op: MemAccess::Atomic });
+            }
+            Instr::FeLoad { rd, base, offset } => {
+                let a = self.ea(base, offset)?;
+                match mem.fe_load(a)? {
+                    Some(v) => {
+                        self.regs[rd.0 as usize] = v;
+                        memref = Some(MemRef { addr: a, op: MemAccess::FeLoad });
+                    }
+                    None => return Ok(Step::BusyWait { addr: a }),
+                }
+            }
+            Instr::FeStore { rs, base, offset } => {
+                let a = self.ea(base, offset)?;
+                if mem.fe_store(a, self.reg(rs))? {
+                    memref = Some(MemRef { addr: a, op: MemAccess::FeStore });
+                } else {
+                    return Ok(Step::BusyWait { addr: a });
+                }
+            }
+            Instr::Branch { cond, rs1, rs2, target } => {
+                if cond.holds(self.reg(rs1), self.reg(rs2)) {
+                    next = target;
+                }
+            }
+            Instr::Jump { target } => next = target,
+            Instr::Halt => {
+                self.halted = true;
+                return Ok(Step::Halted);
+            }
+            Instr::Nop => {}
+        }
+
+        self.pc = next;
+        Ok(Step::Executed { mem: memref })
+    }
+
+    /// Runs until `Halt` with no timing model — pure functional
+    /// execution. Busy-waits retry immediately (which only terminates if
+    /// another agent fills the cell, so single-core functional runs should
+    /// not busy-wait; the fuel bound catches it if they do).
+    ///
+    /// Returns the number of instructions retired.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfFuel`] after `fuel` steps, plus any execution
+    /// error.
+    pub fn run_functional(&mut self, mem: &mut dyn DataMemory, fuel: u64) -> Result<u64, CoreError> {
+        let mut retired = 0;
+        for _ in 0..fuel {
+            match self.step(mem)? {
+                Step::Halted => return Ok(retired),
+                Step::Executed { .. } => retired += 1,
+                Step::BusyWait { .. } => {}
+            }
+        }
+        Err(CoreError::OutOfFuel)
+    }
+
+    /// Resets pc, halt flag and registers, keeping the program.
+    pub fn reset(&mut self) {
+        self.pc = 0;
+        self.halted = false;
+        self.regs = [0; Reg::COUNT];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::isa::{AluOp, Cond};
+    use crate::memory::FlatMemory;
+
+    fn run(b: &ProgramBuilder) -> (Core, FlatMemory) {
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(64);
+        core.run_functional(&mut mem, 100_000).unwrap();
+        (core, mem)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let (s, i, n) = (Reg(1), Reg(2), Reg(3));
+        let mut b = ProgramBuilder::new();
+        b.li(s, 0).li(i, 1).li(n, 100);
+        b.label("l");
+        b.alu(AluOp::Add, s, s, i)
+            .alui(AluOp::Add, i, i, 1)
+            .branch(Cond::Le, i, n, "l")
+            .halt();
+        let (core, _) = run(&b);
+        assert_eq!(core.reg(s), 5050);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let (v, a) = (Reg(1), Reg(2));
+        let mut b = ProgramBuilder::new();
+        b.li(v, 77).li(a, 10).store(v, a, 5).load(Reg(3), a, 5).halt();
+        let (core, mut mem) = run(&b);
+        assert_eq!(core.reg(Reg(3)), 77);
+        assert_eq!(mem.load(Addr(15)).unwrap(), 77);
+    }
+
+    #[test]
+    fn step_reports_memrefs() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 5).load(Reg(2), Reg(1), 0).halt();
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(16);
+        assert_eq!(core.step(&mut mem).unwrap(), Step::Executed { mem: None });
+        assert_eq!(
+            core.step(&mut mem).unwrap(),
+            Step::Executed {
+                mem: Some(MemRef { addr: Addr(5), op: MemAccess::Load })
+            }
+        );
+        assert_eq!(core.step(&mut mem).unwrap(), Step::Halted);
+        assert_eq!(core.step(&mut mem).unwrap(), Step::Halted);
+        assert!(core.halted());
+    }
+
+    #[test]
+    fn busy_wait_does_not_advance_pc() {
+        let mut b = ProgramBuilder::new();
+        b.fe_load(Reg(1), Reg(0), 3).halt();
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(16);
+        assert_eq!(core.step(&mut mem).unwrap(), Step::BusyWait { addr: Addr(3) });
+        assert_eq!(core.pc(), 0);
+        // Fill the cell from "another processor"; the retry now succeeds.
+        mem.fe_store(Addr(3), 42).unwrap();
+        assert!(matches!(core.step(&mut mem).unwrap(), Step::Executed { .. }));
+        assert_eq!(core.reg(Reg(1)), 42);
+    }
+
+    #[test]
+    fn negative_address_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), -5).load(Reg(2), Reg(1), 0).halt();
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(16);
+        core.step(&mut mem).unwrap();
+        assert!(matches!(core.step(&mut mem), Err(CoreError::Mem(_))));
+    }
+
+    #[test]
+    fn runaway_pc_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.nop(); // no halt
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(4);
+        core.step(&mut mem).unwrap();
+        assert_eq!(core.step(&mut mem), Err(CoreError::PcOutOfRange(1)));
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let mut b = ProgramBuilder::new();
+        b.label("spin").jump("spin");
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(4);
+        assert_eq!(core.run_functional(&mut mem, 100), Err(CoreError::OutOfFuel));
+        assert!(CoreError::OutOfFuel.to_string().contains("fuel"));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 9).halt();
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(4);
+        core.run_functional(&mut mem, 10).unwrap();
+        assert!(core.halted());
+        core.reset();
+        assert!(!core.halted());
+        assert_eq!(core.pc(), 0);
+        assert_eq!(core.reg(Reg(1)), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The von Neumann substrate: a minimal RISC processor family.
+//!
+//! The paper's survey machines (C.mmp, Cm*, the Ultracomputer, …) are all
+//! built from "von Neumann style uniprocessors". This crate supplies that
+//! building block so `ttda-machines` can assemble each surveyed system:
+//!
+//! - [`Instr`]/[`Program`]/[`ProgramBuilder`]: a small load/store ISA with
+//!   the synchronization primitives the survey needs — `FETCH-AND-ADD`
+//!   (Ultracomputer), `TEST-AND-SET` (C.mmp/Hydra locks), and HEP-style
+//!   full/empty loads and stores;
+//! - [`Core`]: a functional interpreter for one hardware context
+//!   (registers + program counter) against a [`DataMemory`];
+//! - [`run_blocking`]: the pure von Neumann timing discipline — the
+//!   processor *idles* for the full round trip of every memory reference
+//!   (what §1.1 calls the unsolved latency problem, and exactly how Cm*'s
+//!   LSI-11s behaved);
+//! - [`MultiContext`]: the low-level context switching alternative that
+//!   §1.1 analyzes — `k` register sets with switch-on-miss,
+//!   whose required `k` grows with machine size (Experiment E4).
+//!
+//! # Example
+//!
+//! ```
+//! use ttda_vn::{AluOp, Cond, FlatMemory, Core, ProgramBuilder, Reg};
+//!
+//! // sum = 0; for i in 1..=10 { sum += i }
+//! let (sum, i, ten) = (Reg(1), Reg(2), Reg(3));
+//! let mut b = ProgramBuilder::new();
+//! b.li(sum, 0).li(i, 1).li(ten, 10);
+//! b.label("loop");
+//! b.alu(AluOp::Add, sum, sum, i)
+//!  .alui(AluOp::Add, i, i, 1)
+//!  .branch(Cond::Le, i, ten, "loop")
+//!  .halt();
+//! let prog = b.build().unwrap();
+//!
+//! let mut mem = FlatMemory::new(0);
+//! let mut core = Core::new(prog);
+//! core.run_functional(&mut mem, 10_000).unwrap();
+//! assert_eq!(core.reg(sum), 55);
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod cpu;
+mod isa;
+mod memory;
+mod runner;
+
+pub use asm::{AsmError, ProgramBuilder};
+pub use cpu::{Core, CoreError, MemAccess, MemRef, Step};
+pub use isa::{AluOp, Cond, Instr, Program, Reg};
+pub use memory::{DataMemory, FlatMemory, MemError};
+pub use runner::{run_blocking, MultiContext, RunConfig, RunStats};

@@ -1,0 +1,423 @@
+//! Timing disciplines: blocking issue vs low-level context switching.
+//!
+//! These two runners are the heart of the paper's Issue 1. Given the same
+//! functional [`Core`]s and the same memory latency model, they differ
+//! only in what the processor does while a memory response is in flight:
+//!
+//! - [`run_blocking`]: nothing — the processor idles, as the LSI-11s of
+//!   Cm* did. Utilization collapses as latency grows:
+//!   `U ≈ 1 / (1 + f·L)` for reference fraction `f` and latency `L`.
+//! - [`MultiContext`]: switches to another hardware context, as §1.1's
+//!   "context switching at a very low level" proposes. Utilization holds
+//!   until the `k` contexts cannot cover the latency — and the `k`
+//!   required grows with the machine (Experiment E4), which is the
+//!   paper's argument that this fix does not scale.
+
+use ttda_sim::Cycle;
+
+use crate::cpu::{Core, CoreError, MemRef, Step};
+use crate::memory::DataMemory;
+
+/// Timing parameters shared by the runners.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Cycles per retired instruction (the ALU time).
+    pub instr_time: Cycle,
+    /// Extra cycles charged per context switch ([`MultiContext`] only).
+    /// The paper's scheme works "only if the context switching itself
+    /// does not generate any memory references", so this is pure pipeline
+    /// overhead, typically 0–2 cycles.
+    pub switch_overhead: Cycle,
+    /// Delay before a busy-waiting full/empty access retries.
+    pub retry_interval: Cycle,
+    /// Safety horizon: the run stops (incomplete) at this time.
+    pub max_cycles: Cycle,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            instr_time: Cycle(1),
+            switch_overhead: Cycle(0),
+            retry_interval: Cycle(0),
+            max_cycles: Cycle(50_000_000),
+        }
+    }
+}
+
+/// What a timed run measured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Wall-clock cycles consumed.
+    pub cycles: Cycle,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Memory references issued (including busy-wait retries).
+    pub mem_refs: u64,
+    /// Cycles the ALU was executing instructions.
+    pub busy: Cycle,
+    /// Cycles the processor sat idle waiting on memory (or on context
+    /// availability).
+    pub idle: Cycle,
+    /// Cycles spent on context-switch overhead.
+    pub switch_cycles: Cycle,
+    /// Full/empty retries observed.
+    pub busy_waits: u64,
+    /// Whether every core ran to `Halt` before the horizon.
+    pub completed: bool,
+}
+
+impl RunStats {
+    /// ALU utilization: busy / total — the paper's figure of merit.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            self.busy.as_u64() as f64 / self.cycles.as_u64() as f64
+        }
+    }
+}
+
+/// Runs one core with the **blocking** von Neumann discipline: every
+/// memory reference stalls the processor for its full round trip
+/// (`latency(&ref, issue_time)` cycles).
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from execution.
+///
+/// # Example
+///
+/// ```
+/// use ttda_sim::Cycle;
+/// use ttda_vn::{run_blocking, Core, FlatMemory, ProgramBuilder, Reg, RunConfig};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.load(Reg(1), Reg(0), 0).load(Reg(2), Reg(0), 1).halt();
+/// let mut core = Core::new(b.build()?);
+/// let mut mem = FlatMemory::new(8);
+/// let stats = run_blocking(
+///     &mut core,
+///     &mut mem,
+///     |_, _| Cycle(100), // a 100-cycle memory
+///     RunConfig::default(),
+/// )?;
+/// assert_eq!(stats.instructions, 2);
+/// assert!(stats.utilization() < 0.02); // 2 busy cycles out of 202
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_blocking(
+    core: &mut Core,
+    mem: &mut dyn DataMemory,
+    mut latency: impl FnMut(&MemRef, Cycle) -> Cycle,
+    cfg: RunConfig,
+) -> Result<RunStats, CoreError> {
+    let mut s = RunStats::default();
+    let mut now = Cycle::ZERO;
+    loop {
+        if now >= cfg.max_cycles {
+            s.cycles = now;
+            return Ok(s);
+        }
+        match core.step(mem)? {
+            Step::Halted => {
+                s.cycles = now;
+                s.completed = true;
+                return Ok(s);
+            }
+            Step::Executed { mem: memref } => {
+                s.instructions += 1;
+                s.busy += cfg.instr_time;
+                now += cfg.instr_time;
+                if let Some(r) = memref {
+                    s.mem_refs += 1;
+                    let l = latency(&r, now);
+                    s.idle += l;
+                    now += l;
+                }
+            }
+            Step::BusyWait { addr } => {
+                // The failed probe is a full round trip plus the retry
+                // back-off; the processor is busy issuing it for one
+                // instruction time and idle for the rest.
+                s.busy_waits += 1;
+                s.mem_refs += 1;
+                s.busy += cfg.instr_time;
+                now += cfg.instr_time;
+                let r = MemRef { addr, op: crate::cpu::MemAccess::FeLoad };
+                let l = latency(&r, now) + cfg.retry_interval;
+                s.idle += l;
+                now += l;
+            }
+        }
+    }
+}
+
+/// The low-level context-switching processor of §1.1: `k` hardware
+/// contexts (duplicated register sets), switch-on-memory-reference.
+///
+/// While one context's reference is outstanding the processor runs
+/// another ready context; it idles only when *no* context is ready — the
+/// situation that forces `k` to grow with memory latency, and hence with
+/// machine size.
+///
+/// # Example
+///
+/// ```
+/// use ttda_sim::Cycle;
+/// use ttda_vn::{Core, FlatMemory, MultiContext, ProgramBuilder, Reg, RunConfig};
+///
+/// let mut b = ProgramBuilder::new();
+/// // Each context: 4 loads.
+/// for i in 0..4 { b.load(Reg(1), Reg(0), i); }
+/// b.halt();
+/// let prog = b.build()?;
+///
+/// // 8 contexts hide a 7-cycle latency almost perfectly.
+/// let cores = (0..8).map(|_| Core::new(prog.clone())).collect();
+/// let mut mc = MultiContext::new(cores, RunConfig::default());
+/// let mut mem = FlatMemory::new(16);
+/// let stats = mc.run(&mut mem, |_, _| Cycle(7))?;
+/// assert!(stats.utilization() > 0.8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MultiContext {
+    contexts: Vec<Core>,
+    ready_at: Vec<Cycle>,
+    cfg: RunConfig,
+    last: usize,
+}
+
+impl MultiContext {
+    /// Creates a processor with the given hardware contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty.
+    pub fn new(contexts: Vec<Core>, cfg: RunConfig) -> Self {
+        assert!(!contexts.is_empty(), "need at least one context");
+        let n = contexts.len();
+        MultiContext {
+            contexts,
+            ready_at: vec![Cycle::ZERO; n],
+            cfg,
+            last: n - 1,
+        }
+    }
+
+    /// Number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// The cores, for post-run inspection of registers.
+    pub fn cores(&self) -> &[Core] {
+        &self.contexts
+    }
+
+    /// Picks the next runnable context: round-robin among those ready at
+    /// `now`, else the one that becomes ready soonest.
+    fn pick(&self, now: Cycle) -> Option<(usize, Cycle)> {
+        let n = self.contexts.len();
+        let mut best: Option<(usize, Cycle)> = None;
+        for off in 1..=n {
+            let i = (self.last + off) % n;
+            if self.contexts[i].halted() {
+                continue;
+            }
+            let r = self.ready_at[i];
+            if r <= now {
+                return Some((i, now));
+            }
+            if best.map_or(true, |(_, t)| r < t) {
+                best = Some((i, r));
+            }
+        }
+        best
+    }
+
+    /// Runs all contexts to completion under the switching discipline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from any context.
+    pub fn run(
+        &mut self,
+        mem: &mut dyn DataMemory,
+        mut latency: impl FnMut(&MemRef, Cycle) -> Cycle,
+    ) -> Result<RunStats, CoreError> {
+        let mut s = RunStats::default();
+        let mut now = Cycle::ZERO;
+        loop {
+            if now >= self.cfg.max_cycles {
+                s.cycles = now;
+                return Ok(s);
+            }
+            let Some((i, ready)) = self.pick(now) else {
+                s.cycles = now;
+                s.completed = true;
+                return Ok(s);
+            };
+            if ready > now {
+                s.idle += ready - now;
+                now = ready;
+            }
+            if i != self.last {
+                s.switch_cycles += self.cfg.switch_overhead;
+                now += self.cfg.switch_overhead;
+            }
+            self.last = i;
+            match self.contexts[i].step(mem)? {
+                Step::Halted => {}
+                Step::Executed { mem: memref } => {
+                    s.instructions += 1;
+                    s.busy += self.cfg.instr_time;
+                    now += self.cfg.instr_time;
+                    if let Some(r) = memref {
+                        s.mem_refs += 1;
+                        self.ready_at[i] = now + latency(&r, now);
+                    }
+                }
+                Step::BusyWait { addr } => {
+                    s.busy_waits += 1;
+                    s.mem_refs += 1;
+                    s.busy += self.cfg.instr_time;
+                    now += self.cfg.instr_time;
+                    let r = MemRef { addr, op: crate::cpu::MemAccess::FeLoad };
+                    self.ready_at[i] = now + latency(&r, now) + self.cfg.retry_interval;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::isa::Reg;
+    use crate::memory::FlatMemory;
+
+    fn load_heavy_program(refs: i64) -> crate::isa::Program {
+        let mut b = ProgramBuilder::new();
+        for i in 0..refs {
+            b.load(Reg(1), Reg(0), i);
+        }
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn blocking_utilization_matches_formula() {
+        // All-load program: f = 1, so U = 1 / (1 + L).
+        for l in [0u64, 1, 9, 99] {
+            let mut core = Core::new(load_heavy_program(50));
+            let mut mem = FlatMemory::new(64);
+            let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(l), RunConfig::default())
+                .unwrap();
+            assert!(s.completed);
+            let expected = 1.0 / (1.0 + l as f64);
+            assert!(
+                (s.utilization() - expected).abs() < 1e-9,
+                "L={l}: got {} want {expected}",
+                s.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn multicontext_hides_latency_with_enough_contexts() {
+        let prog = load_heavy_program(32);
+        let l = Cycle(15);
+        let util_with = |k: usize| {
+            let cores = (0..k).map(|_| Core::new(prog.clone())).collect();
+            let mut mc = MultiContext::new(cores, RunConfig::default());
+            let mut mem = FlatMemory::new(64);
+            let s = mc.run(&mut mem, |_, _| l).unwrap();
+            assert!(s.completed);
+            s.utilization()
+        };
+        let u1 = util_with(1);
+        let u4 = util_with(4);
+        let u16 = util_with(16);
+        assert!(u1 < 0.1);
+        assert!(u4 > u1 * 3.0);
+        assert!(u16 > 0.9, "16 contexts must hide a 15-cycle latency: {u16}");
+    }
+
+    #[test]
+    fn multicontext_all_cores_complete() {
+        let prog = load_heavy_program(4);
+        let cores: Vec<Core> = (0..3).map(|_| Core::new(prog.clone())).collect();
+        let mut mc = MultiContext::new(cores, RunConfig::default());
+        let mut mem = FlatMemory::new(64);
+        let s = mc.run(&mut mem, |_, _| Cycle(5)).unwrap();
+        assert!(s.completed);
+        assert_eq!(s.instructions, 3 * 4); // 4 loads per core; Halt does not retire
+        for c in mc.cores() {
+            assert!(c.halted());
+        }
+    }
+
+    #[test]
+    fn switch_overhead_charged() {
+        let prog = load_heavy_program(8);
+        let cores: Vec<Core> = (0..4).map(|_| Core::new(prog.clone())).collect();
+        let cfg = RunConfig {
+            switch_overhead: Cycle(2),
+            ..RunConfig::default()
+        };
+        let mut mc = MultiContext::new(cores, cfg);
+        let mut mem = FlatMemory::new(64);
+        let s = mc.run(&mut mem, |_, _| Cycle(10)).unwrap();
+        assert!(s.switch_cycles > Cycle::ZERO);
+    }
+
+    #[test]
+    fn horizon_stops_infinite_program() {
+        let mut b = ProgramBuilder::new();
+        b.label("spin").jump("spin");
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(4);
+        let cfg = RunConfig {
+            max_cycles: Cycle(1000),
+            ..RunConfig::default()
+        };
+        let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(0), cfg).unwrap();
+        assert!(!s.completed);
+        assert!(s.cycles >= Cycle(1000));
+    }
+
+    #[test]
+    fn busy_wait_counted_and_retried() {
+        // Producer context stores (plain) then consumer's FeLoad succeeds.
+        let mut cb = ProgramBuilder::new();
+        cb.fe_load(Reg(1), Reg(0), 9).halt();
+        let mut pb = ProgramBuilder::new();
+        for _ in 0..10 {
+            pb.nop();
+        }
+        pb.li(Reg(2), 5).fe_store(Reg(2), Reg(0), 9).halt();
+        let cores = vec![
+            Core::new(cb.build().unwrap()),
+            Core::new(pb.build().unwrap()),
+        ];
+        let cfg = RunConfig {
+            retry_interval: Cycle(3),
+            ..RunConfig::default()
+        };
+        let mut mc = MultiContext::new(cores, cfg);
+        let mut mem = FlatMemory::new(16);
+        let s = mc.run(&mut mem, |_, _| Cycle(2)).unwrap();
+        assert!(s.completed);
+        assert!(s.busy_waits >= 1, "consumer must have busy-waited");
+        assert_eq!(mc.cores()[0].reg(Reg(1)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one context")]
+    fn empty_contexts_panics() {
+        let _ = MultiContext::new(vec![], RunConfig::default());
+    }
+}

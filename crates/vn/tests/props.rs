@@ -1,0 +1,80 @@
+//! Property tests for the von Neumann substrate.
+
+use proptest::prelude::*;
+use ttda_sim::Cycle;
+use ttda_vn::{run_blocking, AluOp, Cond, Core, FlatMemory, ProgramBuilder, Reg, RunConfig};
+
+proptest! {
+    #[test]
+    fn blocking_run_accounting_is_exact(refs in 1i64..40, compute in 0i64..6, latency in 0u64..50) {
+        // cycles = busy + idle; busy = instructions; idle = refs * L.
+        let mut b = ProgramBuilder::new();
+        let (i, t, v, one) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        b.li(i, 0).li(one, 1).li(Reg(5), refs);
+        b.label("l");
+        for _ in 0..compute {
+            b.alu(AluOp::Add, t, t, one);
+        }
+        b.load(v, i, 100);
+        b.alu(AluOp::Add, i, i, one);
+        b.branch(Cond::Lt, i, Reg(5), "l");
+        b.halt();
+        let mut core = Core::new(b.build().unwrap());
+        let mut mem = FlatMemory::new(512);
+        let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(latency), RunConfig::default()).unwrap();
+        prop_assert!(s.completed);
+        prop_assert_eq!(s.mem_refs, refs as u64);
+        prop_assert_eq!(s.busy.as_u64(), s.instructions);
+        prop_assert_eq!(s.idle.as_u64(), refs as u64 * latency);
+        prop_assert_eq!(s.cycles.as_u64(), s.busy.as_u64() + s.idle.as_u64());
+    }
+
+    #[test]
+    fn alu_ops_match_rust_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let (a, b) = (a as i64, b as i64);
+        for (op, expect) in [
+            (AluOp::Add, a.wrapping_add(b)),
+            (AluOp::Sub, a.wrapping_sub(b)),
+            (AluOp::Mul, a.wrapping_mul(b)),
+            (AluOp::Min, a.min(b)),
+            (AluOp::Max, a.max(b)),
+        ] {
+            let mut builder = ProgramBuilder::new();
+            builder.li(Reg(1), a).li(Reg(2), b).alu(op, Reg(3), Reg(1), Reg(2)).halt();
+            let mut core = Core::new(builder.build().unwrap());
+            let mut mem = FlatMemory::new(4);
+            core.run_functional(&mut mem, 100).unwrap();
+            prop_assert_eq!(core.reg(Reg(3)), expect, "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn branches_agree_with_cond_semantics(a in -100i64..100, b in -100i64..100) {
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            let mut builder = ProgramBuilder::new();
+            builder.li(Reg(1), a).li(Reg(2), b).li(Reg(3), 0);
+            builder.branch(cond, Reg(1), Reg(2), "taken");
+            builder.li(Reg(3), 1).halt();
+            builder.label("taken");
+            builder.li(Reg(3), 2).halt();
+            let mut core = Core::new(builder.build().unwrap());
+            let mut mem = FlatMemory::new(4);
+            core.run_functional(&mut mem, 100).unwrap();
+            let expected = if cond.holds(a, b) { 2 } else { 1 };
+            prop_assert_eq!(core.reg(Reg(3)), expected, "{:?}", cond);
+        }
+    }
+
+    #[test]
+    fn fetch_add_is_a_counter(incs in proptest::collection::vec(-20i64..20, 1..40)) {
+        use ttda_vn::DataMemory;
+        let mut mem = FlatMemory::new(8);
+        let mut sum = 0i64;
+        for inc in &incs {
+            let old = mem.fetch_add(ttda_mem::Addr(3), *inc).unwrap();
+            prop_assert_eq!(old, sum);
+            sum += inc;
+        }
+        prop_assert_eq!(mem.load(ttda_mem::Addr(3)).unwrap(), sum);
+    }
+}

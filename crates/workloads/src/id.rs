@@ -1,0 +1,199 @@
+//! Id source programs for the dataflow machine.
+
+/// The paper's Fig 2-2 program: trapezoidal-rule integration of
+/// `f(x) = 4 / (1 + x²)` (so that ∫₀¹ = π and answers are easy to
+/// check). Inputs: `(a, b, n)`; output: the integral.
+pub fn trapezoid() -> &'static str {
+    r#"
+    def f(x) = 4.0 / (1.0 + x * x);
+    def main(a, b, n) =
+      { h = (b - a) / n;
+        (initial s = (f(a) + f(b)) / 2.0; x = a + h
+         for i from 1 to n - 1 do
+           new x = x + h;
+           new s = s + f(x)
+         return s) * h };
+    "#
+}
+
+/// Doubly recursive Fibonacci — the procedure-call (Apply/context) stress
+/// test; its parallelism grows exponentially with depth.
+pub fn fib() -> &'static str {
+    r#"
+    def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);
+    def main(k) = fib(k);
+    "#
+}
+
+/// The Issue-2 producer/consumer: one loop produces `a[i] = i²`, a second
+/// loop consumes it. On I-structures the consumer can run ahead and
+/// defer; no barrier exists anywhere. Input: `n`; output: the sum of the array.
+pub fn producer_consumer() -> &'static str {
+    r#"
+    def main(n) =
+      { a = array(n);
+        -- The producer's exit count is deliberately *not* used as the
+        -- consumer's bound: gating on it would reintroduce the very
+        -- barrier I-structures exist to remove. Both loops launch at
+        -- once; early reads defer.
+        done = (initial j = 0 for i from 0 to n - 1 do
+                  a[i] <- i * i;
+                  new j = j + 1
+                return j);
+        (initial s = 0 for i from 0 to n - 1 do
+           new s = s + a[i]
+         return s) };
+    "#
+}
+
+/// A 1-D Jacobi-style relaxation sweep: `b[i] = (a[i-1] + a[i+1]) / 2`
+/// over the interior, then summed. Exercises neighbouring I-structure
+/// reads (each interior cell is read twice). Input: `n`; output: Σ b.
+pub fn relaxation() -> &'static str {
+    r#"
+    def main(n) =
+      { a = array(n);
+        b = array(n);
+        -- Three concurrent stages: fill a, relax a into b, sum b. The
+        -- ordering between them is carried entirely by I-structure
+        -- element availability, never by loop exits.
+        fill = (initial j = 0 for i from 0 to n - 1 do
+                  a[i] <- i;
+                  new j = j + 1
+                return j);
+        relax = (initial j = 0 for i from 1 to n - 2 do
+                   b[i] <- (a[i - 1] + a[i + 1]) / 2;
+                   new j = j + 1
+                 return j);
+        (initial s = 0 for i from 1 to n - 2 do
+           new s = s + b[i]
+         return s) };
+    "#
+}
+
+/// Matrix multiply `C = A·B` for `n×n` matrices with `A[i][j] = i + j`
+/// and `B[i][j] = i - j`, returning ΣC — nested loops over I-structures.
+/// Input: `n`; output: the checksum.
+pub fn matmul() -> &'static str {
+    r#"
+    def main(n) =
+      { a = array(n * n);
+        b = array(n * n);
+        -- The fill loops and the product loops all run concurrently;
+        -- I-structure deferral provides every needed ordering.
+        fa = (initial j = 0 for i from 0 to n * n - 1 do
+                a[i] <- i / n + (i - (i / n) * n);
+                new j = j + 1
+              return j);
+        fb = (initial j = 0 for i from 0 to n * n - 1 do
+                b[i] <- i / n - (i - (i / n) * n);
+                new j = j + 1
+              return j);
+        (initial s = 0
+         for i from 0 to n - 1 do
+           new s = s + (initial r = 0
+                        for j from 0 to n - 1 do
+                          new r = r + (initial t = 0
+                                       for k from 0 to n - 1 do
+                                         new t = t + a[i * n + k] * b[k * n + j]
+                                       return t)
+                        return r)
+         return s) };
+    "#
+}
+
+/// The paper's own Issue-2 example: a two-dimensional array where "one
+/// routine is creating the elements ... the other is waiting to read
+/// them" — here the classic wavefront recurrence
+/// `w[i][j] = w[i-1][j] + w[i][j-1]` with unit borders, which produces
+/// elements along anti-diagonals, *not* in row or column order ("consider
+/// the case where the elements are not produced in a regular way").
+/// I-structure deferral sequences every read/write pair with no
+/// synchronization code at all. Input: `n`; output: `w[n-1][n-1]`
+/// (the central binomial coefficient `C(2(n-1), n-1)`).
+pub fn wavefront() -> &'static str {
+    r#"
+    def main(n) =
+      { w = array(n * n);
+        top = (initial j = 0 for i from 0 to n - 1 do
+                 w[i] <- 1;
+                 new j = j + 1
+               return j);
+        left = (initial j = 0 for i from 1 to n - 1 do
+                  w[i * n] <- 1;
+                  new j = j + 1
+                return j);
+        fill = (initial j = 0 for i from 1 to n - 1 do
+                  new j = j + (initial q = 0 for k from 1 to n - 1 do
+                                 w[i * n + k] <- w[(i - 1) * n + k] + w[i * n + k - 1];
+                                 new q = q + 1
+                               return q)
+                return j);
+        w[n * n - 1] };
+    "#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use ttda_core::{Emulator, Value};
+
+    fn run(src: &str, inputs: &[Value]) -> Value {
+        let p = ttda_idc::compile(src).expect("compile");
+        Emulator::new(&p).run(inputs).expect("run").outputs[&0]
+    }
+
+    #[test]
+    fn trapezoid_computes_pi() {
+        let v = run(
+            trapezoid(),
+            &[Value::Float(0.0), Value::Float(1.0), Value::Int(128)],
+        );
+        let Value::Float(pi) = v else { panic!("{v}") };
+        assert!((pi - std::f64::consts::PI).abs() < 1e-3);
+        // Matches the sequential reference closely.
+        let r = reference::trapezoid(0.0, 1.0, 128);
+        assert!((pi - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fib_matches_reference() {
+        assert_eq!(run(fib(), &[Value::Int(14)]), Value::Int(reference::fib(14)));
+    }
+
+    #[test]
+    fn producer_consumer_matches_reference() {
+        assert_eq!(
+            run(producer_consumer(), &[Value::Int(12)]),
+            Value::Int(reference::square_sum(12))
+        );
+    }
+
+    #[test]
+    fn relaxation_matches_reference() {
+        assert_eq!(
+            run(relaxation(), &[Value::Int(10)]),
+            Value::Int(reference::relaxation_checksum(10))
+        );
+    }
+
+    #[test]
+    fn wavefront_matches_reference() {
+        for n in [2i64, 5, 8] {
+            assert_eq!(
+                run(wavefront(), &[Value::Int(n)]),
+                Value::Int(reference::wavefront_corner(n)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        assert_eq!(
+            run(matmul(), &[Value::Int(4)]),
+            Value::Int(reference::matmul_checksum(4))
+        );
+    }
+}

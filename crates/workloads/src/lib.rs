@@ -1,0 +1,22 @@
+//! Workload generators and reference kernels for the TTDA experiments.
+//!
+//! Every experiment in `EXPERIMENTS.md` draws its programs from here, so
+//! that the same computation can be run on the TTDA (as Id source or
+//! dataflow graphs), on the von Neumann machines (as `ttda-vn`
+//! programs), and as a pure-Rust reference for answer checking:
+//!
+//! - [`id`]: Id source programs — the paper's Fig 2-2 trapezoid
+//!   integration, recursive Fibonacci, matrix multiply, and the Issue-2
+//!   producer/consumer wavefront;
+//! - [`vn`]: assembly builders for the shared-memory machines — the
+//!   synchronization ladder of §1.1 (whole-array barrier, per-row locks,
+//!   per-element full/empty) plus chaotic relaxation and hot-spot
+//!   counters;
+//! - [`reference`](mod@crate::reference): sequential Rust implementations that define the
+//!   correct answers.
+
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod reference;
+pub mod vn;

@@ -1,0 +1,478 @@
+//! Assembly workloads for the von Neumann machines.
+//!
+//! The centrepiece is the **synchronization ladder** of §1.1 Issue 2: the
+//! same producer/consumer computation over an `n × n` array, synchronized
+//! four ways — whole-array barrier, per-row flags, per-element flags, and
+//! per-element full/empty bits — so Experiment E5 can measure exactly the
+//! parallelism-vs-overhead trade the paper describes.
+
+use ttda_vn::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Base address of the shared element array in every workload here.
+pub const ARRAY_BASE: i64 = 1000;
+
+/// How the producer and consumer of [`producer_consumer`] synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// "Allow the *entire* array to be written prior to allowing the
+    /// consumer routine to begin": one flag at the end. No read-early
+    /// races — and no parallelism.
+    WholeArray,
+    /// "Synchronize on a per-row basis": a flag per row. More overhead,
+    /// less constrained.
+    PerRow,
+    /// Per-element flags in ordinary memory: the consumer spins on each
+    /// flag, the producer writes flag+datum — double the stores, and
+    /// spinning burns memory bandwidth.
+    PerElementFlag,
+    /// Per-element full/empty bits (HEP style): one store per element,
+    /// but unsatisfied reads still busy-wait.
+    PerElementFullEmpty,
+}
+
+/// A producer program and a consumer program sharing one array.
+#[derive(Debug, Clone)]
+pub struct SyncWorkload {
+    /// Writes `a[idx] = idx` for all `n²` elements, row-major, with
+    /// `work` ALU ops of "computation" per element.
+    pub producer: Program,
+    /// Sums all elements into register 5 as they become available.
+    pub consumer: Program,
+    /// The expected final sum.
+    pub expected_sum: i64,
+}
+
+fn flag_base(n: i64) -> i64 {
+    ARRAY_BASE + n * n
+}
+
+/// Builds the producer/consumer pair for an `n × n` array under the given
+/// synchronization strategy, with `work` ALU operations of production
+/// cost per element.
+pub fn producer_consumer(n: i64, work: i64, strategy: SyncStrategy) -> SyncWorkload {
+    let total = n * n;
+    let expected_sum = total * (total - 1) / 2;
+
+    // ---- Producer ----
+    let (idx, val, t, a, one, lim, wk, wn) =
+        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
+    let mut p = ProgramBuilder::new();
+    p.li(idx, 0).li(a, ARRAY_BASE).li(one, 1).li(lim, total).li(wn, work);
+    p.label("elem");
+    // "compute" the element: `work` dependent adds.
+    p.li(wk, 0).li(val, 0);
+    p.label("work");
+    p.branch(Cond::Ge, wk, wn, "workdone");
+    p.alu(AluOp::Add, val, val, one);
+    p.alu(AluOp::Add, wk, wk, one);
+    p.jump("work");
+    p.label("workdone");
+    p.mv(val, idx); // element value = its index
+    p.alu(AluOp::Add, t, a, idx);
+    match strategy {
+        SyncStrategy::PerElementFullEmpty => {
+            p.fe_store(val, t, 0);
+        }
+        _ => {
+            p.store(val, t, 0);
+        }
+    }
+    match strategy {
+        SyncStrategy::PerElementFlag => {
+            p.alui(AluOp::Add, t, t, total); // flag[idx]
+            p.store(one, t, 0);
+        }
+        SyncStrategy::PerRow => {
+            // At end of row (idx % n == n-1), set rowflag[row].
+            p.alui(AluOp::Div, t, idx, n); // row
+            p.alui(AluOp::Mul, Reg(9), t, n);
+            p.alu(AluOp::Sub, Reg(9), idx, Reg(9)); // col
+            p.li(Reg(10), n - 1);
+            p.branch(Cond::Ne, Reg(9), Reg(10), "noflag");
+            p.alui(AluOp::Add, t, t, flag_base(n));
+            p.store(one, t, 0);
+            p.label("noflag");
+        }
+        _ => {}
+    }
+    p.alu(AluOp::Add, idx, idx, one);
+    p.branch(Cond::Lt, idx, lim, "elem");
+    if strategy == SyncStrategy::WholeArray {
+        p.li(t, flag_base(n));
+        p.store(one, t, 0);
+    }
+    p.halt();
+    let producer = p.build().expect("producer assembles");
+
+    // ---- Consumer ----
+    let (idx, sum, t, a, one, lim, v) =
+        (Reg(1), Reg(5), Reg(3), Reg(4), Reg(6), Reg(7), Reg(2));
+    let mut c = ProgramBuilder::new();
+    c.li(idx, 0).li(sum, 0).li(a, ARRAY_BASE).li(one, 1).li(lim, total);
+    match strategy {
+        SyncStrategy::WholeArray => {
+            c.li(t, flag_base(n));
+            c.label("spin");
+            c.load(v, t, 0);
+            c.branch(Cond::Eq, v, Reg(0), "spin"); // r0 stays 0
+            c.label("sum");
+            c.alu(AluOp::Add, t, a, idx);
+            c.load(v, t, 0);
+            c.alu(AluOp::Add, sum, sum, v);
+            c.alu(AluOp::Add, idx, idx, one);
+            c.branch(Cond::Lt, idx, lim, "sum");
+        }
+        SyncStrategy::PerRow => {
+            let row = Reg(8);
+            c.li(row, 0);
+            c.label("rows");
+            c.alui(AluOp::Add, t, row, flag_base(n));
+            c.label("spin");
+            c.load(v, t, 0);
+            c.branch(Cond::Eq, v, Reg(0), "spin");
+            // Sum this row.
+            c.alui(AluOp::Mul, idx, row, n);
+            c.alui(AluOp::Add, Reg(9), idx, n); // row end
+            c.label("sumrow");
+            c.alu(AluOp::Add, t, a, idx);
+            c.load(v, t, 0);
+            c.alu(AluOp::Add, sum, sum, v);
+            c.alu(AluOp::Add, idx, idx, one);
+            c.branch(Cond::Lt, idx, Reg(9), "sumrow");
+            c.alu(AluOp::Add, row, row, one);
+            c.li(t, n);
+            c.branch(Cond::Lt, row, t, "rows");
+        }
+        SyncStrategy::PerElementFlag => {
+            c.label("elems");
+            c.alu(AluOp::Add, t, a, idx);
+            c.alui(AluOp::Add, Reg(8), t, total); // flag address
+            c.label("spin");
+            c.load(v, Reg(8), 0);
+            c.branch(Cond::Eq, v, Reg(0), "spin");
+            c.load(v, t, 0);
+            c.alu(AluOp::Add, sum, sum, v);
+            c.alu(AluOp::Add, idx, idx, one);
+            c.branch(Cond::Lt, idx, lim, "elems");
+        }
+        SyncStrategy::PerElementFullEmpty => {
+            c.label("elems");
+            c.alu(AluOp::Add, t, a, idx);
+            c.fe_load(v, t, 0); // busy-waits in hardware until full
+            c.alu(AluOp::Add, sum, sum, v);
+            c.alu(AluOp::Add, idx, idx, one);
+            c.branch(Cond::Lt, idx, lim, "elems");
+        }
+    }
+    c.halt();
+    let consumer = c.build().expect("consumer assembles");
+
+    SyncWorkload {
+        producer,
+        consumer,
+        expected_sum,
+    }
+}
+
+/// Chaotic relaxation over a ring of `procs × cells` values, `sweeps`
+/// sweeps, no barriers (the Cm* workload of §1.2.2). Each processor owns
+/// `cells` words at `proc * words_per_module`; the two boundary reads per
+/// sweep touch the neighbouring processors' modules — remote references
+/// whose cost is what the experiment measures.
+pub fn chaotic_relaxation(
+    proc: usize,
+    procs: usize,
+    cells: usize,
+    sweeps: usize,
+    words_per_module: usize,
+) -> Program {
+    assert!(cells >= 2, "need at least two cells per processor");
+    let my_base = (proc * words_per_module) as i64;
+    let left_addr = (((proc + procs - 1) % procs) * words_per_module + cells - 1) as i64;
+    let right_addr = (((proc + 1) % procs) * words_per_module) as i64;
+
+    let (i, t, l, r, acc, sweep) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let mut b = ProgramBuilder::new();
+    b.li(sweep, 0);
+    b.label("sweep");
+    // new[j] = (old[j-1] + old[j+1]) / 2, in place, left to right.
+    b.li(i, 0);
+    b.label("cell");
+    // left value: cell j-1 (or remote boundary when j = 0)
+    b.li(t, my_base);
+    b.alu(AluOp::Add, t, t, i);
+    b.branch(Cond::Gt, i, Reg(0), "local_left");
+    b.li(l, left_addr);
+    b.load(l, l, 0);
+    b.jump("got_left");
+    b.label("local_left");
+    b.load(l, t, -1);
+    b.label("got_left");
+    // right value: cell j+1 (or remote boundary when j = cells-1)
+    b.li(r, (cells - 1) as i64);
+    b.branch(Cond::Lt, i, r, "local_right");
+    b.li(r, right_addr);
+    b.load(r, r, 0);
+    b.jump("got_right");
+    b.label("local_right");
+    b.load(r, t, 1);
+    b.label("got_right");
+    b.alu(AluOp::Add, acc, l, r);
+    b.alui(AluOp::Div, acc, acc, 2);
+    b.store(acc, t, 0);
+    b.alui(AluOp::Add, i, i, 1);
+    b.li(r, cells as i64);
+    b.branch(Cond::Lt, i, r, "cell");
+    b.alui(AluOp::Add, sweep, sweep, 1);
+    b.li(r, sweeps as i64);
+    b.branch(Cond::Lt, sweep, r, "sweep");
+    b.halt();
+    b.build().expect("relaxation assembles")
+}
+
+/// Every processor bumps the shared counter at `ARRAY_BASE` `k` times
+/// with FETCH-AND-ADD, doing `think` ALU ops between bumps — the
+/// Ultracomputer/E7 hot-spot workload for shared-memory machines.
+pub fn hot_spot_counter(k: i64, think: i64) -> Program {
+    let (one, i, n, t, w, wn) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let mut b = ProgramBuilder::new();
+    b.li(one, 1).li(i, 0).li(n, k).li(Reg(7), ARRAY_BASE).li(wn, think);
+    b.label("l");
+    b.li(w, 0);
+    b.label("think");
+    b.branch(Cond::Ge, w, wn, "bump");
+    b.alu(AluOp::Add, w, w, one);
+    b.jump("think");
+    b.label("bump");
+    b.fetch_add(t, Reg(7), 0, one);
+    b.alu(AluOp::Add, i, i, one);
+    b.branch(Cond::Lt, i, n, "l");
+    b.halt();
+    b.build().expect("hot spot assembles")
+}
+
+/// A latency probe: `refs` loads with `compute` dependent ALU ops between
+/// them, touching addresses `base, base+stride, …` — the E1/E4 workload.
+pub fn latency_probe(refs: i64, compute: i64, base: i64, stride: i64) -> Program {
+    let (i, t, v, w, wn, one) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let mut b = ProgramBuilder::new();
+    b.li(i, 0).li(one, 1).li(wn, compute).li(Reg(7), refs);
+    b.label("l");
+    b.li(w, 0);
+    b.label("c");
+    b.branch(Cond::Ge, w, wn, "go");
+    b.alu(AluOp::Add, w, w, one);
+    b.jump("c");
+    b.label("go");
+    b.alui(AluOp::Mul, t, i, stride);
+    b.alui(AluOp::Add, t, t, base);
+    b.load(v, t, 0);
+    b.alu(AluOp::Add, i, i, one);
+    b.branch(Cond::Lt, i, Reg(7), "l");
+    b.halt();
+    b.build().expect("latency probe assembles")
+}
+
+/// A Hydra-style spin-lock workload for C.mmp: each processor performs
+/// `k` lock/increment/unlock transactions on one shared counter (lock
+/// word at `ARRAY_BASE`, counter at `ARRAY_BASE + 1`), with `work` ALU
+/// operations inside the critical section. §1.2.1: "it is clear that the
+/// performance cost of this relative to, say, an ALU operation is rather
+/// high".
+pub fn spin_lock_counter(k: i64, work: i64) -> Program {
+    let (i, t, v, one, wn, w) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let mut b = ProgramBuilder::new();
+    b.li(i, 0).li(one, 1).li(Reg(7), ARRAY_BASE).li(Reg(8), k).li(wn, work);
+    b.label("txn");
+    // Acquire: spin on TEST-AND-SET until it returns 0.
+    b.label("acquire");
+    b.test_set(t, Reg(7), 0);
+    b.branch(Cond::Ne, t, Reg(0), "acquire");
+    // Critical section: think, then increment the protected counter.
+    b.li(w, 0);
+    b.label("think");
+    b.branch(Cond::Ge, w, wn, "bump");
+    b.alu(AluOp::Add, w, w, one);
+    b.jump("think");
+    b.label("bump");
+    b.load(v, Reg(7), 1);
+    b.alu(AluOp::Add, v, v, one);
+    b.store(v, Reg(7), 1);
+    // Release.
+    b.store(Reg(0), Reg(7), 0);
+    b.alu(AluOp::Add, i, i, one);
+    b.branch(Cond::Lt, i, Reg(8), "txn");
+    b.halt();
+    b.build().expect("lock workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttda_sim::Cycle;
+    use ttda_vn::{Core, FlatMemory, MemRef, RunConfig};
+    use ttda_machines::Smp;
+
+    fn run_pair(w: &SyncWorkload, latency: u64) -> (i64, ttda_machines::SmpStats) {
+        let cores = vec![Core::new(w.producer.clone()), Core::new(w.consumer.clone())];
+        let cfg = RunConfig {
+            retry_interval: Cycle(4),
+            max_cycles: Cycle(10_000_000),
+            ..RunConfig::default()
+        };
+        let mut smp = Smp::new(cores, FlatMemory::new(1 << 16), cfg);
+        let stats = smp
+            .run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(latency))
+            .unwrap();
+        assert!(stats.completed, "workload must finish");
+        (smp.core(1).reg(Reg(5)), stats)
+    }
+
+    #[test]
+    fn all_strategies_compute_the_same_sum() {
+        for strategy in [
+            SyncStrategy::WholeArray,
+            SyncStrategy::PerRow,
+            SyncStrategy::PerElementFlag,
+            SyncStrategy::PerElementFullEmpty,
+        ] {
+            let w = producer_consumer(4, 3, strategy);
+            let (sum, _) = run_pair(&w, 2);
+            assert_eq!(sum, w.expected_sum, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn finer_sync_overlaps_more() {
+        // With real production cost, per-element sync must beat the
+        // whole-array barrier end-to-end.
+        let coarse = producer_consumer(6, 20, SyncStrategy::WholeArray);
+        let fe = producer_consumer(6, 20, SyncStrategy::PerElementFullEmpty);
+        let (_, t_coarse) = run_pair(&coarse, 3);
+        let (_, t_fe) = run_pair(&fe, 3);
+        assert!(
+            t_fe.cycles < t_coarse.cycles,
+            "fe {} !< coarse {}",
+            t_fe.cycles,
+            t_coarse.cycles
+        );
+    }
+
+    #[test]
+    fn relaxation_converges_on_smp() {
+        let procs = 4;
+        let cells = 8;
+        let wpm = 64;
+        let cores: Vec<Core> = (0..procs)
+            .map(|p| Core::new(chaotic_relaxation(p, procs, cells, 10, wpm)))
+            .collect();
+        let mut mem = FlatMemory::new(procs * wpm);
+        // Initialize the ring to 0 except one hot cell.
+        use ttda_vn::DataMemory;
+        mem.store(ttda_mem::Addr(0), 1024).unwrap();
+        let mut smp = Smp::new(cores, mem, RunConfig::default());
+        let stats = smp
+            .run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(1))
+            .unwrap();
+        assert!(stats.completed);
+        // Averaging a ring conserves nothing exact under chaotic update,
+        // but values must stay bounded by the initial max.
+        for p in 0..procs {
+            for c in 0..cells {
+                let v = smp
+                    .memory_mut()
+                    .load(ttda_mem::Addr(p * wpm + c))
+                    .unwrap();
+                assert!((0..=1024).contains(&v), "cell ({p},{c}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_spot_counter_is_exact() {
+        let procs = 8;
+        let cores: Vec<Core> = (0..procs)
+            .map(|_| Core::new(hot_spot_counter(5, 2)))
+            .collect();
+        let mut smp = Smp::new(cores, FlatMemory::new(2048), RunConfig::default());
+        let stats = smp
+            .run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(2))
+            .unwrap();
+        assert!(stats.completed);
+        use ttda_vn::DataMemory;
+        assert_eq!(
+            smp.memory_mut().load(ttda_mem::Addr(ARRAY_BASE as usize)).unwrap(),
+            procs as i64 * 5
+        );
+    }
+
+    #[test]
+    fn latency_probe_reference_count() {
+        let prog = latency_probe(10, 3, 100, 2);
+        let mut core = Core::new(prog);
+        let mut mem = FlatMemory::new(1024);
+        let stats = ttda_vn::run_blocking(
+            &mut core,
+            &mut mem,
+            |_, _| Cycle(7),
+            RunConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.completed);
+        assert_eq!(stats.mem_refs, 10);
+    }
+}
+
+/// Processor `proc`'s slice of a dense `n × n` matrix multiply: rows
+/// `proc, proc + procs, …` of `C = A·B`, with the matrices at the given
+/// word bases (row-major). The E14 workload: every A/B read is a shared
+/// (potentially remote) reference, and there is no synchronization at
+/// all — slices are disjoint.
+pub fn matmul_slice(
+    proc: usize,
+    procs: usize,
+    n: usize,
+    a_base: i64,
+    b_base: i64,
+    c_base: i64,
+) -> Program {
+    let (i, j, k, t, va, vb, acc) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
+    let nn = n as i64;
+    let mut b = ProgramBuilder::new();
+    b.li(i, proc as i64);
+    b.label("rows");
+    b.li(Reg(8), nn);
+    b.branch(Cond::Ge, i, Reg(8), "done");
+    b.li(j, 0);
+    b.label("cols");
+    b.li(acc, 0).li(k, 0);
+    b.label("dot");
+    // va = A[i*n + k]
+    b.alui(AluOp::Mul, t, i, nn);
+    b.alu(AluOp::Add, t, t, k);
+    b.alui(AluOp::Add, t, t, a_base);
+    b.load(va, t, 0);
+    // vb = B[k*n + j]
+    b.alui(AluOp::Mul, t, k, nn);
+    b.alu(AluOp::Add, t, t, j);
+    b.alui(AluOp::Add, t, t, b_base);
+    b.load(vb, t, 0);
+    b.alu(AluOp::Mul, va, va, vb);
+    b.alu(AluOp::Add, acc, acc, va);
+    b.alui(AluOp::Add, k, k, 1);
+    b.li(Reg(8), nn);
+    b.branch(Cond::Lt, k, Reg(8), "dot");
+    // C[i*n + j] = acc
+    b.alui(AluOp::Mul, t, i, nn);
+    b.alu(AluOp::Add, t, t, j);
+    b.alui(AluOp::Add, t, t, c_base);
+    b.store(acc, t, 0);
+    b.alui(AluOp::Add, j, j, 1);
+    b.li(Reg(8), nn);
+    b.branch(Cond::Lt, j, Reg(8), "cols");
+    b.alui(AluOp::Add, i, i, procs as i64);
+    b.jump("rows");
+    b.label("done");
+    b.halt();
+    b.build().expect("matmul slice assembles")
+}

@@ -1,0 +1,63 @@
+//! Multiprogramming: three unrelated programs — and then the same
+//! program twice — interleaving through one tagged-token machine.
+//!
+//! ```text
+//! cargo run --example multiprogramming
+//! ```
+
+use ttda::core::{Program, TimedConfig, TimedMachine, Value};
+use ttda::sim::Cycle;
+use ttda::workloads::id;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fib = ttda::idc::compile(id::fib())?;
+    let trap = ttda::idc::compile(id::trapezoid())?;
+    let mm = ttda::idc::compile(id::matmul())?;
+    let (merged, mains) = Program::merge(&[fib, trap, mm], 16);
+
+    let jobs = vec![
+        (mains[0], vec![Value::Int(13)]),
+        (mains[1], vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)]),
+        (mains[2], vec![Value::Int(4)]),
+    ];
+
+    // Back to back on an 8-PE machine...
+    let mut serial = 0u64;
+    for job in &jobs {
+        let mut m = TimedMachine::ideal(merged.clone(), 8, Cycle(6), TimedConfig::default());
+        serial += m.run_jobs(std::slice::from_ref(job))?.stats.cycles.as_u64();
+    }
+    // ...vs all three at once.
+    let mut m = TimedMachine::ideal(merged.clone(), 8, Cycle(6), TimedConfig::default());
+    let r = m.run_jobs(&jobs)?;
+
+    println!("fib(13)        = {}", r.outputs[&0]);
+    println!("pi (trapezoid) = {}", r.outputs[&16]);
+    println!("matmul check   = {}", r.outputs[&32]);
+    println!(
+        "\nback-to-back: {serial} cycles; multiprogrammed: {} cycles ({:.2}x faster)",
+        r.stats.cycles.as_u64(),
+        serial as f64 / r.stats.cycles.as_u64() as f64
+    );
+    println!(
+        "tokens of the three jobs shared {} PEs, one network and one set of\n\
+         matching stores; their activity names can never collide, so no locks,\n\
+         no address-space setup, no scheduler — multiprogramming is free.",
+        r.stats.pes
+    );
+
+    // The sharpest case: the SAME code block, twice, different inputs.
+    let fib = ttda::idc::compile(id::fib())?;
+    let (merged, mains) = Program::merge(&[fib.clone(), fib], 4);
+    let mut m = TimedMachine::ideal(merged, 4, Cycle(4), TimedConfig::default());
+    let r = m.run_jobs(&[
+        (mains[0], vec![Value::Int(10)]),
+        (mains[1], vec![Value::Int(15)]),
+    ])?;
+    println!(
+        "\nsame code block, two jobs: fib(10) = {} and fib(15) = {} — identical\n\
+         instructions, interleaved activations, zero interference.",
+        r.outputs[&0], r.outputs[&4]
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Issue 2 live: the same producer/consumer computation under every
+//! synchronization discipline the paper discusses, ending with
+//! I-structures.
+//!
+//! ```text
+//! cargo run --example producer_consumer
+//! ```
+
+use ttda::core::{TimedConfig, TimedMachine, Value};
+use ttda::machines::Smp;
+use ttda::sim::Cycle;
+use ttda::vn::{Core, FlatMemory, MemRef, Reg, RunConfig};
+use ttda::workloads::vn::{producer_consumer, SyncStrategy};
+use ttda::workloads::{id, reference};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8; // 64 elements
+    let work = 25; // production cost per element
+
+    println!("producer fills an {n}x{n} array; consumer sums it.\n");
+    println!("{:<28} {:>10} {:>12} {:>14}", "synchronization", "cycles", "consumer idle", "sum");
+    for (name, strategy) in [
+        ("whole-array barrier", SyncStrategy::WholeArray),
+        ("per-row flags", SyncStrategy::PerRow),
+        ("per-element flags", SyncStrategy::PerElementFlag),
+        ("per-element full/empty", SyncStrategy::PerElementFullEmpty),
+    ] {
+        let w = producer_consumer(n, work, strategy);
+        let cores = vec![Core::new(w.producer.clone()), Core::new(w.consumer.clone())];
+        let cfg = RunConfig {
+            retry_interval: Cycle(8),
+            ..RunConfig::default()
+        };
+        let mut smp = Smp::new(cores, FlatMemory::new(1 << 14), cfg);
+        let stats = smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3))?;
+        let sum = smp.core(1).reg(Reg(5));
+        assert_eq!(sum, w.expected_sum);
+        println!(
+            "{:<28} {:>10} {:>11.1}% {:>14}",
+            name,
+            stats.cycles.as_u64(),
+            100.0 * stats.idle[1].as_u64() as f64 / stats.cycles.as_u64() as f64,
+            sum
+        );
+    }
+
+    // And the paper's answer: I-structures on the dataflow machine. The
+    // consumer loop races ahead; early reads are *deferred*, not retried.
+    let program = ttda::idc::compile(id::producer_consumer())?;
+    let mut m = TimedMachine::ideal(program, 4, Cycle(3), TimedConfig::default());
+    let total = (n * n) as i64;
+    let r = m.run(&[Value::Int(total)])?;
+    assert_eq!(r.outputs[&0], Value::Int(reference::square_sum(total)));
+    println!(
+        "{:<28} {:>10} {:>12} {:>14}",
+        "TTDA + I-structures",
+        r.stats.cycles.as_u64(),
+        "0 retries",
+        r.outputs[&0]
+    );
+    println!(
+        "\nI-structure behaviour: {} of {} reads arrived before their element was\n\
+         written and were parked on deferred lists — zero polling traffic, full\n\
+         producer/consumer overlap, per-element synchronization for free.",
+        r.stats.istore_deferred,
+        r.stats.istore_deferred + r.stats.istore_immediate,
+    );
+    Ok(())
+}

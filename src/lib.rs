@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the TTDA suite.
+pub use ttda_core as core;
+pub use ttda_idc as idc;
+pub use ttda_machines as machines;
+pub use ttda_mem as mem;
+pub use ttda_net as net;
+pub use ttda_sim as sim;
+pub use ttda_vn as vn;
+pub use ttda_workloads as workloads;

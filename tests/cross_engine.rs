@@ -1,0 +1,233 @@
+//! Cross-crate integration: the emulator and the timed machine must
+//! agree on every workload, over every topology, mapping policy and
+//! machine size.
+//!
+//! This is the suite's strongest correctness lever: the two engines
+//! share only the graph representation and the opcode semantics, so any
+//! divergence in matching, tag manipulation, I-structure deferral or
+//! routing shows up as a result mismatch here.
+
+use ttda::core::{Emulator, MappingPolicy, TimedConfig, TimedMachine, Value};
+use ttda::net::{ClusterTree, Crossbar, Grid2d, Hypercube, Omega};
+use ttda::sim::Cycle;
+use ttda::workloads::{id, reference};
+
+fn emulate(src: &str, inputs: &[Value]) -> Value {
+    let p = ttda::idc::compile(src).expect("compiles");
+    Emulator::new(&p).run(inputs).expect("emulates").outputs[&0]
+}
+
+#[test]
+fn all_workloads_agree_across_pe_counts() {
+    let cases: Vec<(&str, Vec<Value>, Value)> = vec![
+        (
+            id::fib(),
+            vec![Value::Int(13)],
+            Value::Int(reference::fib(13)),
+        ),
+        (
+            id::producer_consumer(),
+            vec![Value::Int(20)],
+            Value::Int(reference::square_sum(20)),
+        ),
+        (
+            id::relaxation(),
+            vec![Value::Int(12)],
+            Value::Int(reference::relaxation_checksum(12)),
+        ),
+        (
+            id::matmul(),
+            vec![Value::Int(4)],
+            Value::Int(reference::matmul_checksum(4)),
+        ),
+    ];
+    for (src, inputs, expected) in cases {
+        assert_eq!(emulate(src, &inputs), expected);
+        let p = ttda::idc::compile(src).expect("compiles");
+        for pes in [1usize, 3, 8] {
+            let mut m = TimedMachine::ideal(p.clone(), pes, Cycle(7), TimedConfig::default());
+            let r = m.run(&inputs).expect("runs");
+            assert_eq!(r.outputs[&0], expected, "pes={pes}");
+        }
+    }
+}
+
+#[test]
+fn trapezoid_agrees_within_float_tolerance() {
+    let inputs = [Value::Float(0.0), Value::Float(1.0), Value::Int(64)];
+    let Value::Float(want) = emulate(id::trapezoid(), &inputs) else {
+        panic!("float expected");
+    };
+    let p = ttda::idc::compile(id::trapezoid()).expect("compiles");
+    for pes in [1usize, 4] {
+        let mut m = TimedMachine::ideal(p.clone(), pes, Cycle(3), TimedConfig::default());
+        let Value::Float(got) = m.run(&inputs).expect("runs").outputs[&0] else {
+            panic!("float expected");
+        };
+        // Identical operation set, but token arrival order can reorder
+        // float additions only if the graph allowed it; here the s-chain
+        // is sequential, so the value must match bitwise.
+        assert_eq!(got, want, "pes={pes}");
+    }
+}
+
+#[test]
+fn every_mapping_policy_agrees() {
+    let p = ttda::idc::compile(id::fib()).expect("compiles");
+    let want = Value::Int(reference::fib(11));
+    for mapping in [
+        MappingPolicy::ByIteration,
+        MappingPolicy::ByContext,
+        MappingPolicy::Spread,
+    ] {
+        let cfg = TimedConfig { mapping, ..TimedConfig::default() };
+        let mut m = TimedMachine::ideal(p.clone(), 6, Cycle(5), cfg);
+        assert_eq!(m.run(&[Value::Int(11)]).expect("runs").outputs[&0], want, "{mapping:?}");
+    }
+}
+
+#[test]
+fn every_topology_runs_the_machine() {
+    let p = ttda::idc::compile(id::producer_consumer()).expect("compiles");
+    let want = Value::Int(reference::square_sum(16));
+    let cfg = TimedConfig::default();
+
+    let mut cube = TimedMachine::new(p.clone(), Hypercube::new(3).expect("cube"), cfg);
+    assert_eq!(cube.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
+
+    let mut xbar = TimedMachine::new(p.clone(), Crossbar::new(6).expect("xbar"), cfg);
+    assert_eq!(xbar.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
+
+    let mut omega = TimedMachine::new(p.clone(), Omega::new(8).expect("omega"), cfg);
+    assert_eq!(omega.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
+
+    let mut grid = TimedMachine::new(p.clone(), Grid2d::new(3, 3).expect("grid"), cfg);
+    assert_eq!(grid.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
+
+    let mut tree = TimedMachine::new(p, ClusterTree::new(2, 4).expect("tree"), cfg);
+    assert_eq!(tree.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
+}
+
+#[test]
+fn faulty_and_partitioned_cube_still_computes() {
+    let p = ttda::idc::compile(id::fib()).expect("compiles");
+    let want = Value::Int(reference::fib(10));
+
+    let mut cube = Hypercube::new(4).expect("cube");
+    // Take down three links; routing tables heal around them.
+    cube.fail_link(ttda::net::NodeId(0), ttda::net::NodeId(1)).expect("fault");
+    cube.fail_link(ttda::net::NodeId(2), ttda::net::NodeId(6)).expect("fault");
+    cube.fail_link(ttda::net::NodeId(8), ttda::net::NodeId(12)).expect("fault");
+    let mut m = TimedMachine::new(p, cube, TimedConfig::default());
+    assert_eq!(m.run(&[Value::Int(10)]).expect("runs").outputs[&0], want);
+}
+
+#[test]
+fn deterministic_across_repeat_runs() {
+    let p = ttda::idc::compile(id::matmul()).expect("compiles");
+    let mut cycles = Vec::new();
+    for _ in 0..3 {
+        let mut m = TimedMachine::ideal(p.clone(), 4, Cycle(5), TimedConfig::default());
+        let r = m.run(&[Value::Int(3)]).expect("runs");
+        cycles.push((r.stats.cycles, r.stats.instructions, r.stats.net_packets));
+    }
+    assert_eq!(cycles[0], cycles[1]);
+    assert_eq!(cycles[1], cycles[2]);
+}
+
+#[test]
+fn emulator_statistics_are_meaningful() {
+    let p = ttda::idc::compile(id::fib()).expect("compiles");
+    let r = Emulator::new(&p).run(&[Value::Int(13)]).expect("runs");
+    // Invariants across stats: profile sums to instruction count,
+    // critical path = profile length, peak >= mean.
+    assert_eq!(r.profile.iter().sum::<usize>() as u64, r.instructions);
+    assert_eq!(r.profile.len() as u64, r.waves);
+    assert!(r.peak_parallelism() as f64 >= r.mean_parallelism());
+    assert!(r.alu_ops < r.instructions);
+}
+
+#[test]
+fn wavefront_agrees_everywhere() {
+    use ttda::workloads::{id, reference};
+    let p = ttda::idc::compile(id::wavefront()).expect("compiles");
+    let want = Value::Int(reference::wavefront_corner(9));
+    let emu = Emulator::new(&p).run(&[Value::Int(9)]).expect("emulates");
+    assert_eq!(emu.outputs[&0], want);
+    for pes in [2usize, 7] {
+        let mut m = TimedMachine::ideal(p.clone(), pes, Cycle(6), TimedConfig::default());
+        let r = m.run(&[Value::Int(9)]).expect("runs");
+        assert_eq!(r.outputs[&0], want, "pes={pes}");
+        // Both engines execute the identical instruction multiset.
+        assert_eq!(r.stats.instructions, emu.instructions, "pes={pes}");
+    }
+}
+
+#[test]
+fn compiled_trapezoid_has_fig22_shape() {
+    use ttda::core::OpCode;
+    let p = ttda::idc::compile(ttda::workloads::id::trapezoid()).expect("compiles");
+    let main = p.block(p.main).expect("main exists");
+    let count = |pred: &dyn Fn(&OpCode) -> bool| {
+        main.instrs.iter().filter(|i| pred(&i.op)).count()
+    };
+    // Fig 2-2's operator inventory: one D / Switch / L / D⁻¹ per
+    // circulating variable. The loop circulates s, x, the induction var
+    // i, its bound and step, and the invariants (h and the f-triggering
+    // environment) — at least five rings.
+    let d = count(&|op| matches!(op, OpCode::D { .. }));
+    let sw = count(&|op| matches!(op, OpCode::Switch));
+    let l = count(&|op| matches!(op, OpCode::L));
+    let dinv = count(&|op| matches!(op, OpCode::DInv));
+    assert!(d >= 5, "D count {d}");
+    assert_eq!(d, sw, "one Switch per circulating variable");
+    assert_eq!(d, l, "one L per circulating variable");
+    assert_eq!(d, dinv, "one D-inverse per circulating variable");
+    // All D instructions of the single loop share one loop id.
+    let mut ids: Vec<u32> = main
+        .instrs
+        .iter()
+        .filter_map(|i| match i.op {
+            OpCode::D { loop_id } => Some(loop_id),
+            _ => None,
+        })
+        .collect();
+    ids.dedup();
+    assert_eq!(ids.len(), 1, "a single loop has a single loop id");
+    // And f is a separate code block invoked by Apply.
+    assert!(main
+        .instrs
+        .iter()
+        .any(|i| matches!(i.op, OpCode::Apply { .. })));
+    assert_eq!(p.blocks.len(), 2, "main + f");
+}
+
+#[test]
+fn optimizer_preserves_every_workload() {
+    use ttda::core::opt::optimize;
+    let cases: Vec<(&str, Vec<Value>)> = vec![
+        (id::fib(), vec![Value::Int(12)]),
+        (id::producer_consumer(), vec![Value::Int(18)]),
+        (id::relaxation(), vec![Value::Int(10)]),
+        (id::matmul(), vec![Value::Int(3)]),
+        (id::wavefront(), vec![Value::Int(6)]),
+        (id::trapezoid(), vec![Value::Float(0.0), Value::Float(1.0), Value::Int(32)]),
+    ];
+    for (src, inputs) in cases {
+        let p = ttda::idc::compile(src).expect("compiles");
+        let (opt, stats) = optimize(&p);
+        assert!(stats.identities_collapsed > 0, "every Id program has junctions");
+        let a = Emulator::new(&p).run(&inputs).expect("runs");
+        let b = Emulator::new(&opt).run(&inputs).expect("runs optimized");
+        assert_eq!(a.outputs, b.outputs);
+        assert!(
+            b.instructions < a.instructions,
+            "optimization must cut firings: {} !< {}",
+            b.instructions,
+            a.instructions
+        );
+        // And on the timed machine.
+        let mut m = TimedMachine::ideal(opt, 4, Cycle(5), TimedConfig::default());
+        assert_eq!(m.run(&inputs).expect("runs").outputs, a.outputs);
+    }
+}

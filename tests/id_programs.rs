@@ -1,0 +1,218 @@
+//! A breadth suite of Id programs beyond the paper's own examples —
+//! exercising while-loops, nested conditionals, recursion and
+//! I-structure access patterns together, always against a Rust
+//! reference.
+
+use ttda::core::{Emulator, TimedConfig, TimedMachine, Value};
+use ttda::sim::Cycle;
+
+fn run(src: &str, inputs: &[Value]) -> Value {
+    let p = ttda::idc::compile(src).expect("compiles");
+    let out = Emulator::new(&p).run(inputs).expect("runs").outputs[&0];
+    // Every program in this suite must also run identically on a small
+    // timed machine — breadth-first coverage of the whole stack.
+    let mut m = TimedMachine::ideal(p, 3, Cycle(4), TimedConfig::default());
+    let timed = m.run(inputs).expect("runs timed").outputs[&0];
+    assert_eq!(out, timed, "engines disagree");
+    out
+}
+
+#[test]
+fn gcd_euclid() {
+    // a mod b spelled as a - b*(a/b).
+    let src = "def main(a, b) =
+        (initial x = a; y = b
+         while y > 0 do
+           new x = y;
+           new y = x - y * (x / y)
+         return x);";
+    let gcd = |mut a: i64, mut b: i64| {
+        while b > 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    };
+    for (a, b) in [(48, 18), (17, 5), (100, 75), (7, 7), (13, 1)] {
+        assert_eq!(
+            run(src, &[Value::Int(a), Value::Int(b)]),
+            Value::Int(gcd(a, b)),
+            "gcd({a},{b})"
+        );
+    }
+}
+
+#[test]
+fn integer_power_by_squaring() {
+    let src = "
+        def pow(b, e) =
+          if e == 0 then 1
+          else { h = pow(b, e / 2);
+                 if e - (e / 2) * 2 == 0 then h * h else h * h * b };
+        def main(b, e) = pow(b, e);";
+    for (b, e) in [(2i64, 10), (3, 5), (5, 0), (7, 3), (1, 30)] {
+        assert_eq!(
+            run(src, &[Value::Int(b), Value::Int(e)]),
+            Value::Int(b.pow(e as u32)),
+            "{b}^{e}"
+        );
+    }
+}
+
+#[test]
+fn count_primes_by_trial_division() {
+    let src = "
+        def divides(d, n) = n - (n / d) * d == 0;
+        def smallest_factor(n, d) =
+          if d * d > n then n
+          else if divides(d, n) then d
+          else smallest_factor(n, d + 1);
+        def is_prime(n) = if n < 2 then 0
+                          else if smallest_factor(n, 2) == n then 1 else 0;
+        def main(n) =
+          (initial c = 0 for i from 2 to n do
+             new c = c + is_prime(i)
+           return c);";
+    // pi(30) = 10, pi(50) = 15
+    assert_eq!(run(src, &[Value::Int(30)]), Value::Int(10));
+    assert_eq!(run(src, &[Value::Int(50)]), Value::Int(15));
+}
+
+#[test]
+fn horner_polynomial_evaluation() {
+    // p(x) = sum coeffs[i] * x^i with coeffs[i] = i + 1, via Horner from
+    // the top coefficient down (array filled concurrently, read in
+    // reverse — deferral-safe).
+    let src = "def main(n, x) =
+        { c = array(n);
+          fill = (initial j = 0 for i from 0 to n - 1 do
+                    c[i] <- i + 1;
+                    new j = j + 1
+                  return j);
+          (initial acc = 0
+           for k from 1 to n do
+             new acc = acc * x + c[n - k]
+           return acc) };";
+    let horner = |n: i64, x: i64| {
+        let mut acc = 0i64;
+        for k in 1..=n {
+            acc = acc * x + (n - k + 1);
+        }
+        acc
+    };
+    for (n, x) in [(1i64, 5), (4, 2), (6, 3)] {
+        assert_eq!(
+            run(src, &[Value::Int(n), Value::Int(x)]),
+            Value::Int(horner(n, x)),
+            "n={n} x={x}"
+        );
+    }
+}
+
+#[test]
+fn binary_search_over_istructure() {
+    // Array holds 3*i; find the index of a target value.
+    let src = "
+        def search(a, lo, hi, key) =
+          if lo > hi then 0 - 1
+          else { mid = (lo + hi) / 2;
+                 v = a[mid];
+                 if v == key then mid
+                 else if v < key then search(a, mid + 1, hi, key)
+                 else search(a, lo, mid - 1, key) };
+        def main(n, key) =
+          { a = array(n);
+            fill = (initial j = 0 for i from 0 to n - 1 do
+                      a[i] <- 3 * i;
+                      new j = j + 1
+                    return j);
+            search(a, 0, n - 1, key) };";
+    assert_eq!(run(src, &[Value::Int(16), Value::Int(21)]), Value::Int(7));
+    assert_eq!(run(src, &[Value::Int(16), Value::Int(0)]), Value::Int(0));
+    assert_eq!(run(src, &[Value::Int(16), Value::Int(45)]), Value::Int(15));
+    assert_eq!(run(src, &[Value::Int(16), Value::Int(22)]), Value::Int(-1));
+}
+
+#[test]
+fn dot_product_of_two_streams() {
+    let src = "def main(n) =
+        { a = array(n);
+          b = array(n);
+          fa = (initial j = 0 for i from 0 to n - 1 do
+                  a[i] <- i + 1;
+                  new j = j + 1
+                return j);
+          fb = (initial j = 0 for i from 0 to n - 1 do
+                  b[i] <- n - i;
+                  new j = j + 1
+                return j);
+          (initial s = 0 for i from 0 to n - 1 do
+             new s = s + a[i] * b[i]
+           return s) };";
+    let reference = |n: i64| (0..n).map(|i| (i + 1) * (n - i)).sum::<i64>();
+    for n in [1i64, 4, 12] {
+        assert_eq!(run(src, &[Value::Int(n)]), Value::Int(reference(n)), "n={n}");
+    }
+}
+
+#[test]
+fn collatz_steps_with_while() {
+    let src = "def main(n) =
+        (initial x = n; steps = 0
+         while x > 1 do
+           new x = if x - (x / 2) * 2 == 0 then x / 2 else 3 * x + 1;
+           new steps = steps + 1
+         return steps);";
+    let collatz = |mut x: i64| {
+        let mut s = 0;
+        while x > 1 {
+            x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+            s += 1;
+        }
+        s
+    };
+    for n in [1i64, 6, 27] {
+        assert_eq!(run(src, &[Value::Int(n)]), Value::Int(collatz(n)), "n={n}");
+    }
+}
+
+#[test]
+fn ackermann_small() {
+    // The recursion stress test — thousands of contexts even at (2, 3).
+    let src = "
+        def ack(m, n) =
+          if m == 0 then n + 1
+          else if n == 0 then ack(m - 1, 1)
+          else ack(m - 1, ack(m, n - 1));
+        def main(m, n) = ack(m, n);";
+    fn ack(m: i64, n: i64) -> i64 {
+        if m == 0 {
+            n + 1
+        } else if n == 0 {
+            ack(m - 1, 1)
+        } else {
+            ack(m - 1, ack(m, n - 1))
+        }
+    }
+    for (m, n) in [(0i64, 4i64), (1, 3), (2, 3), (3, 3)] {
+        assert_eq!(
+            run(src, &[Value::Int(m), Value::Int(n)]),
+            Value::Int(ack(m, n)),
+            "ack({m},{n})"
+        );
+    }
+}
+
+#[test]
+fn float_newton_sqrt() {
+    let src = "def main(x) =
+        (initial g = x
+         while g * g - x > 0.000001 or x - g * g > 0.000001 do
+           new g = (g + x / g) / 2.0
+         return g);";
+    let Value::Float(got) = run(src, &[Value::Float(2.0)]) else {
+        panic!("float expected")
+    };
+    assert!((got - std::f64::consts::SQRT_2).abs() < 1e-3, "{got}");
+}
