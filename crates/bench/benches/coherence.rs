@@ -1,6 +1,6 @@
 //! Criterion bench behind Experiment E3: coherence protocol cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttda_mem::cache::{CacheConfig, CoherentSystem, Protocol, WritePolicy};
 use ttda_mem::Addr;
 

@@ -1,6 +1,6 @@
 //! Criterion bench behind Experiments E2/E14: whole-machine runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttda_machines::{CmStar, CmStarConfig};
 use ttda_vn::Core;
 use ttda_workloads::vn::chaotic_relaxation;

@@ -1,6 +1,6 @@
 //! Criterion bench behind Experiment E7: FETCH-AND-ADD combining.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttda_machines::{Ultra, UltraConfig};
 
 fn bench_faa(c: &mut Criterion) {

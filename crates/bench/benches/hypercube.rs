@@ -1,7 +1,7 @@
 //! Criterion bench behind Experiment E12: hypercube routing, faults,
 //! rebuild cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
 use ttda_net::{Fabric, FabricConfig, Hypercube, NodeId};
 use ttda_sim::{Cycle, SimRng};
 

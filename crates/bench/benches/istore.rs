@@ -1,7 +1,7 @@
 //! Criterion bench behind Experiment E11/E6: I-structure storage vs
 //! full/empty busy-waiting.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
 use ttda_mem::{Addr, FullEmptyMemory, IStructure, TryReadOutcome};
 
 fn bench_istore(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Criterion bench behind Experiment E1/E4: blocking vs multi-context vs
 //! TTDA under a latency sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttda_core::{TimedConfig, TimedMachine, Value};
 use ttda_sim::Cycle;
 use ttda_vn::{run_blocking, Core, FlatMemory, MultiContext, RunConfig};

@@ -1,7 +1,7 @@
 //! Criterion bench behind Experiment E13/E10: emulator and timed-machine
 //! throughput on compiled Id programs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
 use ttda_core::{Emulator, TimedConfig, TimedMachine, Value};
 use ttda_sim::Cycle;
 use ttda_workloads::id;

@@ -1,6 +1,6 @@
 //! Criterion bench behind Experiment E5: the synchronization ladder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttda_bench::quickbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttda_machines::Smp;
 use ttda_sim::Cycle;
 use ttda_vn::{Core, FlatMemory, MemRef, RunConfig};

@@ -224,63 +224,6 @@ pub fn a3() -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn tight_matching_capacity_costs_cycles() {
-        let p = ttda_idc::compile(id::fib()).expect("compiles");
-        let run = |cap: usize| {
-            let cfg = TimedConfig {
-                match_capacity: cap,
-                match_overflow_penalty: Cycle(8),
-                ..TimedConfig::default()
-            };
-            let mut m = TimedMachine::ideal(p.clone(), 4, Cycle(4), cfg);
-            m.run(&[Value::Int(12)]).expect("runs").stats
-        };
-        let unbounded = run(0);
-        let tiny = run(4);
-        assert_eq!(unbounded.match_overflows, 0);
-        assert!(tiny.match_overflows > 0);
-        assert!(tiny.cycles > unbounded.cycles);
-    }
-
-    #[test]
-    fn single_module_placement_is_slower() {
-        let p = wide_array_program(96);
-        let run = |placement| {
-            let cfg = TimedConfig {
-                placement,
-                istore_access: Cycle(8),
-                ..TimedConfig::default()
-            };
-            let mut m = TimedMachine::ideal(p.clone(), 8, Cycle(4), cfg);
-            m.run(&[Value::Int(1)]).expect("runs").stats.cycles
-        };
-        let single = run(StructPlacement::SingleModule);
-        let inter = run(StructPlacement::Interleaved);
-        assert!(
-            single.as_u64() > inter.as_u64() * 2,
-            "single={single} inter={inter}"
-        );
-    }
-
-    #[test]
-    fn mapping_policies_differ_in_traffic() {
-        let p = ttda_idc::compile(id::fib()).expect("compiles");
-        let run = |mapping| {
-            let cfg = TimedConfig { mapping, ..TimedConfig::default() };
-            let mut m = TimedMachine::ideal(p.clone(), 8, Cycle(4), cfg);
-            m.run(&[Value::Int(12)]).expect("runs").stats
-        };
-        let ctx = run(MappingPolicy::ByContext);
-        let spread = run(MappingPolicy::Spread);
-        assert!(spread.remote_fraction() > ctx.remote_fraction());
-    }
-}
-
 /// A4: k-bounded loops — parallelism vs matching-store pressure.
 pub fn a4() -> String {
     use ttda_core::Emulator;
@@ -317,11 +260,10 @@ pub fn a4() -> String {
         "peak deferred reads",
         "mean parallelism",
     ]);
-    let base_waves;
+    
     let mut rows: Vec<(String, ttda_core::EmuResult)> = Vec::new();
     let unbounded = Emulator::new(&p).run(&inputs).expect("runs");
-    base_waves = unbounded.waves.max(1);
-    let base_waves = base_waves;
+    let base_waves = unbounded.waves.max(1);
     rows.push(("unbounded".into(), unbounded));
     for k in [64u32, 16, 4, 1] {
         let r = Emulator::new(&p)
@@ -408,4 +350,61 @@ pub fn a5() -> String {
          compiler for this machine would consider table stakes.\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_matching_capacity_costs_cycles() {
+        let p = ttda_idc::compile(id::fib()).expect("compiles");
+        let run = |cap: usize| {
+            let cfg = TimedConfig {
+                match_capacity: cap,
+                match_overflow_penalty: Cycle(8),
+                ..TimedConfig::default()
+            };
+            let mut m = TimedMachine::ideal(p.clone(), 4, Cycle(4), cfg);
+            m.run(&[Value::Int(12)]).expect("runs").stats
+        };
+        let unbounded = run(0);
+        let tiny = run(4);
+        assert_eq!(unbounded.match_overflows, 0);
+        assert!(tiny.match_overflows > 0);
+        assert!(tiny.cycles > unbounded.cycles);
+    }
+
+    #[test]
+    fn single_module_placement_is_slower() {
+        let p = wide_array_program(96);
+        let run = |placement| {
+            let cfg = TimedConfig {
+                placement,
+                istore_access: Cycle(8),
+                ..TimedConfig::default()
+            };
+            let mut m = TimedMachine::ideal(p.clone(), 8, Cycle(4), cfg);
+            m.run(&[Value::Int(1)]).expect("runs").stats.cycles
+        };
+        let single = run(StructPlacement::SingleModule);
+        let inter = run(StructPlacement::Interleaved);
+        assert!(
+            single.as_u64() > inter.as_u64() * 2,
+            "single={single} inter={inter}"
+        );
+    }
+
+    #[test]
+    fn mapping_policies_differ_in_traffic() {
+        let p = ttda_idc::compile(id::fib()).expect("compiles");
+        let run = |mapping| {
+            let cfg = TimedConfig { mapping, ..TimedConfig::default() };
+            let mut m = TimedMachine::ideal(p.clone(), 8, Cycle(4), cfg);
+            m.run(&[Value::Int(12)]).expect("runs").stats
+        };
+        let ctx = run(MappingPolicy::ByContext);
+        let spread = run(MappingPolicy::Spread);
+        assert!(spread.remote_fraction() > ctx.remote_fraction());
+    }
 }

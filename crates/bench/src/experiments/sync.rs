@@ -88,7 +88,7 @@ pub fn e5() -> String {
             (sum == w.expected_sum).to_string(),
         ]);
     }
-    let (ttda_cycles, deferred) = ttda_producer_consumer((n * n) as i64);
+    let (ttda_cycles, deferred) = ttda_producer_consumer(n * n);
     t.row_owned(vec![
         "TTDA + I-structures".to_string(),
         format!("{ttda_cycles} (see note)"),
@@ -136,7 +136,7 @@ pub fn e6() -> String {
         // deferred exactly once, never retried.
         let p = ttda_idc::compile(id::producer_consumer()).expect("compiles");
         let mut m = TimedMachine::ideal(p, 2, Cycle(3), TimedConfig::default());
-        let r = m.run(&[Value::Int((n * n) as i64)]).expect("runs");
+        let r = m.run(&[Value::Int(n * n)]).expect("runs");
         t.row_owned(vec![
             work.to_string(),
             retries.to_string(),

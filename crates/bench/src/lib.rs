@@ -32,5 +32,7 @@
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 pub mod experiments;
+pub mod quickbench;
+pub mod tracecmd;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};

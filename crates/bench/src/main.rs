@@ -1,23 +1,70 @@
 //! The `experiments` binary: regenerates any experiment table from
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`, or records an execution trace.
 //!
 //! ```text
 //! cargo run --release -p ttda-bench --bin experiments -- all
 //! cargo run --release -p ttda-bench --bin experiments -- e7 e12
+//! cargo run --release -p ttda-bench --bin experiments -- trace producer-consumer
+//! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
 use ttda_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <id>... | all\n       ids: {}\n\
+         \n       experiments trace <scenario>... | all [--out DIR]\n       scenarios: {}",
+        EXPERIMENT_IDS.join(", "),
+        TRACE_SCENARIOS.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn trace_main(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("target/traces");
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => return usage(),
+            }
+        } else {
+            names.push(a);
+        }
+    }
+    if names.is_empty() {
+        return usage();
+    }
+    let names: Vec<&str> = if names.contains(&"all") {
+        TRACE_SCENARIOS.to_vec()
+    } else {
+        names
+    };
+    for name in names {
+        match run_trace(name, &out_dir) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!(
-            "usage: experiments <id>... | all\n       ids: {}",
-            EXPERIMENT_IDS.join(", ")
-        );
-        return ExitCode::FAILURE;
+        return usage();
+    }
+    if args[0] == "trace" {
+        return trace_main(&args[1..]);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()

@@ -1,0 +1,226 @@
+//! A dependency-free stand-in for the small slice of the Criterion API
+//! the `benches/` targets use.
+//!
+//! The container this suite builds in has no network access to crates.io,
+//! so the real `criterion` crate cannot be fetched. The benches only use
+//! `Criterion::bench_function`, benchmark groups, `BenchmarkId` and
+//! `Bencher::iter`, so this module implements exactly that surface over
+//! `std::time::Instant`: each benchmark runs one warm-up iteration and
+//! then samples until a time budget or iteration cap is reached, printing
+//! mean / min wall-clock time per iteration.
+//!
+//! Tuning via environment variables:
+//!
+//! - `QUICKBENCH_MS` — per-benchmark sampling budget in milliseconds
+//!   (default 200);
+//! - `QUICKBENCH_MAX_ITERS` — sample-count cap (default 50).
+//!
+//! Swapping back to real Criterion is a one-line import change in each
+//! bench file; the call sites are identical.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A labelled benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("blocking", 50)`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter, for groups whose name says it all.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Collects timing samples for one benchmark, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_iters: usize,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(env_u64("QUICKBENCH_MS", 200)),
+            max_iters: env_u64("QUICKBENCH_MAX_ITERS", 50) as usize,
+        }
+    }
+
+    /// Times `f` repeatedly: one untimed warm-up, then samples until the
+    /// time budget or iteration cap is hit.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        while self.samples.len() < self.max_iters
+            && (self.samples.is_empty() || start.elapsed() < self.budget)
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<44} mean {mean:>10.3?}   min {min:>10.3?}   ({} iters)",
+        b.samples.len()
+    );
+}
+
+/// The top-level driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, &mut f);
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function that runs
+/// every listed benchmark against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::quickbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` that runs the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("blocking", 50).id, "blocking/50");
+        assert_eq!(BenchmarkId::from_parameter(16).id, "16");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_at_least_one_sample() {
+        let mut b = Bencher::new();
+        b.max_iters = 3;
+        b.iter(|| 1 + 1);
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.len() <= 3);
+    }
+
+    #[test]
+    fn groups_and_functions_run_their_closures() {
+        std::env::set_var("QUICKBENCH_MAX_ITERS", "2");
+        let mut c = Criterion;
+        let mut ran = 0;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+        let mut g = c.benchmark_group("grp");
+        let mut ran2 = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| ran2 += n)
+        });
+        g.finish();
+        assert!(ran2 >= 4);
+        std::env::remove_var("QUICKBENCH_MAX_ITERS");
+    }
+}

@@ -1,0 +1,192 @@
+//! The `trace` subcommand: run a named scenario with tracing attached
+//! and write the artifacts.
+//!
+//! ```text
+//! cargo run -p ttda-bench --bin experiments -- trace producer-consumer
+//! cargo run -p ttda-bench --bin experiments -- trace all --out target/traces
+//! ```
+//!
+//! Each scenario runs with a tee of both concrete sinks: a
+//! [`CountingSink`] whose metrics and lifecycle invariants are printed to
+//! stdout, and a [`ChromeTraceSink`] whose event log is written next to
+//! the report as `<name>.trace.jsonl` (one JSON object per event) and
+//! `<name>.chrome.json` (load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+
+use std::any::Any;
+use std::path::Path;
+
+use ttda_core::{Emulator, TimedConfig, TimedMachine, Value};
+use ttda_net::{Fabric, FabricConfig, Hypercube, NodeId};
+use ttda_sim::{Cycle, SimRng};
+use ttda_trace::{shared, ChromeTraceSink, CountingSink, TraceEvent, TraceSink};
+
+/// Scenario names accepted by [`run_trace`].
+pub const TRACE_SCENARIOS: [&str; 4] =
+    ["producer-consumer", "fib", "timed-hypercube", "fault-reroute"];
+
+/// Both concrete sinks behind one handle: counts aggregate while the
+/// chrome sink keeps the full event log.
+struct Tee {
+    counts: CountingSink,
+    chrome: ChromeTraceSink,
+}
+
+impl Tee {
+    fn new() -> Self {
+        Tee { counts: CountingSink::new(), chrome: ChromeTraceSink::new() }
+    }
+}
+
+impl TraceSink for Tee {
+    fn record(&mut self, at: Cycle, ev: &TraceEvent) {
+        self.counts.record(at, ev);
+        self.chrome.record(at, ev);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn report(name: &str, tee: &Tee, out_dir: &Path) -> Result<String, String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let jsonl = out_dir.join(format!("{name}.trace.jsonl"));
+    let chrome = out_dir.join(format!("{name}.chrome.json"));
+    std::fs::write(&jsonl, tee.chrome.to_jsonl())
+        .map_err(|e| format!("writing {}: {e}", jsonl.display()))?;
+    std::fs::write(&chrome, tee.chrome.to_chrome_json())
+        .map_err(|e| format!("writing {}: {e}", chrome.display()))?;
+
+    let c = &tee.counts;
+    let mut out = format!("\n=== trace: {name} ===\n");
+    out.push_str(&format!("{}", c.metrics()));
+    out.push_str(&format!(
+        "\ninvariants:\n  token conservation: {}\n  quiescent (0 in flight, 0 deferred): {}\n",
+        if c.in_flight_at_halt().is_some() {
+            if c.token_conservation_holds() { "HOLDS" } else { "VIOLATED" }
+        } else {
+            "n/a (no halt event)"
+        },
+        if c.in_flight_at_halt().is_some() {
+            if c.quiescent() { "HOLDS" } else { "VIOLATED" }
+        } else {
+            "n/a (no halt event)"
+        },
+    ));
+    out.push_str(&format!(
+        "\nartifacts ({} events):\n  {}\n  {}\n",
+        tee.chrome.len(),
+        jsonl.display(),
+        chrome.display()
+    ));
+    Ok(out)
+}
+
+/// Runs one named traced scenario, writing artifacts into `out_dir` and
+/// returning the printed report.
+///
+/// # Errors
+///
+/// Returns the list of valid scenario names if `name` is unknown, or an
+/// IO error message if an artifact cannot be written.
+pub fn run_trace(name: &str, out_dir: &Path) -> Result<String, String> {
+    let sink = shared(Tee::new());
+    match name {
+        "producer-consumer" => {
+            // The Id producer/consumer program through I-structures on
+            // the untimed emulator: deferred reads appear and drain.
+            let p = ttda_idc::compile(ttda_workloads::id::producer_consumer())
+                .map_err(|e| format!("compile: {e:?}"))?;
+            Emulator::new(&p)
+                .with_sink(sink.clone())
+                .run(&[Value::Int(16)])
+                .map_err(|e| format!("run: {e:?}"))?;
+        }
+        "fib" => {
+            let p = ttda_idc::compile(ttda_workloads::id::fib())
+                .map_err(|e| format!("compile: {e:?}"))?;
+            Emulator::new(&p)
+                .with_sink(sink.clone())
+                .run(&[Value::Int(12)])
+                .map_err(|e| format!("run: {e:?}"))?;
+        }
+        "timed-hypercube" => {
+            // The detailed machine on an 8-PE hypercube: per-PE firings,
+            // istore packets and network queueing in one timeline.
+            let p = ttda_idc::compile(ttda_workloads::id::producer_consumer())
+                .map_err(|e| format!("compile: {e:?}"))?;
+            let cube = Hypercube::new(3).map_err(|e| format!("topology: {e:?}"))?;
+            let cfg = TimedConfig {
+                fabric: FabricConfig::bit_serial_4mbs(),
+                ..TimedConfig::default()
+            };
+            TimedMachine::new(p, cube, cfg)
+                .with_sink(sink.clone())
+                .run(&[Value::Int(16)])
+                .map_err(|e| format!("run: {e:?}"))?;
+        }
+        "fault-reroute" => {
+            // Random traffic on a 16-node hypercube, then a link failure
+            // mid-stream: packet hop counts show the detours.
+            let cube = Hypercube::new(4).map_err(|e| format!("topology: {e:?}"))?;
+            let mut fabric = Fabric::new(cube, FabricConfig::bit_serial_4mbs())
+                .with_sink(sink.clone());
+            let mut rng = SimRng::seed(1983);
+            for i in 0..200u64 {
+                if i == 100 {
+                    fabric
+                        .topology_mut()
+                        .fail_link(NodeId(0), NodeId(1))
+                        .map_err(|e| format!("fail_link: {e:?}"))?;
+                }
+                let a = NodeId(rng.gen_range(0..16));
+                let b = NodeId(rng.gen_range(0..16));
+                let _ = fabric.try_send(Cycle(i * 4), a, b);
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown trace scenario `{other}`; valid: {} or `all`",
+                TRACE_SCENARIOS.join(", ")
+            ))
+        }
+    }
+    let s = sink.borrow();
+    let tee = s.as_any().downcast_ref::<Tee>().expect("tee sink");
+    report(name, tee, out_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_runs_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("ttda-tracecmd-test");
+        for name in TRACE_SCENARIOS {
+            let out = run_trace(name, &dir).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(out.contains("=== trace:"), "{name}: no header");
+            assert!(dir.join(format!("{name}.trace.jsonl")).exists());
+            assert!(dir.join(format!("{name}.chrome.json")).exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn machine_scenarios_satisfy_the_lifecycle_invariants() {
+        let dir = std::env::temp_dir().join("ttda-tracecmd-inv");
+        for name in ["producer-consumer", "fib", "timed-hypercube"] {
+            let out = run_trace(name, &dir).unwrap();
+            assert!(out.contains("token conservation: HOLDS"), "{name}:\n{out}");
+            assert!(out.contains("deferred): HOLDS"), "{name}:\n{out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        assert!(run_trace("nope", Path::new("/tmp")).is_err());
+    }
+}

@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 
-use ttda_mem::{Addr, IStructure, ReadOutcome};
+use ttda_mem::{Addr, IStructure, Presence, ReadOutcome};
+use ttda_sim::Cycle;
+use ttda_trace::{PresenceState, SharedSink, TraceEvent};
 
 use crate::context::ContextManager;
 use crate::exec::{execute, StructAction};
@@ -67,7 +69,6 @@ impl EmuResult {
 /// The untimed tagged-token interpreter.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
-#[derive(Debug)]
 pub struct Emulator<'p> {
     program: &'p Program,
     ctx: ContextManager,
@@ -82,6 +83,21 @@ pub struct Emulator<'p> {
     istore_immediate: u64,
     istore_deferred: u64,
     istore_writes: u64,
+    sink: Option<SharedSink>,
+    /// Trace timestamp: the current wave index (idealized time).
+    now: Cycle,
+}
+
+impl std::fmt::Debug for Emulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Emulator")
+            .field("instructions", &self.instructions)
+            .field("waiting", &self.waiting.len())
+            .field("structures", &self.structures.len())
+            .field("loop_bound", &self.loop_bound)
+            .field("traced", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> Emulator<'p> {
@@ -103,6 +119,8 @@ impl<'p> Emulator<'p> {
             istore_immediate: 0,
             istore_deferred: 0,
             istore_writes: 0,
+            sink: None,
+            now: Cycle::ZERO,
         }
     }
 
@@ -110,6 +128,22 @@ impl<'p> Emulator<'p> {
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
         self
+    }
+
+    /// Attaches a trace sink. The emulator reports every token's emit
+    /// and consume, waiting–matching traffic, wave widths, I-structure
+    /// activity and the final halt; timestamps are wave indices (the
+    /// idealized machine's clock).
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    #[inline]
+    fn trace(&self, ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(self.now, &ev);
+        }
     }
 
     /// Enables **k-bounded loops**: at most `k` consecutive iterations of
@@ -182,6 +216,7 @@ impl<'p> Emulator<'p> {
                     Port(0),
                     *v,
                 ));
+                self.trace(TraceEvent::TokenEmit { pe: 0 });
             }
         }
 
@@ -269,6 +304,8 @@ impl<'p> Emulator<'p> {
             peak_deferred = peak_deferred.max(self.outstanding_deferred());
             if fired > 0 {
                 profile.push(fired);
+                self.trace(TraceEvent::WaveEnd { fired: fired as u64 });
+                self.now = self.now.saturating_add(Cycle(1));
             }
             wave = next;
         }
@@ -277,6 +314,9 @@ impl<'p> Emulator<'p> {
         if stranded > 0 {
             return Err(ExecError::Deadlock { stranded });
         }
+        // Clean quiescence: the wave and holding pen are both empty, so
+        // nothing is in flight.
+        self.trace(TraceEvent::Halt { in_flight: 0 });
 
         Ok(EmuResult {
             outputs: self.outputs.clone(),
@@ -323,6 +363,15 @@ impl<'p> Emulator<'p> {
     fn absorb(&mut self, token: Token) -> Result<Option<(ActivityName, Vec<Value>)>, ExecError> {
         let r = crate::exec::absorb(self.program, &mut self.waiting, token)?;
         self.peak_matching = self.peak_matching.max(self.waiting.len());
+        if self.sink.is_some() {
+            self.trace(TraceEvent::TokenConsume { pe: 0 });
+            if r.is_none() {
+                self.trace(TraceEvent::MatchWait {
+                    pe: 0,
+                    occupancy: self.waiting.len() as u64,
+                });
+            }
+        }
         Ok(r)
     }
 
@@ -341,6 +390,18 @@ impl<'p> Emulator<'p> {
         if eff.is_alu {
             self.alu_ops += 1;
         }
+        // Clone the sink handle so istore tracing below can run while the
+        // store is mutably borrowed. `None.clone()` is free, keeping the
+        // disabled path at one branch.
+        let sink = self.sink.clone();
+        let now = self.now;
+        let trace = |ev: &TraceEvent| {
+            if let Some(s) = &sink {
+                s.borrow_mut().record(now, ev);
+            }
+        };
+        let out_before = out.len();
+        trace(&TraceEvent::MatchFire { pe: 0, alu: eff.is_alu, busy: 0 });
         out.extend(eff.tokens);
         if let Some((slot, v)) = eff.output {
             self.outputs.insert(slot, v);
@@ -358,15 +419,39 @@ impl<'p> Emulator<'p> {
             Some(StructAction::Fetch { ptr, idx, dests }) => {
                 let mut immediate = 0u64;
                 let mut deferred = 0u64;
+                let traced = sink.is_some();
                 let store = self.store_mut(tag, ptr)?;
                 for (rtag, port) in dests {
+                    let before = if traced {
+                        store.presence(Addr(idx))?
+                    } else {
+                        Presence::Empty
+                    };
                     match store.read(Addr(idx), (rtag, port))? {
                         ReadOutcome::Value(v) => {
                             immediate += 1;
                             out.push(Token::new(rtag, port, v));
+                            trace(&TraceEvent::IStoreRead { module: ptr.id, immediate: true });
                         }
                         ReadOutcome::Deferred => {
                             deferred += 1;
+                            if traced {
+                                trace(&TraceEvent::IStoreRead {
+                                    module: ptr.id,
+                                    immediate: false,
+                                });
+                                trace(&TraceEvent::DeferEnqueue {
+                                    module: ptr.id,
+                                    depth: store.deferred_count(Addr(idx))? as u64,
+                                });
+                                if before != Presence::Deferred {
+                                    trace(&TraceEvent::Presence {
+                                        module: ptr.id,
+                                        from: before.as_trace(),
+                                        to: PresenceState::Deferred,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -374,15 +459,40 @@ impl<'p> Emulator<'p> {
                 self.istore_deferred += deferred;
             }
             Some(StructAction::Store { ptr, idx, value, dests }) => {
+                let traced = sink.is_some();
                 let store = self.store_mut(tag, ptr)?;
+                let before = if traced {
+                    store.presence(Addr(idx))?
+                } else {
+                    Presence::Empty
+                };
                 let released = store.write(Addr(idx), value)?;
                 self.istore_writes += 1;
+                if traced {
+                    trace(&TraceEvent::IStoreWrite { module: ptr.id });
+                    trace(&TraceEvent::Presence {
+                        module: ptr.id,
+                        from: before.as_trace(),
+                        to: PresenceState::Present,
+                    });
+                    if !released.is_empty() {
+                        trace(&TraceEvent::DeferRelease {
+                            module: ptr.id,
+                            released: released.len() as u64,
+                        });
+                    }
+                }
                 for (rtag, port) in released {
                     out.push(Token::new(rtag, port, value));
                 }
                 for (rtag, port) in dests {
                     out.push(Token::new(rtag, port, Value::Unit));
                 }
+            }
+        }
+        if sink.is_some() {
+            for _ in out_before..out.len() {
+                trace(&TraceEvent::TokenEmit { pe: 0 });
             }
         }
         Ok(())
@@ -593,6 +703,55 @@ mod tests {
         assert_eq!(r.outputs[&0], Value::Int(99));
         assert_eq!(r.istore_deferred, 1, "the fetch must have been deferred");
         assert_eq!(r.istore_writes, 1);
+    }
+
+    #[test]
+    fn sink_sees_a_conserved_token_ledger() {
+        use ttda_trace::{shared, CountingSink};
+
+        // Same producer/consumer graph as above, but traced: every token
+        // the emulator creates must be consumed by halt, the deferred
+        // read must appear and drain, and the fire count must match the
+        // instruction count.
+        let mut g = GraphBuilder::new("t");
+        let x = g.param();
+        let size = g.lit(Value::Int(1));
+        g.wire(x, size, 0);
+        let alloc = g.instr(OpCode::IAlloc);
+        g.wire(size, alloc, 0);
+        let fetch = g.instr_lit(OpCode::IFetch, 1, Value::Int(0));
+        g.wire(alloc, fetch, 0);
+        let out = g.output(0);
+        g.wire(fetch, out, 0);
+        let mut v = x;
+        for _ in 0..5 {
+            let id = g.instr(OpCode::Identity);
+            g.wire(v, id, 0);
+            v = id;
+        }
+        let store = g.instr_lit(OpCode::IStore, 1, Value::Int(0));
+        g.wire(alloc, store, 0);
+        g.wire(v, store, 2);
+        let snk = g.instr(OpCode::Sink);
+        g.wire(store, snk, 0);
+        let p = g.finish_program().expect("build");
+
+        let sink = shared(CountingSink::new());
+        let r = Emulator::new(&p)
+            .with_sink(sink.clone())
+            .run(&[Value::Int(99)])
+            .expect("run");
+        let s = sink.borrow();
+        let c = s.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert!(c.token_conservation_holds(), "emitted {} consumed {}",
+            c.tokens_emitted(), c.tokens_consumed());
+        assert!(c.quiescent(), "deferred reads must drain by halt");
+        let m = c.metrics();
+        assert_eq!(m.counter_value("match_fire"), r.instructions);
+        assert_eq!(m.counter_value("istore_read"), 1);
+        assert_eq!(m.counter_value("istore_write"), 1);
+        assert_eq!(m.counter_value("defer_enqueue"), 1);
+        assert_eq!(m.counter_value("defer_release"), 1);
     }
 
     #[test]

@@ -212,7 +212,7 @@ pub(crate) fn execute(
                 activity: tag.to_string(),
             })?;
             let new_ctx = ctx.enter_call(tag.u, tag.i, tag.c, *callee, instr.dests.clone());
-            for k in 0..*argc as usize {
+            for (k, &op) in ops.iter().enumerate().take(*argc as usize) {
                 eff.tokens.push(Token::new(
                     ActivityName {
                         u: new_ctx,
@@ -221,7 +221,7 @@ pub(crate) fn execute(
                         i: Iter::ONE,
                     },
                     Port(0),
-                    ops[k],
+                    op,
                 ));
             }
         }

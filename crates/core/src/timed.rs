@@ -19,6 +19,7 @@ use std::collections::{HashMap, VecDeque};
 
 use ttda_net::{Fabric, FabricConfig, Ideal, NodeId, Topology};
 use ttda_sim::{Cycle, EventQueue};
+use ttda_trace::{PresenceState, SharedSink, TraceEvent};
 
 use crate::context::ContextManager;
 use crate::exec::{absorb, execute, Continuation, StructAction};
@@ -235,11 +236,21 @@ struct ModState {
 /// assert_eq!(r.outputs[&0], Value::Int(7));
 /// assert!(r.stats.cycles > Cycle(0));
 /// ```
-#[derive(Debug)]
 pub struct TimedMachine<T> {
     program: Program,
     config: TimedConfig,
     fabric: Fabric<T>,
+    sink: Option<SharedSink>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TimedMachine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedMachine")
+            .field("config", &self.config)
+            .field("fabric", &self.fabric)
+            .field("traced", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TimedMachine<Ideal> {
@@ -259,7 +270,22 @@ impl<T: Topology> TimedMachine<T> {
             program,
             config,
             fabric: Fabric::new(topology, config.fabric),
+            sink: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a trace sink. The sink is also
+    /// threaded into the network fabric, so one sink observes token
+    /// lifecycle, I-structure and packet events for the whole machine.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.fabric.set_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// Builder-style [`TimedMachine::set_sink`].
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.set_sink(Some(sink));
+        self
     }
 
     /// Number of processing elements.
@@ -325,6 +351,14 @@ impl<T: Topology> TimedMachine<T> {
         self.fabric.reset();
         let n = self.pes();
         let cfg = self.config;
+        // A local clone keeps the disabled-tracing cost at one branch per
+        // event site and sidesteps borrows of `self` held below.
+        let sink = self.sink.clone();
+        let trace = |at: Cycle, ev: &TraceEvent| {
+            if let Some(s) = &sink {
+                s.borrow_mut().record(at, ev);
+            }
+        };
 
         let mut ctx = ContextManager::new(self.program.main);
         let mut pes: Vec<PeState> = (0..n).map(|_| PeState::default()).collect();
@@ -367,6 +401,7 @@ impl<T: Topology> TimedMachine<T> {
                 };
                 let pe = self.pe_of(tag);
                 q.push(Cycle::ZERO, Ev::Deliver { pe, token: Token::new(tag, Port(0), *v) });
+                trace(Cycle::ZERO, &TraceEvent::TokenEmit { pe: pe as u32 });
             }
         }
 
@@ -397,6 +432,15 @@ impl<T: Topology> TimedMachine<T> {
                         match_overflows += 1;
                     }
                     let enabled = absorb(&self.program, &mut pes[pe].waiting, token)?;
+                    if sink.is_some() {
+                        trace(now, &TraceEvent::TokenConsume { pe: pe as u32 });
+                        if enabled.is_none() {
+                            trace(now, &TraceEvent::MatchWait {
+                                pe: pe as u32,
+                                occupancy: pes[pe].waiting.len() as u64,
+                            });
+                        }
+                    }
                     if let Some((tag, ops)) = enabled {
                         let instr = self
                             .program
@@ -414,9 +458,15 @@ impl<T: Topology> TimedMachine<T> {
                         let emit_count = eff.tokens.len() as u64;
                         busy += cfg.output_time.saturating_mul(emit_count);
                         let done = now + busy;
+                        trace(now, &TraceEvent::MatchFire {
+                            pe: pe as u32,
+                            alu: eff.is_alu,
+                            busy: busy.as_u64(),
+                        });
 
                         for t in eff.tokens {
                             let dest = self.pe_of(t.tag);
+                            trace(done, &TraceEvent::TokenEmit { pe: dest as u32 });
                             if dest == pe {
                                 q.push(done + cfg.local_delay, Ev::Deliver { pe: dest, token: t });
                             } else {
@@ -478,16 +528,46 @@ impl<T: Topology> TimedMachine<T> {
                                 Cell::Present(v) => {
                                     is_immediate += 1;
                                     let v = *v;
+                                    trace(done, &TraceEvent::IStoreRead {
+                                        module: module as u32,
+                                        immediate: true,
+                                    });
                                     self.route_value(&mut q, done, module, v, &dests, &mut tokens_remote);
                                 }
                                 Cell::Deferred(list) => {
                                     is_deferred += 1;
                                     list.extend(dests);
+                                    if sink.is_some() {
+                                        trace(done, &TraceEvent::IStoreRead {
+                                            module: module as u32,
+                                            immediate: false,
+                                        });
+                                        trace(done, &TraceEvent::DeferEnqueue {
+                                            module: module as u32,
+                                            depth: list.len() as u64,
+                                        });
+                                    }
                                 }
                             },
                             std::collections::hash_map::Entry::Vacant(e) => {
                                 is_deferred += 1;
+                                let depth = dests.len() as u64;
                                 e.insert(Cell::Deferred(dests));
+                                if sink.is_some() {
+                                    trace(done, &TraceEvent::IStoreRead {
+                                        module: module as u32,
+                                        immediate: false,
+                                    });
+                                    trace(done, &TraceEvent::DeferEnqueue {
+                                        module: module as u32,
+                                        depth,
+                                    });
+                                    trace(done, &TraceEvent::Presence {
+                                        module: module as u32,
+                                        from: PresenceState::Empty,
+                                        to: PresenceState::Deferred,
+                                    });
+                                }
                             }
                         }
                     }
@@ -499,9 +579,26 @@ impl<T: Topology> TimedMachine<T> {
                         m.port_free = done;
                         let prev = m.cells.insert((ptr.id, idx as u32), Cell::Present(value));
                         is_writes += 1;
+                        // A double write is an error (handled below), so
+                        // only trace the legal transitions.
+                        if sink.is_some() && !matches!(&prev, Some(Cell::Present(_))) {
+                            trace(done, &TraceEvent::IStoreWrite { module: module as u32 });
+                            trace(done, &TraceEvent::Presence {
+                                module: module as u32,
+                                from: match &prev {
+                                    Some(Cell::Deferred(_)) => PresenceState::Deferred,
+                                    _ => PresenceState::Empty,
+                                },
+                                to: PresenceState::Present,
+                            });
+                        }
                         match prev {
                             None => {}
                             Some(Cell::Deferred(readers)) => {
+                                trace(done, &TraceEvent::DeferRelease {
+                                    module: module as u32,
+                                    released: readers.len() as u64,
+                                });
                                 self.route_value(&mut q, done, module, value, &readers, &mut tokens_remote);
                             }
                             Some(Cell::Present(old)) => {
@@ -531,6 +628,9 @@ impl<T: Topology> TimedMachine<T> {
         if stranded > 0 {
             return Err(ExecError::Deadlock { stranded });
         }
+        // The event queue drained and nothing is parked: every emitted
+        // token has been consumed.
+        trace(end, &TraceEvent::Halt { in_flight: 0 });
 
         let per_pe_alu_busy: Vec<Cycle> = pes.iter().map(|p| p.alu_busy).collect();
         let alu_busy = per_pe_alu_busy.iter().copied().sum();
@@ -572,6 +672,9 @@ impl<T: Topology> TimedMachine<T> {
         for &(tag, port) in dests {
             let pe = self.pe_of(tag);
             let token = Token::new(tag, port, value);
+            if let Some(s) = &self.sink {
+                s.borrow_mut().record(at, &TraceEvent::TokenEmit { pe: pe as u32 });
+            }
             if pe == from {
                 q.push(at + self.config.local_delay, Ev::Deliver { pe, token });
             } else {
@@ -680,6 +783,27 @@ mod tests {
         assert_eq!(r.outputs[&0], Value::Int(7));
         assert_eq!(r.stats.istore_deferred, 1);
         assert_eq!(r.stats.istore_writes, 1);
+    }
+
+    #[test]
+    fn sink_ledger_balances_on_timed_runs() {
+        use ttda_trace::{shared, CountingSink};
+
+        let (p, expect) = sum_loop_program(25);
+        let sink = shared(CountingSink::new());
+        let mut m = TimedMachine::ideal(p, 4, Cycle(3), TimedConfig::default())
+            .with_sink(sink.clone());
+        let r = m.run(&[Value::Int(25)]).unwrap();
+        assert_eq!(r.outputs[&0], expect);
+        let s = sink.borrow();
+        let c = s.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert!(c.token_conservation_holds(), "emitted {} consumed {}",
+            c.tokens_emitted(), c.tokens_consumed());
+        assert!(c.quiescent());
+        assert_eq!(c.tokens_emitted(), r.stats.tokens_delivered);
+        assert_eq!(c.metrics().counter_value("match_fire"), r.stats.instructions);
+        // Every remote token and istore packet crossed the traced fabric.
+        assert_eq!(c.packets(), r.stats.net_packets);
     }
 
     #[test]

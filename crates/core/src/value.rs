@@ -315,7 +315,7 @@ mod tests {
 
     #[test]
     fn extractors() {
-        assert_eq!(as_bool(&Value::Bool(true)).unwrap(), true);
+        assert!(as_bool(&Value::Bool(true)).unwrap());
         assert!(as_bool(&Value::Int(1)).is_err());
         assert_eq!(as_int(&Value::Int(4)).unwrap(), 4);
         assert!(as_int(&Value::Float(4.0)).is_err());

@@ -155,13 +155,14 @@ impl Expr {
             Expr::Let(binds, body) => {
                 let mut inner = HashSet::new();
                 body.free_vars(&mut inner);
-                let mut bound = HashSet::new();
                 // Bindings are sequential: each sees earlier names.
+                // Walking in reverse, removing a name before adding its
+                // rhs's variables means a shadowing rhs like `t = t + 1`
+                // correctly reports the *outer* `t` as free.
                 for b in binds.iter().rev() {
                     match b {
                         Binding::Bind(name, e) => {
                             inner.remove(name);
-                            bound.insert(name.clone());
                             e.free_vars(&mut inner);
                         }
                         Binding::Store { target, idx, value } => {
@@ -170,9 +171,6 @@ impl Expr {
                             value.free_vars(&mut inner);
                         }
                     }
-                }
-                for name in &bound {
-                    inner.remove(name);
                 }
                 out.extend(inner);
             }
@@ -267,6 +265,37 @@ mod tests {
             )),
         );
         assert_eq!(fv(&e), vec!["x", "z"]);
+    }
+
+    #[test]
+    fn shadowing_binding_reports_the_outer_name_free() {
+        // { t = t + 1; t } — the rhs `t` is the *outer* t, so it is free.
+        let e = Expr::Let(
+            vec![Binding::Bind(
+                "t".into(),
+                Expr::Binary(
+                    BinOp::Add,
+                    Box::new(Expr::Var("t".into())),
+                    Box::new(Expr::Int(1)),
+                ),
+            )],
+            Box::new(Expr::Var("t".into())),
+        );
+        assert_eq!(fv(&e), vec!["t"]);
+    }
+
+    #[test]
+    fn later_binding_does_not_capture_earlier_rhs() {
+        // { a = b; b = 1; a } — the first rhs `b` precedes the binding of
+        // `b`, so it refers to an outer `b` and is free.
+        let e = Expr::Let(
+            vec![
+                Binding::Bind("a".into(), Expr::Var("b".into())),
+                Binding::Bind("b".into(), Expr::Int(1)),
+            ],
+            Box::new(Expr::Var("a".into())),
+        );
+        assert_eq!(fv(&e), vec!["b"]);
     }
 
     #[test]

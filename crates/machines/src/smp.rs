@@ -231,7 +231,7 @@ mod tests {
         let stats = smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3)).unwrap();
         assert!(stats.completed);
         for p in 0..n {
-            assert_eq!(smp.core(p).reg(Reg(5)), 0 + 1 + 2 + 3, "proc {p} sum");
+            assert_eq!(smp.core(p).reg(Reg(5)), 1 + 2 + 3, "proc {p} sum");
         }
         assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
         assert_eq!(stats.instructions.len(), n);

@@ -1,69 +1,74 @@
-//! Property tests for the surveyed machine models.
+//! Property tests for the surveyed machine models, driven by the
+//! in-tree `check` harness.
 
-use proptest::prelude::*;
 use ttda_machines::{CmInstr, ConnectionMachine, DepGraph, OpKind, Ultra, UltraConfig, Vliw};
-use ttda_sim::SimRng;
+use ttda_sim::{check, SimRng};
 
-proptest! {
-    #[test]
-    fn faa_preserves_the_total_for_any_increments(
-        incs in proptest::collection::vec(-50i64..50, 8..9),
-        combining in any::<bool>(),
-    ) {
-        let n = incs.len();
+#[test]
+fn faa_preserves_the_total_for_any_increments() {
+    check::forall("faa preserves the total", |rng| {
+        let n = 8;
+        let incs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50i64..50)).collect();
+        let combining = rng.chance(0.5);
         let mut u = Ultra::new(UltraConfig { procs: n, combining, ..UltraConfig::default() })
             .expect("power of two");
         let stats = u.hot_spot(&incs);
-        prop_assert_eq!(stats.finals[&0], incs.iter().sum::<i64>());
-    }
+        assert_eq!(stats.finals[&0], incs.iter().sum::<i64>());
+    });
+}
 
-    #[test]
-    fn faa_is_serializable_for_positive_increments(
-        incs in proptest::collection::vec(1i64..50, 8..9),
-        combining in any::<bool>(),
-    ) {
+#[test]
+fn faa_is_serializable_for_positive_increments() {
+    check::forall("faa serializable for positive increments", |rng| {
         // With strictly positive increments the serial order is
         // recoverable: prefix sums are strictly increasing, so sorting
         // the fetched values reconstructs the commit order exactly.
-        let n = incs.len();
+        let n = 8;
+        let incs: Vec<i64> = (0..n).map(|_| rng.gen_range(1i64..50)).collect();
+        let combining = rng.chance(0.5);
         let mut u = Ultra::new(UltraConfig { procs: n, combining, ..UltraConfig::default() })
             .expect("power of two");
         let stats = u.hot_spot(&incs);
-        prop_assert_eq!(stats.finals[&0], incs.iter().sum::<i64>());
+        assert_eq!(stats.finals[&0], incs.iter().sum::<i64>());
         let mut pairs: Vec<(i64, usize)> = stats.returned.iter().copied().zip(0..n).collect();
         pairs.sort();
         let mut acc = 0i64;
         for (got, proc) in pairs {
-            prop_assert_eq!(got, acc, "prefix-sum order broken at proc {}", proc);
+            assert_eq!(got, acc, "prefix-sum order broken at proc {proc}");
             acc += incs[proc];
         }
-    }
+    });
+}
 
-    #[test]
-    fn cm_router_always_delivers(
-        dim in 2usize..7,
-        msgs in proptest::collection::vec((0usize..64, 0usize..64), 0..80),
-    ) {
+#[test]
+fn cm_router_always_delivers() {
+    check::forall("cm router always delivers", |rng| {
+        let dim = rng.gen_range(2usize..7);
         let mut cm = ConnectionMachine::new(dim).expect("dim ok");
         let n = cm.processors();
-        let messages: Vec<(usize, usize)> = msgs.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let count = rng.gen_range(0usize..80);
+        let messages: Vec<(usize, usize)> = (0..count)
+            .map(|_| (rng.gen_range(0usize..n), rng.gen_range(0usize..n)))
+            .collect();
         let nontrivial = messages.iter().filter(|(a, b)| a != b).count() as u64;
         let s = cm.run(&[CmInstr::Route { messages }]);
         // Rounds are bounded by distance + serialization.
-        prop_assert!(s.route_rounds <= dim as u64 + nontrivial);
-        prop_assert!(s.route_rounds >= s.ideal_rounds.min(dim as u64));
-    }
+        assert!(s.route_rounds <= dim as u64 + nontrivial);
+        assert!(s.route_rounds >= s.ideal_rounds.min(dim as u64));
+    });
+}
 
-    #[test]
-    fn vliw_schedule_is_a_permutation_respecting_deps(
-        edges in proptest::collection::vec((1usize..40, 0usize..40), 0..60),
-        width in 1usize..20,
-    ) {
+#[test]
+fn vliw_schedule_is_a_permutation_respecting_deps() {
+    check::forall("vliw schedule is a permutation", |rng| {
+        let width = rng.gen_range(1usize..20);
         // Build a DAG over 40 ops with edges (a -> b means b depends on a).
         let mut g = DepGraph::new();
         let mut deps: Vec<Vec<usize>> = vec![vec![]; 40];
-        for (b, a) in edges {
-            let b = b.min(39);
+        let edges = rng.gen_range(0usize..60);
+        for _ in 0..edges {
+            let b = rng.gen_range(1usize..40);
+            let a = rng.gen_range(0usize..40);
             if a < b {
                 deps[b].push(a);
             }
@@ -78,16 +83,16 @@ proptest! {
         // Every op appears exactly once.
         let mut seen = vec![false; g.len()];
         for w in &s.words {
-            prop_assert!(w.len() <= width);
+            assert!(w.len() <= width);
             for &op in w {
-                prop_assert!(!seen[op], "op {} scheduled twice", op);
+                assert!(!seen[op], "op {op} scheduled twice");
                 seen[op] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&x| x));
+        assert!(seen.iter().all(|&x| x));
         // Execution accounting: cycles == words + stalls.
-        let mut rng = SimRng::seed(9);
-        let st = m.execute(&s, 0.25, &mut rng);
-        prop_assert_eq!(st.cycles.as_u64(), st.words + st.stall_cycles.as_u64());
-    }
+        let mut exec_rng = SimRng::seed(9);
+        let st = m.execute(&s, 0.25, &mut exec_rng);
+        assert_eq!(st.cycles.as_u64(), st.words + st.stall_cycles.as_u64());
+    });
 }

@@ -161,14 +161,12 @@ impl CacheArray {
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(addr);
-        self.lines[range]
+        let line = self.lines[range]
             .iter_mut()
             .flatten()
-            .find(|l| l.tag == addr.0)
-            .map(|l| {
-                l.lru = tick;
-                l
-            })
+            .find(|l| l.tag == addr.0)?;
+        line.lru = tick;
+        Some(line)
     }
 
     fn peek_state(&self, addr: Addr) -> Option<State> {

@@ -5,6 +5,7 @@ use std::fmt;
 
 use ttda_sim::stats::Counter;
 use ttda_sim::Cycle;
+use ttda_trace::{PresenceState, SharedSink, TraceEvent};
 
 use crate::module::Addr;
 
@@ -21,6 +22,17 @@ pub enum Presence {
     Present,
     /// Not yet written, but one or more read requests are deferred.
     Deferred,
+}
+
+impl Presence {
+    /// The trace-layer mirror of this state.
+    pub fn as_trace(self) -> PresenceState {
+        match self {
+            Presence::Empty => PresenceState::Empty,
+            Presence::Present => PresenceState::Present,
+            Presence::Deferred => PresenceState::Deferred,
+        }
+    }
 }
 
 /// What an I-structure read produced.
@@ -284,13 +296,28 @@ pub struct IStructureStats {
 /// assert_eq!(done_w, Cycle(20)); // write: 2x
 /// assert_eq!(done_r - Cycle(20), Cycle(10)); // read: 1x
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct IStructureController<T, R = u64> {
     store: IStructure<T, R>,
     access: Cycle,
     port_free: Cycle,
     stats: IStructureStats,
     ops: Counter,
+    sink: Option<SharedSink>,
+    module: u32,
+}
+
+impl<T: fmt::Debug, R: fmt::Debug> fmt::Debug for IStructureController<T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IStructureController")
+            .field("store", &self.store)
+            .field("access", &self.access)
+            .field("port_free", &self.port_free)
+            .field("stats", &self.stats)
+            .field("module", &self.module)
+            .field("traced", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: Clone, R> IStructureController<T, R> {
@@ -303,7 +330,17 @@ impl<T: Clone, R> IStructureController<T, R> {
             port_free: Cycle::ZERO,
             stats: IStructureStats::default(),
             ops: Counter::new(),
+            sink: None,
+            module: 0,
         }
+    }
+
+    /// Attaches a trace sink; `module` labels this controller's events.
+    /// Reads, writes, presence-bit transitions and deferred-list traffic
+    /// are reported at their completion times.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>, module: u32) {
+        self.sink = sink;
+        self.module = module;
     }
 
     /// The untimed store (for inspection).
@@ -343,16 +380,45 @@ impl<T: Clone, R> IStructureController<T, R> {
         addr: Addr,
         reader: R,
     ) -> Result<(Cycle, ReadOutcome<T>), IStructureError> {
+        let before = self.store.presence(addr)?;
         let outcome = self.store.read(addr, reader)?;
+        let mut defer_depth = 0;
         match &outcome {
             ReadOutcome::Value(_) => self.stats.immediate_reads += 1,
             ReadOutcome::Deferred => {
                 self.stats.deferred_reads += 1;
-                let len = self.store.deferred_count(addr)?;
-                self.stats.max_deferred_list = self.stats.max_deferred_list.max(len);
+                defer_depth = self.store.deferred_count(addr)?;
+                self.stats.max_deferred_list = self.stats.max_deferred_list.max(defer_depth);
             }
         }
         let done = self.serve(now, self.access);
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.borrow_mut();
+            let immediate = matches!(outcome, ReadOutcome::Value(_));
+            sink.record(
+                done,
+                &TraceEvent::IStoreRead { module: self.module, immediate },
+            );
+            if !immediate {
+                sink.record(
+                    done,
+                    &TraceEvent::DeferEnqueue {
+                        module: self.module,
+                        depth: defer_depth as u64,
+                    },
+                );
+                if before != Presence::Deferred {
+                    sink.record(
+                        done,
+                        &TraceEvent::Presence {
+                            module: self.module,
+                            from: before.as_trace(),
+                            to: PresenceState::Deferred,
+                        },
+                    );
+                }
+            }
+        }
         Ok((done, outcome))
     }
 
@@ -364,10 +430,32 @@ impl<T: Clone, R> IStructureController<T, R> {
     /// Propagates [`IStructureError`] from the store — including the
     /// write-write race.
     pub fn write(&mut self, now: Cycle, addr: Addr, value: T) -> Result<(Cycle, Vec<R>), IStructureError> {
+        let before = self.store.presence(addr)?;
         let released = self.store.write(addr, value)?;
         self.stats.writes += 1;
         self.stats.releases += released.len() as u64;
         let done = self.serve(now, self.access.saturating_mul(2));
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.borrow_mut();
+            sink.record(done, &TraceEvent::IStoreWrite { module: self.module });
+            sink.record(
+                done,
+                &TraceEvent::Presence {
+                    module: self.module,
+                    from: before.as_trace(),
+                    to: PresenceState::Present,
+                },
+            );
+            if !released.is_empty() {
+                sink.record(
+                    done,
+                    &TraceEvent::DeferRelease {
+                        module: self.module,
+                        released: released.len() as u64,
+                    },
+                );
+            }
+        }
         Ok((done, released))
     }
 }
@@ -463,5 +551,31 @@ mod tests {
         assert_eq!(s.releases, 2);
         assert_eq!(s.max_deferred_list, 2);
         assert_eq!(c.ops(), 4);
+    }
+
+    #[test]
+    fn controller_sink_sees_lifecycle() {
+        use ttda_trace::{shared, CountingSink};
+
+        let sink = shared(CountingSink::new());
+        let mut c: IStructureController<i64> = IStructureController::new(4, Cycle(1));
+        c.set_sink(Some(sink.clone()), 7);
+        c.read(Cycle(0), Addr(0), 10).unwrap(); // deferred
+        c.read(Cycle(0), Addr(0), 11).unwrap(); // deferred, depth 2
+        {
+            let s = sink.borrow();
+            let cs = s.as_any().downcast_ref::<CountingSink>().unwrap();
+            assert_eq!(cs.deferred_outstanding(), 2);
+            assert_eq!(cs.peak_defer_depth(), 2);
+        }
+        c.write(Cycle(0), Addr(0), 5).unwrap(); // releases both
+        c.read(Cycle(0), Addr(0), 12).unwrap(); // immediate
+        let s = sink.borrow();
+        let cs = s.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert_eq!(cs.deferred_outstanding(), 0);
+        assert_eq!(cs.metrics().counter_value("istore_read"), 3);
+        assert_eq!(cs.metrics().counter_value("istore_read_immediate"), 1);
+        assert_eq!(cs.metrics().counter_value("istore_write"), 1);
+        assert_eq!(cs.metrics().counter_value("presence"), 2); // E->D, D->P
     }
 }

@@ -4,9 +4,9 @@
 //!
 //! - **Issue 1 (latency)** motivates [`MemoryModule`], a banked memory
 //!   element with explicit service times, and [`cache`], the demand-cache
-//!   + coherence machinery whose scaling pathologies §1.1 dissects
-//!   (write-invalidate snooping and a Censier & Feautrier-style directory,
-//!   with full traffic accounting);
+//!   and coherence machinery whose scaling pathologies §1.1 dissects
+//!   (write-invalidate snooping and a Censier & Feautrier-style
+//!   directory, with full traffic accounting);
 //! - **Issue 2 (synchronization)** motivates [`IStructure`] — the paper's
 //!   proposed memory with *presence bits* and *deferred read lists*
 //!   (Fig 2-1) — and its foil, [`FullEmptyMemory`], the Denelcor-HEP-style

@@ -1,114 +1,136 @@
-//! Property tests for the memory models.
+//! Property tests for the memory models, driven by the in-tree
+//! `check` harness.
 
-use proptest::prelude::*;
 use ttda_mem::cache::{CacheConfig, CoherentSystem, Protocol, WritePolicy};
 use ttda_mem::{Addr, FullEmptyMemory, IStructureController, MemOp, MemoryModule, TryReadOutcome};
-use ttda_sim::Cycle;
+use ttda_sim::{check, Cycle};
 
-proptest! {
-    #[test]
-    fn every_cache_access_is_hit_or_miss(
-        ops in proptest::collection::vec((0usize..4, 0usize..64, any::<bool>()), 1..300),
-        policy in prop_oneof![Just(WritePolicy::StoreIn), Just(WritePolicy::StoreThrough)],
-        protocol in prop_oneof![Just(Protocol::Snoop), Just(Protocol::Directory)],
-    ) {
+#[test]
+fn every_cache_access_is_hit_or_miss() {
+    check::forall("every cache access is hit or miss", |rng| {
+        let policy = if rng.chance(0.5) {
+            WritePolicy::StoreIn
+        } else {
+            WritePolicy::StoreThrough
+        };
+        let protocol = if rng.chance(0.5) {
+            Protocol::Snoop
+        } else {
+            Protocol::Directory
+        };
         let cfg = CacheConfig { write_policy: policy, protocol, ..CacheConfig::default() };
         let mut sys = CoherentSystem::new(4, cfg);
-        for (p, addr, is_write) in ops {
-            let c = if is_write { sys.write(p, Addr(addr)) } else { sys.read(p, Addr(addr)) };
-            prop_assert!(c > Cycle::ZERO);
+        let ops = rng.gen_range(1usize..300);
+        for _ in 0..ops {
+            let p = rng.gen_range(0usize..4);
+            let addr = Addr(rng.gen_range(0usize..64));
+            let c = if rng.chance(0.5) { sys.write(p, addr) } else { sys.read(p, addr) };
+            assert!(c > Cycle::ZERO);
         }
         let s = sys.stats();
-        prop_assert_eq!(s.hits + s.misses, s.reads + s.writes);
-    }
+        assert_eq!(s.hits + s.misses, s.reads + s.writes);
+    });
+}
 
-    #[test]
-    fn coherence_no_stale_read_hits(
-        ops in proptest::collection::vec((0usize..3, 0usize..8, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn coherence_no_stale_read_hits() {
+    check::forall("coherence no stale read hits", |rng| {
         // Model check: a processor's read hit must return the latest
         // write. We shadow the protocol with a "who could be stale" set:
         // after p writes line a, every other processor's copy is stale
         // until it re-fetches. A read that hits while stale is a bug.
         let mut sys = CoherentSystem::new(3, CacheConfig::default());
         let mut stale = [[false; 8]; 3];
-        for (p, a, is_write) in ops {
-            if is_write {
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            let p = rng.gen_range(0usize..3);
+            let a = rng.gen_range(0usize..8);
+            if rng.chance(0.5) {
                 sys.write(p, Addr(a));
-                for q in 0..3 {
-                    if q != p {
-                        stale[q][a] = true;
-                    }
+                for (q, row) in stale.iter_mut().enumerate() {
+                    row[a] = q != p;
                 }
-                stale[p][a] = false;
             } else {
                 let had_copy = sys.is_cached(p, Addr(a));
                 let before_hits = sys.stats().hits;
                 sys.read(p, Addr(a));
                 let was_hit = sys.stats().hits > before_hits;
                 if was_hit && had_copy {
-                    prop_assert!(!stale[p][a], "proc {p} read stale line {a} as a hit");
+                    assert!(!stale[p][a], "proc {p} read stale line {a} as a hit");
                 }
                 stale[p][a] = false;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn memory_module_bank_times_never_decrease(accesses in proptest::collection::vec((0usize..64, any::<bool>()), 1..100)) {
+#[test]
+fn memory_module_bank_times_never_decrease() {
+    check::forall("memory module bank times never decrease", |rng| {
         let mut m: MemoryModule<i64> = MemoryModule::new(64, 4, Cycle(7));
         let mut per_bank: [Cycle; 4] = [Cycle::ZERO; 4];
-        for (addr, w) in accesses {
-            let op = if w { MemOp::Write } else { MemOp::Read };
-            let done = m.access_time(Cycle::ZERO, Addr(addr), op);
-            let bank = m.bank_of(Addr(addr));
-            prop_assert!(done > per_bank[bank]);
+        let accesses = rng.gen_range(1usize..100);
+        for _ in 0..accesses {
+            let addr = Addr(rng.gen_range(0usize..64));
+            let op = if rng.chance(0.5) { MemOp::Write } else { MemOp::Read };
+            let done = m.access_time(Cycle::ZERO, addr, op);
+            let bank = m.bank_of(addr);
+            assert!(done > per_bank[bank]);
             per_bank[bank] = done;
         }
-    }
+    });
+}
 
-    #[test]
-    fn istructure_controller_port_is_fifo(ops in proptest::collection::vec((0usize..16, any::<bool>()), 1..80)) {
+#[test]
+fn istructure_controller_port_is_fifo() {
+    check::forall("istructure controller port is fifo", |rng| {
         let mut c: IStructureController<i64, usize> = IStructureController::new(16, Cycle(5));
         let mut last = Cycle::ZERO;
         let mut written = [false; 16];
-        for (i, (addr, is_write)) in ops.into_iter().enumerate() {
-            let done = if is_write {
+        let ops = rng.gen_range(1usize..80);
+        for i in 0..ops {
+            let addr = rng.gen_range(0usize..16);
+            let done = if rng.chance(0.5) {
                 match c.write(Cycle::ZERO, Addr(addr), i as i64) {
                     Ok((done, _)) => {
                         written[addr] = true;
                         done
                     }
                     Err(_) => {
-                        prop_assert!(written[addr], "write-write error only after a write");
+                        assert!(written[addr], "write-write error only after a write");
                         continue;
                     }
                 }
             } else {
                 c.read(Cycle::ZERO, Addr(addr), i).unwrap().0
             };
-            prop_assert!(done > last, "port must serialize");
+            assert!(done > last, "port must serialize");
             last = done;
         }
-    }
+    });
+}
 
-    #[test]
-    fn full_empty_read_returns_latest_write(ops in proptest::collection::vec((0usize..8, -50i64..50, any::<bool>()), 1..120)) {
+#[test]
+fn full_empty_read_returns_latest_write() {
+    check::forall("full/empty read returns latest write", |rng| {
         let mut m: FullEmptyMemory<i64> = FullEmptyMemory::new(8);
         let mut shadow: [Option<i64>; 8] = [None; 8];
-        for (a, v, is_write) in ops {
-            if is_write {
+        let ops = rng.gen_range(1usize..120);
+        for _ in 0..ops {
+            let a = rng.gen_range(0usize..8);
+            let v = rng.gen_range(-50i64..50);
+            if rng.chance(0.5) {
                 let ok = m.try_write(Addr(a), v).unwrap();
-                prop_assert_eq!(ok, shadow[a].is_none());
+                assert_eq!(ok, shadow[a].is_none());
                 if ok {
                     shadow[a] = Some(v);
                 }
             } else {
                 match m.try_read(Addr(a)).unwrap() {
-                    TryReadOutcome::Value(got) => prop_assert_eq!(Some(got), shadow[a]),
-                    TryReadOutcome::BusyWait => prop_assert!(shadow[a].is_none()),
+                    TryReadOutcome::Value(got) => assert_eq!(Some(got), shadow[a]),
+                    TryReadOutcome::BusyWait => assert!(shadow[a].is_none()),
                 }
             }
         }
-    }
+    });
 }

@@ -2,6 +2,7 @@
 
 use ttda_sim::stats::{Counter, Histogram};
 use ttda_sim::Cycle;
+use ttda_trace::{SharedSink, TraceEvent};
 
 use crate::topology::{LinkId, NodeId, Topology, TopologyError};
 
@@ -97,7 +98,7 @@ impl NetStats {
 /// let t2 = fabric.send(Cycle(0), NodeId(1), NodeId(3)); // contends for n3's input
 /// assert!(t2 > t1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Fabric<T> {
     topology: T,
     config: FabricConfig,
@@ -105,6 +106,18 @@ pub struct Fabric<T> {
     link_load: Vec<u64>,
     stats: NetStats,
     scratch: Vec<LinkId>,
+    sink: Option<SharedSink>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Fabric<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("topology", &self.topology)
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .field("traced", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: Topology> Fabric<T> {
@@ -118,7 +131,20 @@ impl<T: Topology> Fabric<T> {
             link_load: vec![0; links],
             stats: NetStats::new(),
             scratch: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Attaches a trace sink; every delivered packet reports a
+    /// `packet_send` event with its hop count, queueing and latency.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Builder-style [`Fabric::set_sink`].
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The wrapped topology.
@@ -184,6 +210,18 @@ impl<T: Topology> Fabric<T> {
         self.stats.hops.add(self.scratch.len() as u64);
         self.stats.latency.record((t - now).as_u64());
         self.stats.queueing.record(queued.as_u64());
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(
+                now,
+                &TraceEvent::PacketSend {
+                    from: from.0 as u32,
+                    to: to.0 as u32,
+                    hops: self.scratch.len() as u32,
+                    queued: queued.as_u64(),
+                    latency: (t - now).as_u64(),
+                },
+            );
+        }
         Ok(t)
     }
 
@@ -259,5 +297,21 @@ mod tests {
     fn bad_node_is_error() {
         let mut f = Fabric::new(Ideal::new(2, Cycle(1)), FabricConfig::default());
         assert!(f.try_send(Cycle(0), NodeId(0), NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn sink_observes_packets() {
+        use ttda_trace::{shared, CountingSink};
+
+        let sink = shared(CountingSink::new());
+        let mut f = Fabric::new(Ideal::new(4, Cycle(3)), FabricConfig::default())
+            .with_sink(sink.clone());
+        f.send(Cycle(0), NodeId(0), NodeId(1));
+        f.send(Cycle(0), NodeId(2), NodeId(3));
+        let s = sink.borrow();
+        let c = s.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert_eq!(c.packets(), 2);
+        assert_eq!(c.total_hops(), f.stats().hops.get());
+        assert_eq!(c.per_packet_hops().len(), 2);
     }
 }

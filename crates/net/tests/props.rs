@@ -1,10 +1,12 @@
-//! Property tests for the network models.
+//! Property tests for the network models, driven by the in-tree
+//! `check` harness.
 
-use proptest::prelude::*;
+use std::collections::HashSet;
+
 use ttda_net::{
     ClusterTree, Crossbar, Fabric, FabricConfig, Grid2d, Hypercube, NodeId, Omega, Topology,
 };
-use ttda_sim::Cycle;
+use ttda_sim::{check, Cycle, SimRng};
 
 fn check_path_links_valid<T: Topology>(topo: &T) {
     for a in 0..topo.ports() {
@@ -17,36 +19,53 @@ fn check_path_links_valid<T: Topology>(topo: &T) {
     }
 }
 
-proptest! {
-    #[test]
-    fn all_topologies_emit_valid_links(dim in 1usize..5, w in 1usize..5, h in 1usize..5, c in 1usize..4, pc in 1usize..4) {
+#[test]
+fn all_topologies_emit_valid_links() {
+    check::forall_cases("all topologies emit valid links", 16, |rng| {
+        let dim = rng.gen_range(1usize..5);
+        let w = rng.gen_range(1usize..5);
+        let h = rng.gen_range(1usize..5);
+        let c = rng.gen_range(1usize..4);
+        let pc = rng.gen_range(1usize..4);
         check_path_links_valid(&Hypercube::new(dim).unwrap());
         check_path_links_valid(&Grid2d::new(w, h).unwrap());
         check_path_links_valid(&Omega::new(1 << dim).unwrap());
         check_path_links_valid(&Crossbar::new(w * h).unwrap());
         check_path_links_valid(&ClusterTree::new(c, pc).unwrap());
-    }
+    });
+}
 
-    #[test]
-    fn fabric_arrivals_never_precede_departure(
-        sends in proptest::collection::vec((0u64..100, 0usize..16, 0usize..16), 1..60)
-    ) {
+#[test]
+fn fabric_arrivals_never_precede_departure() {
+    check::forall("fabric arrivals never precede departure", |rng| {
+        let count = rng.gen_range(1usize..60);
+        let mut sends: Vec<(u64, usize, usize)> = (0..count)
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..100),
+                    rng.gen_range(0usize..16),
+                    rng.gen_range(0usize..16),
+                )
+            })
+            .collect();
+        sends.sort();
         let mut f = Fabric::new(Hypercube::new(4).unwrap(), FabricConfig::default());
-        let mut sorted = sends.clone();
-        sorted.sort();
-        for (t, a, b) in sorted {
+        for &(t, a, b) in &sends {
             let arrive = f.send(Cycle(t), NodeId(a), NodeId(b));
-            prop_assert!(arrive >= Cycle(t));
+            assert!(arrive >= Cycle(t));
             if a != b {
                 // At least one hop of service + latency + switch.
-                prop_assert!(arrive > Cycle(t));
+                assert!(arrive > Cycle(t));
             }
         }
-        prop_assert_eq!(f.stats().packets.get(), sends.len() as u64);
-    }
+        assert_eq!(f.stats().packets.get(), sends.len() as u64);
+    });
+}
 
-    #[test]
-    fn contention_only_delays(loads in 1usize..40) {
+#[test]
+fn contention_only_delays() {
+    check::forall_cases("contention only delays", 32, |rng| {
+        let loads = rng.gen_range(1usize..40);
         // Sending k packets over the same route: the i-th arrival is
         // nondecreasing in i, and the first equals the uncontended time.
         let mut f = Fabric::new(Crossbar::new(4).unwrap(), FabricConfig::default());
@@ -56,21 +75,157 @@ proptest! {
         for i in 0..loads {
             let t = f.send(Cycle(0), NodeId(0), NodeId(1));
             if i == 0 {
-                prop_assert_eq!(t, solo);
+                assert_eq!(t, solo);
             }
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
-    }
+    });
+}
 
-    #[test]
-    fn hypercube_partition_is_an_equivalence(dim in 2usize..6, split in 0usize..3, a in 0usize..64, b in 0usize..64) {
-        let split = split.min(dim);
+#[test]
+fn hypercube_partition_is_an_equivalence() {
+    check::forall("hypercube partition is an equivalence", |rng| {
+        let dim = rng.gen_range(2usize..6);
+        let split = rng.gen_range(0usize..3).min(dim);
         let n = 1usize << dim;
         let mut cube = Hypercube::new(dim).unwrap();
         cube.partition(split).unwrap();
-        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let a = NodeId(rng.gen_range(0usize..n));
+        let b = NodeId(rng.gen_range(0usize..n));
         let same = cube.partition_of(a) == cube.partition_of(b);
-        prop_assert_eq!(cube.path(a, b).is_ok(), same);
+        assert_eq!(cube.path(a, b).is_ok(), same);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Fault/partition soak: random `fail_link`/`restore_link`/`partition`/
+// `unpartition` sequences must preserve every routing invariant. Pinned
+// counterexample seeds live in `hypercube_regressions.txt` and replay
+// before the derived cases.
+// ---------------------------------------------------------------------
+
+/// Reference BFS distance over healthy, same-partition links, computed
+/// independently of the cube's routing tables.
+fn ref_distance(
+    dim: usize,
+    dead: &HashSet<(usize, usize)>,
+    part: &dyn Fn(usize) -> u32,
+    from: usize,
+    to: usize,
+) -> Option<usize> {
+    if part(from) != part(to) {
+        return None;
     }
+    let n = 1usize << dim;
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[from] = 0;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            return Some(dist[u]);
+        }
+        for d in 0..dim {
+            let v = u ^ (1 << d);
+            if dead.contains(&(u.min(v), u.max(v))) || part(v) != part(from) {
+                continue;
+            }
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+fn fault_partition_case(rng: &mut SimRng) {
+    let dim = rng.gen_range(2usize..6);
+    let n = 1usize << dim;
+    let mut cube = Hypercube::new(dim).unwrap();
+    let mut dead: HashSet<(usize, usize)> = HashSet::new();
+
+    let steps = rng.gen_range(1usize..12);
+    for _ in 0..steps {
+        match rng.gen_range(0u32..5) {
+            0 | 1 => {
+                // Fail a random healthy link.
+                let a = rng.gen_range(0usize..n);
+                let d = rng.gen_range(0usize..dim);
+                let b = a ^ (1 << d);
+                if dead.insert((a.min(b), a.max(b))) {
+                    cube.fail_link(NodeId(a), NodeId(b)).unwrap();
+                }
+            }
+            2 => {
+                // Restore a random dead link, if any.
+                if let Some(&(a, b)) = rng.choose(&dead.iter().copied().collect::<Vec<_>>()) {
+                    dead.remove(&(a, b));
+                    cube.restore_link(NodeId(a), NodeId(b)).unwrap();
+                }
+            }
+            3 => {
+                cube.partition(rng.gen_range(0usize..=dim)).unwrap();
+            }
+            _ => {
+                cube.unpartition();
+            }
+        }
+    }
+    assert_eq!(cube.failed_links(), dead.len());
+
+    let part = |node: usize| cube.partition_of(NodeId(node)).unwrap();
+    for from in 0..n {
+        for to in 0..n {
+            let want = ref_distance(dim, &dead, &part, from, to);
+            match cube.path(NodeId(from), NodeId(to)) {
+                Ok(path) => {
+                    // Reachability and optimality agree with reference BFS.
+                    assert_eq!(
+                        Some(path.len()),
+                        want,
+                        "route {from}->{to} length {} disagrees with BFS {want:?}",
+                        path.len()
+                    );
+                    // Walk the path: each hop leaves the current node over
+                    // a live link, stays in the source partition, and the
+                    // walk ends at the destination.
+                    let mut cur = from;
+                    for l in &path {
+                        let (node, d) = (l.0 / dim, l.0 % dim);
+                        assert_eq!(node, cur, "link {l} does not start at {cur}");
+                        let next = cur ^ (1 << d);
+                        assert!(
+                            !dead.contains(&(cur.min(next), cur.max(next))),
+                            "route {from}->{to} crosses dead link {cur}-{next}"
+                        );
+                        assert_eq!(
+                            part(next),
+                            part(from),
+                            "route {from}->{to} leaves its partition at {next}"
+                        );
+                        cur = next;
+                    }
+                    assert_eq!(cur, to, "route {from}->{to} ends at {cur}");
+                }
+                Err(_) => {
+                    assert_eq!(want, None, "{from}->{to} unreachable but BFS finds a path");
+                    // Unreachability is symmetric.
+                    assert!(cube.path(NodeId(to), NodeId(from)).is_err());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hypercube_fault_and_partition_sequences_preserve_routing() {
+    let pinned = check::seeds_from_str(include_str!("hypercube_regressions.txt"));
+    assert!(!pinned.is_empty(), "regressions file must stay populated");
+    check::forall_with_regressions(
+        "hypercube fault/partition sequences preserve routing",
+        &pinned,
+        fault_partition_case,
+    );
 }

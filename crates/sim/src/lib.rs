@@ -12,6 +12,8 @@
 //! - [`stats`]: counters, utilization trackers, histograms and time-series
 //!   used to produce every number reported in `EXPERIMENTS.md`;
 //! - [`SimRng`]: a seeded, reproducible random-number source;
+//! - [`check`]: a miniature property-testing harness driven by [`SimRng`]
+//!   seeds, with pinned-regression replay;
 //! - [`table`]: an aligned text-table printer for experiment output.
 //!
 //! # Determinism
@@ -40,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 mod engine;
 mod event;
 mod rng;

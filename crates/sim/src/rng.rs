@@ -1,7 +1,8 @@
 //! Reproducible randomness.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! Self-contained: the generator is xoshiro256** seeded through
+//! SplitMix64, so the suite has no external randomness dependency and
+//! every experiment table is bit-reproducible across toolchains.
 
 /// A seeded random-number source for simulations.
 ///
@@ -20,47 +21,104 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derives an independent child stream, e.g. one per processing
     /// element, so adding a component never perturbs another's stream.
     pub fn fork(&mut self, stream: u64) -> Self {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Uniform draw from a range (delegates to [`rand::Rng::gen_range`]).
-    pub fn gen_range<T, R>(&mut self, range: R) -> T
-    where
-        T: rand::distributions::uniform::SampleUniform,
-        R: rand::distributions::uniform::SampleRange<T>,
-    {
-        self.inner.gen_range(range)
+    /// The next raw 64-bit draw (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit draw (high half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw below `bound` (Lemire-style widening multiply with
+    /// rejection, so the draw is exactly uniform).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps (x * bound) >> 64 unbiased.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range.
+    pub fn gen_range<T: UniformInt, R: IntRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi_inclusive) = range.bounds();
+        let lo_w = lo.to_u64();
+        let hi_w = hi_inclusive.to_u64();
+        debug_assert!(hi_w >= lo_w, "empty range in gen_range");
+        let span = hi_w.wrapping_sub(lo_w);
+        let off = if span == u64::MAX {
+            self.next_u64()
+        } else {
+            self.below(span + 1)
+        };
+        T::from_u64(lo_w.wrapping_add(off))
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.f64() < p.clamp(0.0, 1.0)
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen()
+        // 53 random bits over 2^53: the standard dyadic-uniform construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -70,24 +128,75 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.below(slice.len() as u64) as usize;
             Some(&slice[i])
         }
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Integer types drawable by [`SimRng::gen_range`].
+///
+/// Values round-trip through a `u64` in sign-offset encoding so one
+/// unbiased-draw implementation covers signed and unsigned widths.
+pub trait UniformInt: Copy {
+    /// Maps into the order-preserving `u64` encoding.
+    fn to_u64(self) -> u64;
+    /// Maps back from the encoding.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                // Sign-offset: flips the sign bit so ordering is preserved.
+                (self as $u ^ (1 << (<$t>::BITS - 1))) as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                (v as $u ^ (1 << (<$t>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+uniform_unsigned!(u8, u16, u32, u64, usize);
+uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Range shapes accepted by [`SimRng::gen_range`].
+pub trait IntRange<T: UniformInt> {
+    /// The `(low, high)` bounds, high **inclusive**. Panics on an empty
+    /// range.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: UniformInt> IntRange<T> for core::ops::Range<T> {
+    fn bounds(&self) -> (T, T) {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "SimRng::gen_range called with an empty range");
+        (self.start, T::from_u64(hi - 1))
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+}
+
+impl<T: UniformInt> IntRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "SimRng::gen_range called with an empty range");
+        (*self.start(), *self.end())
     }
 }
 
@@ -139,5 +248,44 @@ mod tests {
         let empty: [u8; 0] = [];
         assert_eq!(r.choose(&empty), None);
         assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SimRng::seed(9);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let u: u64 = r.gen_range(0u64..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_full_span() {
+        let mut r = SimRng::seed(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::seed(13);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_rate_tracks_probability() {
+        let mut r = SimRng::seed(17);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits at p=0.25");
     }
 }

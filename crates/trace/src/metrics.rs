@@ -1,0 +1,125 @@
+//! A named registry over the `ttda-sim` measurement instruments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ttda_sim::stats::{Counter, Histogram};
+
+/// A registry of named counters and histograms.
+///
+/// This extends the bare `ttda_sim::stats` instruments with *names*, so a
+/// sink (or an experiment) can accumulate an open-ended set of metrics
+/// and render them as one report. `BTreeMap` keeps the report order
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use ttda_trace::Metrics;
+///
+/// let mut m = Metrics::new();
+/// m.counter("tokens").add(3);
+/// m.counter("tokens").incr();
+/// m.histogram("hops", 16, 1).record(4);
+/// assert_eq!(m.counter_value("tokens"), 4);
+/// assert_eq!(m.histogram_stats("hops").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The named counter, created zeroed on first use.
+    pub fn counter(&mut self, name: &'static str) -> &mut Counter {
+        self.counters.entry(name).or_default()
+    }
+
+    /// The current value of a counter (0 if it was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::get)
+    }
+
+    /// The named histogram, created with `bins` bins of `width` on first
+    /// use (later calls ignore the shape arguments).
+    pub fn histogram(&mut self, name: &'static str, bins: usize, width: u64) -> &mut Histogram {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bins, width))
+    }
+
+    /// Read access to a histogram, if it exists.
+    pub fn histogram_stats(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates `(name, value)` over every counter in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, v)| (k, v.get()))
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (name, c) in &self.counters {
+            writeln!(f, "  {name:<24} {}", c.get())?;
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, h) in &self.histograms {
+                write!(f, "  {name:<24} n={}", h.count())?;
+                if let (Some(mean), Some(min), Some(max)) = (h.mean(), h.min(), h.max()) {
+                    write!(f, " mean={mean:.2} min={min} max={max}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let mut m = Metrics::new();
+        m.counter("a").add(2);
+        m.counter("b").incr();
+        m.counter("a").incr();
+        assert_eq!(m.counter_value("a"), 3);
+        assert_eq!(m.counter_value("b"), 1);
+        assert_eq!(m.counter_value("never"), 0);
+        let names: Vec<_> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_shape_fixed_on_first_use() {
+        let mut m = Metrics::new();
+        m.histogram("h", 4, 10).record(35);
+        m.histogram("h", 99, 1).record(5); // shape args ignored
+        let h = m.histogram_stats("h").unwrap();
+        assert_eq!(h.bins().len(), 4);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn report_renders_all_names() {
+        let mut m = Metrics::new();
+        m.counter("tokens").add(7);
+        m.histogram("hops", 8, 1).record(3);
+        let s = m.to_string();
+        assert!(s.contains("tokens"));
+        assert!(s.contains("hops"));
+        assert!(s.contains('7'));
+    }
+}

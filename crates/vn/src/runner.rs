@@ -230,7 +230,7 @@ impl MultiContext {
             if r <= now {
                 return Some((i, now));
             }
-            if best.map_or(true, |(_, t)| r < t) {
+            if best.is_none_or(|(_, t)| r < t) {
                 best = Some((i, r));
             }
         }

@@ -1,12 +1,15 @@
-//! Property tests for the von Neumann substrate.
+//! Property tests for the von Neumann substrate, driven by the in-tree
+//! `check` harness.
 
-use proptest::prelude::*;
-use ttda_sim::Cycle;
+use ttda_sim::{check, Cycle};
 use ttda_vn::{run_blocking, AluOp, Cond, Core, FlatMemory, ProgramBuilder, Reg, RunConfig};
 
-proptest! {
-    #[test]
-    fn blocking_run_accounting_is_exact(refs in 1i64..40, compute in 0i64..6, latency in 0u64..50) {
+#[test]
+fn blocking_run_accounting_is_exact() {
+    check::forall("blocking run accounting is exact", |rng| {
+        let refs = rng.gen_range(1i64..40);
+        let compute = rng.gen_range(0i64..6);
+        let latency = rng.gen_range(0u64..50);
         // cycles = busy + idle; busy = instructions; idle = refs * L.
         let mut b = ProgramBuilder::new();
         let (i, t, v, one) = (Reg(1), Reg(2), Reg(3), Reg(4));
@@ -21,17 +24,21 @@ proptest! {
         b.halt();
         let mut core = Core::new(b.build().unwrap());
         let mut mem = FlatMemory::new(512);
-        let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(latency), RunConfig::default()).unwrap();
-        prop_assert!(s.completed);
-        prop_assert_eq!(s.mem_refs, refs as u64);
-        prop_assert_eq!(s.busy.as_u64(), s.instructions);
-        prop_assert_eq!(s.idle.as_u64(), refs as u64 * latency);
-        prop_assert_eq!(s.cycles.as_u64(), s.busy.as_u64() + s.idle.as_u64());
-    }
+        let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(latency), RunConfig::default())
+            .unwrap();
+        assert!(s.completed);
+        assert_eq!(s.mem_refs, refs as u64);
+        assert_eq!(s.busy.as_u64(), s.instructions);
+        assert_eq!(s.idle.as_u64(), refs as u64 * latency);
+        assert_eq!(s.cycles.as_u64(), s.busy.as_u64() + s.idle.as_u64());
+    });
+}
 
-    #[test]
-    fn alu_ops_match_rust_semantics(a in any::<i32>(), b in any::<i32>()) {
-        let (a, b) = (a as i64, b as i64);
+#[test]
+fn alu_ops_match_rust_semantics() {
+    check::forall("alu ops match rust semantics", |rng| {
+        let a = rng.gen_range(i32::MIN..=i32::MAX) as i64;
+        let b = rng.gen_range(i32::MIN..=i32::MAX) as i64;
         for (op, expect) in [
             (AluOp::Add, a.wrapping_add(b)),
             (AluOp::Sub, a.wrapping_sub(b)),
@@ -44,12 +51,16 @@ proptest! {
             let mut core = Core::new(builder.build().unwrap());
             let mut mem = FlatMemory::new(4);
             core.run_functional(&mut mem, 100).unwrap();
-            prop_assert_eq!(core.reg(Reg(3)), expect, "{:?}", op);
+            assert_eq!(core.reg(Reg(3)), expect, "{op:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn branches_agree_with_cond_semantics(a in -100i64..100, b in -100i64..100) {
+#[test]
+fn branches_agree_with_cond_semantics() {
+    check::forall("branches agree with cond semantics", |rng| {
+        let a = rng.gen_range(-100i64..100);
+        let b = rng.gen_range(-100i64..100);
         for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
             let mut builder = ProgramBuilder::new();
             builder.li(Reg(1), a).li(Reg(2), b).li(Reg(3), 0);
@@ -61,20 +72,24 @@ proptest! {
             let mut mem = FlatMemory::new(4);
             core.run_functional(&mut mem, 100).unwrap();
             let expected = if cond.holds(a, b) { 2 } else { 1 };
-            prop_assert_eq!(core.reg(Reg(3)), expected, "{:?}", cond);
+            assert_eq!(core.reg(Reg(3)), expected, "{cond:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fetch_add_is_a_counter(incs in proptest::collection::vec(-20i64..20, 1..40)) {
+#[test]
+fn fetch_add_is_a_counter() {
+    check::forall("fetch_add is a counter", |rng| {
         use ttda_vn::DataMemory;
         let mut mem = FlatMemory::new(8);
         let mut sum = 0i64;
-        for inc in &incs {
-            let old = mem.fetch_add(ttda_mem::Addr(3), *inc).unwrap();
-            prop_assert_eq!(old, sum);
+        let count = rng.gen_range(1usize..40);
+        for _ in 0..count {
+            let inc = rng.gen_range(-20i64..20);
+            let old = mem.fetch_add(ttda_mem::Addr(3), inc).unwrap();
+            assert_eq!(old, sum);
             sum += inc;
         }
-        prop_assert_eq!(mem.load(ttda_mem::Addr(3)).unwrap(), sum);
-    }
+        assert_eq!(mem.load(ttda_mem::Addr(3)).unwrap(), sum);
+    });
 }

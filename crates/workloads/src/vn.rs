@@ -306,6 +306,60 @@ pub fn spin_lock_counter(k: i64, work: i64) -> Program {
     b.build().expect("lock workload assembles")
 }
 
+/// Processor `proc`'s slice of a dense `n × n` matrix multiply: rows
+/// `proc, proc + procs, …` of `C = A·B`, with the matrices at the given
+/// word bases (row-major). The E14 workload: every A/B read is a shared
+/// (potentially remote) reference, and there is no synchronization at
+/// all — slices are disjoint.
+pub fn matmul_slice(
+    proc: usize,
+    procs: usize,
+    n: usize,
+    a_base: i64,
+    b_base: i64,
+    c_base: i64,
+) -> Program {
+    let (i, j, k, t, va, vb, acc) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
+    let nn = n as i64;
+    let mut b = ProgramBuilder::new();
+    b.li(i, proc as i64);
+    b.label("rows");
+    b.li(Reg(8), nn);
+    b.branch(Cond::Ge, i, Reg(8), "done");
+    b.li(j, 0);
+    b.label("cols");
+    b.li(acc, 0).li(k, 0);
+    b.label("dot");
+    // va = A[i*n + k]
+    b.alui(AluOp::Mul, t, i, nn);
+    b.alu(AluOp::Add, t, t, k);
+    b.alui(AluOp::Add, t, t, a_base);
+    b.load(va, t, 0);
+    // vb = B[k*n + j]
+    b.alui(AluOp::Mul, t, k, nn);
+    b.alu(AluOp::Add, t, t, j);
+    b.alui(AluOp::Add, t, t, b_base);
+    b.load(vb, t, 0);
+    b.alu(AluOp::Mul, va, va, vb);
+    b.alu(AluOp::Add, acc, acc, va);
+    b.alui(AluOp::Add, k, k, 1);
+    b.li(Reg(8), nn);
+    b.branch(Cond::Lt, k, Reg(8), "dot");
+    // C[i*n + j] = acc
+    b.alui(AluOp::Mul, t, i, nn);
+    b.alu(AluOp::Add, t, t, j);
+    b.alui(AluOp::Add, t, t, c_base);
+    b.store(acc, t, 0);
+    b.alui(AluOp::Add, j, j, 1);
+    b.li(Reg(8), nn);
+    b.branch(Cond::Lt, j, Reg(8), "cols");
+    b.alui(AluOp::Add, i, i, procs as i64);
+    b.jump("rows");
+    b.label("done");
+    b.halt();
+    b.build().expect("matmul slice assembles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,58 +475,4 @@ mod tests {
         assert!(stats.completed);
         assert_eq!(stats.mem_refs, 10);
     }
-}
-
-/// Processor `proc`'s slice of a dense `n × n` matrix multiply: rows
-/// `proc, proc + procs, …` of `C = A·B`, with the matrices at the given
-/// word bases (row-major). The E14 workload: every A/B read is a shared
-/// (potentially remote) reference, and there is no synchronization at
-/// all — slices are disjoint.
-pub fn matmul_slice(
-    proc: usize,
-    procs: usize,
-    n: usize,
-    a_base: i64,
-    b_base: i64,
-    c_base: i64,
-) -> Program {
-    let (i, j, k, t, va, vb, acc) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
-    let nn = n as i64;
-    let mut b = ProgramBuilder::new();
-    b.li(i, proc as i64);
-    b.label("rows");
-    b.li(Reg(8), nn);
-    b.branch(Cond::Ge, i, Reg(8), "done");
-    b.li(j, 0);
-    b.label("cols");
-    b.li(acc, 0).li(k, 0);
-    b.label("dot");
-    // va = A[i*n + k]
-    b.alui(AluOp::Mul, t, i, nn);
-    b.alu(AluOp::Add, t, t, k);
-    b.alui(AluOp::Add, t, t, a_base);
-    b.load(va, t, 0);
-    // vb = B[k*n + j]
-    b.alui(AluOp::Mul, t, k, nn);
-    b.alu(AluOp::Add, t, t, j);
-    b.alui(AluOp::Add, t, t, b_base);
-    b.load(vb, t, 0);
-    b.alu(AluOp::Mul, va, va, vb);
-    b.alu(AluOp::Add, acc, acc, va);
-    b.alui(AluOp::Add, k, k, 1);
-    b.li(Reg(8), nn);
-    b.branch(Cond::Lt, k, Reg(8), "dot");
-    // C[i*n + j] = acc
-    b.alui(AluOp::Mul, t, i, nn);
-    b.alu(AluOp::Add, t, t, j);
-    b.alui(AluOp::Add, t, t, c_base);
-    b.store(acc, t, 0);
-    b.alui(AluOp::Add, j, j, 1);
-    b.li(Reg(8), nn);
-    b.branch(Cond::Lt, j, Reg(8), "cols");
-    b.alui(AluOp::Add, i, i, procs as i64);
-    b.jump("rows");
-    b.label("done");
-    b.halt();
-    b.build().expect("matmul slice assembles")
 }

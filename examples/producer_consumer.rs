@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // consumer loop races ahead; early reads are *deferred*, not retried.
     let program = ttda::idc::compile(id::producer_consumer())?;
     let mut m = TimedMachine::ideal(program, 4, Cycle(3), TimedConfig::default());
-    let total = (n * n) as i64;
+    let total = n * n;
     let r = m.run(&[Value::Int(total)])?;
     assert_eq!(r.outputs[&0], Value::Int(reference::square_sum(total)));
     println!(

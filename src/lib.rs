@@ -5,5 +5,6 @@ pub use ttda_machines as machines;
 pub use ttda_mem as mem;
 pub use ttda_net as net;
 pub use ttda_sim as sim;
+pub use ttda_trace as trace;
 pub use ttda_vn as vn;
 pub use ttda_workloads as workloads;

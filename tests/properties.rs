@@ -1,11 +1,10 @@
-//! Property-based tests over the suite's core invariants.
-
-use proptest::prelude::*;
+//! Property-based tests over the suite's core invariants, driven by the
+//! in-tree `check` harness.
 
 use ttda::core::{Emulator, TimedConfig, TimedMachine, Value};
 use ttda::mem::{Addr, IStructure, IStructureError, ReadOutcome};
 use ttda::net::{Grid2d, Hypercube, NodeId, Omega, Topology};
-use ttda::sim::{Cycle, EventQueue};
+use ttda::sim::{check, Cycle, EventQueue, SimRng};
 
 // ---------------------------------------------------------------------
 // Compiler correctness: random integer expressions evaluate identically
@@ -74,215 +73,278 @@ fn eval(e: &E, x: i64, y: i64, t: i64) -> i64 {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::X),
-        Just(E::Y),
-        any::<i8>().prop_map(E::K),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| E::If(Box::new(c), Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone().prop_map(|b| substitute_t(b)))
-                .prop_map(|(v, body)| E::Let(Box::new(v), Box::new(body))),
-        ]
-    })
-}
-
-/// Let-bodies may reference `t0`; give some leaves that chance.
-fn substitute_t(e: E) -> E {
-    match e {
-        E::X => E::T,
-        other => other,
+/// Generates a random expression of bounded depth. Let-bodies may
+/// reference the bound `t0` via the `E::T` leaf.
+fn gen_expr(rng: &mut SimRng, depth: usize, in_let: bool) -> E {
+    if depth == 0 || rng.chance(0.3) {
+        return match rng.gen_range(0u32..4) {
+            0 => E::X,
+            1 => E::Y,
+            2 if in_let => E::T,
+            _ => E::K(rng.gen_range(i8::MIN..=i8::MAX)),
+        };
+    }
+    match rng.gen_range(0u32..5) {
+        0 => E::Add(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        1 => E::Sub(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        2 => E::Mul(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        3 => E::If(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        _ => E::Let(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, true)),
+        ),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn compiled_expressions_match_reference(e in expr_strategy(), x in -50i64..50, y in -50i64..50) {
+#[test]
+fn compiled_expressions_match_reference() {
+    check::forall("compiled expressions match reference", |rng| {
+        let e = gen_expr(rng, 4, false);
+        let x = rng.gen_range(-50i64..50);
+        let y = rng.gen_range(-50i64..50);
         let src = format!("def main(x, y) = {};", to_src(&e));
         let p = ttda::idc::compile(&src).expect("generated programs compile");
         let r = Emulator::new(&p)
             .run(&[Value::Int(x), Value::Int(y)])
             .expect("generated programs run");
-        prop_assert_eq!(r.outputs[&0], Value::Int(eval(&e, x, y, x)));
-    }
+        assert_eq!(r.outputs[&0], Value::Int(eval(&e, x, y, x)));
+    });
+}
 
-    #[test]
-    fn optimizer_preserves_random_expressions(e in expr_strategy(), x in -30i64..30, y in -30i64..30) {
+#[test]
+fn optimizer_preserves_random_expressions() {
+    check::forall("optimizer preserves random expressions", |rng| {
+        let e = gen_expr(rng, 4, false);
+        let x = rng.gen_range(-30i64..30);
+        let y = rng.gen_range(-30i64..30);
         let src = format!("def main(x, y) = {};", to_src(&e));
         let p = ttda::idc::compile(&src).expect("compiles");
         let (opt, _) = ttda::core::opt::optimize(&p);
-        let want = Emulator::new(&p).run(&[Value::Int(x), Value::Int(y)]).expect("runs").outputs[&0];
-        let got = Emulator::new(&opt).run(&[Value::Int(x), Value::Int(y)]).expect("runs").outputs[&0];
-        prop_assert_eq!(got, want);
-    }
+        let want = Emulator::new(&p)
+            .run(&[Value::Int(x), Value::Int(y)])
+            .expect("runs")
+            .outputs[&0];
+        let got = Emulator::new(&opt)
+            .run(&[Value::Int(x), Value::Int(y)])
+            .expect("runs")
+            .outputs[&0];
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn timed_machine_agrees_with_emulator_on_random_exprs(
-        e in expr_strategy(), x in -20i64..20, y in -20i64..20, pes in 1usize..5
-    ) {
+#[test]
+fn timed_machine_agrees_with_emulator_on_random_exprs() {
+    check::forall("timed machine agrees with emulator", |rng| {
+        let e = gen_expr(rng, 4, false);
+        let x = rng.gen_range(-20i64..20);
+        let y = rng.gen_range(-20i64..20);
+        let pes = rng.gen_range(1usize..5);
         let src = format!("def main(x, y) = {};", to_src(&e));
         let p = ttda::idc::compile(&src).expect("compiles");
-        let want = Emulator::new(&p).run(&[Value::Int(x), Value::Int(y)]).expect("runs").outputs[&0];
+        let want = Emulator::new(&p)
+            .run(&[Value::Int(x), Value::Int(y)])
+            .expect("runs")
+            .outputs[&0];
         let mut m = TimedMachine::ideal(p, pes, Cycle(3), TimedConfig::default());
         let got = m.run(&[Value::Int(x), Value::Int(y)]).expect("runs").outputs[&0];
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    // -----------------------------------------------------------------
-    // I-structure invariants under arbitrary operation interleavings.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// I-structure invariants under arbitrary operation interleavings.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn istructure_semantics_hold(ops in proptest::collection::vec((0usize..8, any::<bool>(), -100i64..100), 1..60)) {
+#[test]
+fn istructure_semantics_hold() {
+    check::forall("istructure semantics hold", |rng| {
         let mut m: IStructure<i64, usize> = IStructure::new(8);
         let mut written: [Option<i64>; 8] = [None; 8];
         let mut waiting: [usize; 8] = [0; 8];
-        for (seq, (slot, is_write, val)) in ops.into_iter().enumerate() {
+        let ops = rng.gen_range(1usize..60);
+        for seq in 0..ops {
+            let slot = rng.gen_range(0usize..8);
             let addr = Addr(slot);
-            if is_write {
+            if rng.chance(0.5) {
+                let val = rng.gen_range(-100i64..100);
                 match m.write(addr, val) {
                     Ok(released) => {
                         // First write: succeeds, releases every waiter.
-                        prop_assert!(written[slot].is_none());
-                        prop_assert_eq!(released.len(), waiting[slot]);
+                        assert!(written[slot].is_none());
+                        assert_eq!(released.len(), waiting[slot]);
                         written[slot] = Some(val);
                         waiting[slot] = 0;
                     }
                     Err(IStructureError::AlreadyWritten { .. }) => {
                         // Second write: detected, value preserved.
-                        prop_assert!(written[slot].is_some());
-                        prop_assert_eq!(m.peek(addr).copied(), written[slot]);
+                        assert!(written[slot].is_some());
+                        assert_eq!(m.peek(addr).copied(), written[slot]);
                     }
-                    Err(other) => prop_assert!(false, "unexpected error {other}"),
+                    Err(other) => panic!("unexpected error {other}"),
                 }
             } else {
                 match m.read(addr, seq).expect("in range") {
                     ReadOutcome::Value(v) => {
-                        prop_assert_eq!(Some(v), written[slot]);
+                        assert_eq!(Some(v), written[slot]);
                     }
                     ReadOutcome::Deferred => {
-                        prop_assert!(written[slot].is_none());
+                        assert!(written[slot].is_none());
                         waiting[slot] += 1;
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Network invariants.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Network invariants.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn hypercube_routes_are_shortest_without_faults(dim in 1usize..8, a in 0usize..256, b in 0usize..256) {
+#[test]
+fn hypercube_routes_are_shortest_without_faults() {
+    check::forall("hypercube routes are shortest without faults", |rng| {
+        let dim = rng.gen_range(1usize..8);
         let n = 1 << dim;
         let cube = Hypercube::new(dim).expect("dim ok");
-        let (a, b) = (a % n, b % n);
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
         let hops = cube.hops(NodeId(a), NodeId(b)).expect("reachable");
-        prop_assert_eq!(hops, (a ^ b).count_ones() as usize);
-    }
+        assert_eq!(hops, (a ^ b).count_ones() as usize);
+    });
+}
 
-    #[test]
-    fn faulty_hypercube_routes_are_correct_or_unreachable(
-        dim in 2usize..6,
-        faults in proptest::collection::vec((0usize..64, 0usize..6), 0..10),
-        a in 0usize..64, b in 0usize..64,
-    ) {
+#[test]
+fn faulty_hypercube_routes_are_correct_or_unreachable() {
+    check::forall("faulty hypercube routes correct or unreachable", |rng| {
+        let dim = rng.gen_range(2usize..6);
         let n = 1usize << dim;
         let mut cube = Hypercube::new(dim).expect("dim ok");
-        for (node, d) in faults {
-            let node = NodeId(node % n);
-            let nb = cube.neighbor(node, d % dim);
+        let faults = rng.gen_range(0usize..10);
+        for _ in 0..faults {
+            let node = NodeId(rng.gen_range(0usize..n));
+            let nb = cube.neighbor(node, rng.gen_range(0usize..dim));
             let _ = cube.fail_link(node, nb);
         }
-        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let a = NodeId(rng.gen_range(0usize..n));
+        let b = NodeId(rng.gen_range(0usize..n));
         match cube.path(a, b) {
             Ok(path) => {
                 // A returned path must have at least Hamming-distance
                 // hops and no more than 2n (the router's loop bound).
                 let min = (a.0 ^ b.0).count_ones() as usize;
-                prop_assert!(path.len() >= min);
-                prop_assert!(path.len() <= 2 * n);
+                assert!(path.len() >= min);
+                assert!(path.len() <= 2 * n);
             }
             Err(_) => {
                 // Unreachability must be symmetric.
-                prop_assert!(cube.path(b, a).is_err());
+                assert!(cube.path(b, a).is_err());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn omega_and_grid_routes_have_expected_lengths(k in 1usize..6, w in 1usize..7, h in 1usize..7, s in 0usize..64, d in 0usize..64) {
+#[test]
+fn omega_and_grid_routes_have_expected_lengths() {
+    check::forall("omega and grid route lengths", |rng| {
+        let k = rng.gen_range(1usize..6);
         let n = 1 << k;
         let omega = Omega::new(n).expect("size ok");
-        prop_assert_eq!(omega.hops(NodeId(s % n), NodeId(d % n)).expect("routes"), k);
+        let s = rng.gen_range(0usize..n);
+        let d = rng.gen_range(0usize..n);
+        assert_eq!(omega.hops(NodeId(s), NodeId(d)).expect("routes"), k);
 
+        let w = rng.gen_range(1usize..7);
+        let h = rng.gen_range(1usize..7);
         let grid = Grid2d::new(w, h).expect("size ok");
         let ports = w * h;
-        let hops = grid.hops(NodeId(s % ports), NodeId(d % ports)).expect("routes");
-        prop_assert!(hops <= grid.diameter());
-    }
+        let hops = grid
+            .hops(NodeId(s % ports), NodeId(d % ports))
+            .expect("routes");
+        assert!(hops <= grid.diameter());
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Kernel invariants.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Kernel invariants.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn event_queue_is_stable_priority_order(events in proptest::collection::vec(0u64..1000, 0..100)) {
+#[test]
+fn event_queue_is_stable_priority_order() {
+    check::forall("event queue is stable priority order", |rng| {
+        let count = rng.gen_range(0usize..100);
         let mut q = EventQueue::new();
-        for (i, t) in events.iter().enumerate() {
-            q.push(Cycle(*t), i);
+        for i in 0..count {
+            q.push(Cycle(rng.gen_range(0u64..1000)), i);
         }
         let mut last: Option<(Cycle, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "stability violated");
+                assert!(t > lt || (t == lt && i > li), "stability violated");
             }
             last = Some((t, i));
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Wire-format roundtrip.
 // ---------------------------------------------------------------------
 
-fn value_strategy() -> impl Strategy<Value = ttda::core::Value> {
+fn gen_value(rng: &mut SimRng) -> ttda::core::Value {
     use ttda::core::{StructRef, Value as V};
-    prop_oneof![
-        Just(V::Unit),
-        any::<bool>().prop_map(V::Bool),
-        any::<i64>().prop_map(V::Int),
-        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()).prop_map(V::Float),
-        (any::<u32>(), any::<u32>()).prop_map(|(id, len)| V::Ptr(StructRef { id, len })),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn wire_tokens_roundtrip(
-        u in any::<u32>(), c in any::<u32>(), s in any::<u32>(), i in any::<u32>(),
-        port in any::<u8>(), pe in any::<u16>(), nt in any::<u8>(),
-        v in value_strategy(),
-    ) {
-        use ttda::core::{wire, ActivityName, CodeBlockId, Ctx, InstrId, Iter, Port, Token};
-        let t = Token::new(
-            ActivityName { u: Ctx(u), c: CodeBlockId(c), s: InstrId(s), i: Iter(i) },
-            Port(port),
-            v,
-        );
-        let bytes = wire::encode_token(&t, pe, nt);
-        let (back, bpe, bnt) = wire::decode_token(&bytes).expect("roundtrip");
-        prop_assert_eq!(back, t);
-        prop_assert_eq!(bpe, pe);
-        prop_assert_eq!(bnt, nt);
+    match rng.gen_range(0u32..5) {
+        0 => V::Unit,
+        1 => V::Bool(rng.chance(0.5)),
+        2 => V::Int(rng.next_u64() as i64),
+        3 => {
+            // Any finite float; NaN breaks PartialEq so build from bits
+            // and reject the NaN patterns.
+            loop {
+                let f = f64::from_bits(rng.next_u64());
+                if !f.is_nan() {
+                    break V::Float(f);
+                }
+            }
+        }
+        _ => V::Ptr(StructRef { id: rng.next_u32(), len: rng.next_u32() }),
     }
 }
+
+#[test]
+fn wire_tokens_roundtrip() {
+    check::forall("wire tokens roundtrip", |rng| {
+        use ttda::core::{wire, ActivityName, CodeBlockId, Ctx, InstrId, Iter, Port, Token};
+        let t = Token::new(
+            ActivityName {
+                u: Ctx(rng.next_u32()),
+                c: CodeBlockId(rng.next_u32()),
+                s: InstrId(rng.next_u32()),
+                i: Iter(rng.next_u32()),
+            },
+            Port(rng.gen_range(0u8..=u8::MAX)),
+            gen_value(rng),
+        );
+        let pe = rng.gen_range(0u16..=u16::MAX);
+        let nt = rng.gen_range(0u8..=u8::MAX);
+        let bytes = wire::encode_token(&t, pe, nt);
+        let (back, bpe, bnt) = wire::decode_token(&bytes).expect("roundtrip");
+        assert_eq!(back, t);
+        assert_eq!(bpe, pe);
+        assert_eq!(bnt, nt);
+    });
+}
+
