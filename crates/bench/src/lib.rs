@@ -29,6 +29,7 @@
 //! | e13 | waiting–matching store occupancy tracks exposed parallelism (§2.2.3) |
 //! | e14 | end-to-end: TTDA vs von Neumann as the machine scales (§2.3) |
 //! | e15 | multiprogramming: unrelated jobs share one machine (§2.3, §1.2.4) |
+//! | e16 | host-thread scaling of the parallel emulation backend (§3) |
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 pub mod experiments;

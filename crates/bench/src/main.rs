@@ -4,9 +4,16 @@
 //! ```text
 //! cargo run --release -p ttda-bench --bin experiments -- all
 //! cargo run --release -p ttda-bench --bin experiments -- e7 e12
+//! cargo run --release -p ttda-bench --bin experiments -- e16 --threads 4
 //! cargo run --release -p ttda-bench --bin experiments -- trace producer-consumer
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
 //! ```
+//!
+//! `--threads N` selects how many host worker threads every emulator run
+//! uses (`0` = one per core); it applies to both subcommands by setting
+//! `TTDA_THREADS`, which `Emulator::new` reads. Explicit
+//! `with_threads(…)` calls inside an experiment (e16's sweep) still
+//! override it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,8 +23,9 @@ use ttda_bench::{run_experiment, EXPERIMENT_IDS};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <id>... | all\n       ids: {}\n\
-         \n       experiments trace <scenario>... | all [--out DIR]\n       scenarios: {}",
+        "usage: experiments <id>... | all [--threads N]\n       ids: {}\n\
+         \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
+         \n       --threads N: emulator host worker threads (0 = one per core)",
         EXPERIMENT_IDS.join(", "),
         TRACE_SCENARIOS.join(", ")
     );
@@ -58,8 +66,25 @@ fn trace_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Strips `--threads N` from `args`, exporting it as `TTDA_THREADS` for
+/// every emulator constructed anywhere below. Returns `None` (after
+/// printing usage) on a malformed value.
+fn take_threads_flag(args: &mut Vec<String>) -> Option<()> {
+    while let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() || args[pos + 1].parse::<usize>().is_err() {
+            return None;
+        }
+        std::env::set_var("TTDA_THREADS", &args[pos + 1]);
+        args.drain(pos..pos + 2);
+    }
+    Some(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if take_threads_flag(&mut args).is_none() {
+        return usage();
+    }
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         return usage();
     }

@@ -23,7 +23,10 @@ use crate::value::{StructRef, Value};
 use crate::ExecError;
 
 /// Everything a finished emulation run reports.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field; the determinism tests use it to
+/// check the parallel backend bit-for-bit against the sequential one.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmuResult {
     /// Program outputs by slot.
     pub outputs: HashMap<u32, Value>,
@@ -66,6 +69,17 @@ impl EmuResult {
     }
 }
 
+/// Worker-thread default: the `TTDA_THREADS` environment variable, so a
+/// whole test suite or experiment batch can switch backends without code
+/// changes (`TTDA_THREADS=4 cargo test`). Unset or unparsable means 1
+/// (sequential); 0 means "one worker per available core".
+fn env_threads() -> usize {
+    std::env::var("TTDA_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
 /// The untimed tagged-token interpreter.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -77,6 +91,7 @@ pub struct Emulator<'p> {
     outputs: HashMap<u32, Value>,
     fuel: u64,
     loop_bound: Option<u32>,
+    threads: usize,
     instructions: u64,
     alu_ops: u64,
     peak_matching: usize,
@@ -113,6 +128,7 @@ impl<'p> Emulator<'p> {
             outputs: HashMap::new(),
             fuel: 100_000_000,
             loop_bound: None,
+            threads: env_threads(),
             instructions: 0,
             alu_ops: 0,
             peak_matching: 0,
@@ -128,6 +144,35 @@ impl<'p> Emulator<'p> {
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
         self
+    }
+
+    /// Selects the execution backend: `1` (the default) runs the
+    /// sequential interpreter; `n > 1` executes each wave across `n`
+    /// scoped worker threads with the waiting–matching store and the
+    /// structure table sharded between them; `0` means one worker per
+    /// available core. The default can also be set process-wide with the
+    /// `TTDA_THREADS` environment variable, read at [`Emulator::new`].
+    ///
+    /// The parallel backend produces a bit-identical [`EmuResult`] for
+    /// every program (see the determinism notes in `DESIGN.md`), so the
+    /// choice is purely about wall-clock speed. [`with_loop_bound`]
+    /// (k-bounded loops) forces the sequential backend regardless — its
+    /// holding-pen scheduling is a global order-sensitive fixpoint that
+    /// would serialize the workers anyway.
+    ///
+    /// [`with_loop_bound`]: Emulator::with_loop_bound
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker count: `0` → available cores.
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 
     /// Attaches a trace sink. The emulator reports every token's emit
@@ -193,6 +238,10 @@ impl<'p> Emulator<'p> {
         &mut self,
         jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
     ) -> Result<EmuResult, ExecError> {
+        let threads = self.effective_threads();
+        if threads > 1 && self.loop_bound.is_none() {
+            return crate::par::run_jobs(self.program, jobs, threads, self.fuel, self.sink.clone());
+        }
         let mut wave: Vec<Token> = Vec::new();
         for (block_id, inputs) in jobs {
             let block = self.program.block(*block_id).ok_or(ExecError::BadTarget {

@@ -148,10 +148,64 @@ pub(crate) fn absorb(
     }
 }
 
+/// Whether an opcode allocates a fresh context when it fires (`D` enters
+/// a loop, `Apply` enters a call). These are the only instructions that
+/// *mutate* the [`ContextManager`]; everything else at most reads it.
+/// The parallel backend uses this split to keep context allocation on
+/// the coordinating thread, in firing order, so context ids — and hence
+/// all downstream activity names — are identical to a sequential run.
+pub(crate) fn allocates_context(op: &OpCode) -> bool {
+    matches!(op, OpCode::D { .. } | OpCode::Apply { .. })
+}
+
 /// Executes one enabled instruction. See the module docs.
 pub(crate) fn execute(
     program: &Program,
     ctx: &mut ContextManager,
+    tag: ActivityName,
+    instr: &Instruction,
+    ops: &[Value],
+) -> Result<Effect, ExecError> {
+    let mut eff = Effect {
+        is_alu: instr.op.is_alu_work(),
+        ..Effect::default()
+    };
+    match &instr.op {
+        OpCode::D { loop_id } => {
+            let inner = ctx.enter_loop(tag.u, tag.i, *loop_id, tag.c);
+            let ntag = ActivityName { u: inner, i: Iter::ONE, ..tag };
+            retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
+        }
+        OpCode::Apply { callee, argc } => {
+            let cb = program.block(*callee).ok_or(ExecError::BadTarget {
+                activity: tag.to_string(),
+            })?;
+            let new_ctx = ctx.enter_call(tag.u, tag.i, tag.c, *callee, instr.dests.clone());
+            for (k, &op) in ops.iter().enumerate().take(*argc as usize) {
+                eff.tokens.push(Token::new(
+                    ActivityName {
+                        u: new_ctx,
+                        c: *callee,
+                        s: cb.params[k],
+                        i: Iter::ONE,
+                    },
+                    Port(0),
+                    op,
+                ));
+            }
+        }
+        _ => return execute_ro(ctx, tag, instr, ops),
+    }
+    Ok(eff)
+}
+
+/// Executes one enabled instruction that does *not* allocate a context
+/// (see [`allocates_context`]); needs only shared access to the
+/// [`ContextManager`]. `DInv` and `Return` read the records of contexts
+/// created in strictly earlier waves, so worker threads can run this
+/// concurrently under a read lock.
+pub(crate) fn execute_ro(
+    ctx: &ContextManager,
     tag: ActivityName,
     instr: &Instruction,
     ops: &[Value],
@@ -187,10 +241,12 @@ pub(crate) fn execute(
             let take = as_bool(&ops[1])?;
             retag_branch(tag, &instr.dests, take, ops[0], &mut eff.tokens);
         }
-        OpCode::D { loop_id } => {
-            let inner = ctx.enter_loop(tag.u, tag.i, *loop_id, tag.c);
-            let ntag = ActivityName { u: inner, i: Iter::ONE, ..tag };
-            retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
+        OpCode::D { .. } | OpCode::Apply { .. } => {
+            // Context-allocating opcodes are routed through [`execute`];
+            // reaching here is a backend-dispatch bug, not a program bug.
+            return Err(ExecError::BadTarget {
+                activity: format!("{tag} (context-allocating opcode in read-only execution)"),
+            });
         }
         OpCode::DInv => {
             let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
@@ -206,24 +262,6 @@ pub(crate) fn execute(
         OpCode::LInv => {
             let ntag = ActivityName { i: Iter::ONE, ..tag };
             retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
-        }
-        OpCode::Apply { callee, argc } => {
-            let cb = program.block(*callee).ok_or(ExecError::BadTarget {
-                activity: tag.to_string(),
-            })?;
-            let new_ctx = ctx.enter_call(tag.u, tag.i, tag.c, *callee, instr.dests.clone());
-            for (k, &op) in ops.iter().enumerate().take(*argc as usize) {
-                eff.tokens.push(Token::new(
-                    ActivityName {
-                        u: new_ctx,
-                        c: *callee,
-                        s: cb.params[k],
-                        i: Iter::ONE,
-                    },
-                    Port(0),
-                    op,
-                ));
-            }
         }
         OpCode::Return => {
             let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {

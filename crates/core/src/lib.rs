@@ -49,7 +49,9 @@ mod context;
 mod emu;
 mod exec;
 mod graph;
+mod machine;
 pub mod opt;
+mod par;
 mod tag;
 mod timed;
 mod value;
@@ -58,6 +60,7 @@ pub mod wire;
 pub use builder::{BuildError, GraphBuilder, NodeId};
 pub use context::{ContextManager, ContextRecord};
 pub use emu::{EmuResult, Emulator};
+pub use machine::Machine;
 pub use graph::{
     CodeBlock, CodeBlockId, Dest, DestBranch, GraphError, InstrId, Instruction, OpCode, Program,
 };

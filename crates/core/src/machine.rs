@@ -1,0 +1,145 @@
+//! The unified builder/run surface shared by both execution engines.
+//!
+//! Historically the two engines grew divergent APIs — the [`Emulator`]
+//! attached a sink with a consuming `with_sink` builder while the
+//! [`TimedMachine`] mutated through `set_sink(Option<…>)`, and there was
+//! no way to write engine-generic harness code. [`Machine`] is the
+//! common surface: construct an engine however you like, then configure
+//! it with the shared builders and run it. Both engines implement it.
+//!
+//! ```
+//! use ttda_core::{AluOp, Emulator, GraphBuilder, Machine, OpCode, TimedConfig, TimedMachine, Value};
+//! use ttda_sim::Cycle;
+//!
+//! let mut g = GraphBuilder::new("add");
+//! let a = g.param();
+//! let b = g.param();
+//! let add = g.instr(OpCode::Alu(AluOp::Add));
+//! let out = g.output(0);
+//! g.wire(a, add, 0).wire(b, add, 1).wire(add, out, 0);
+//! let p = g.finish_program().unwrap();
+//!
+//! // One generic harness drives either engine.
+//! fn first_output<M: Machine>(mut m: M, inputs: &[Value]) -> Value {
+//!     let r = m.run(inputs).unwrap();
+//!     M::outputs(&r)[&0]
+//! }
+//!
+//! let emu = Emulator::new(&p).with_threads(2).with_fuel(10_000);
+//! let timed = TimedMachine::ideal(p.clone(), 4, Cycle(10), TimedConfig::default());
+//! assert_eq!(first_output(emu, &[Value::Int(3), Value::Int(4)]), Value::Int(7));
+//! assert_eq!(first_output(timed, &[Value::Int(3), Value::Int(4)]), Value::Int(7));
+//! ```
+
+use std::collections::HashMap;
+
+use ttda_trace::SharedSink;
+
+use ttda_net::Topology;
+
+use crate::emu::{EmuResult, Emulator};
+use crate::graph::CodeBlockId;
+use crate::timed::{TimedMachine, TimedResult};
+use crate::value::Value;
+use crate::ExecError;
+
+/// An execution engine for dataflow programs: the untimed [`Emulator`]
+/// or the cycle-accurate [`TimedMachine`], behind one builder surface.
+///
+/// The builders are consuming (`self -> Self`) so configuration chains
+/// read the same for both engines; `run`/`run_jobs` take `&mut self` and
+/// report through the engine's own result type ([`Machine::Output`]).
+pub trait Machine: Sized {
+    /// What a finished run reports ([`EmuResult`] or [`TimedResult`]).
+    type Output;
+
+    /// Runs the program's `main` block on `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// The engine's usual [`ExecError`] conditions (arity, type and
+    /// structure errors, deadlock, fuel).
+    fn run(&mut self, inputs: &[Value]) -> Result<Self::Output, ExecError>;
+
+    /// Multiprogramming: runs several `(block, inputs)` jobs under fresh
+    /// root contexts to joint completion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run`].
+    fn run_jobs(&mut self, jobs: &[(CodeBlockId, Vec<Value>)]) -> Result<Self::Output, ExecError>;
+
+    /// Attaches a trace sink observing the whole machine.
+    fn with_sink(self, sink: SharedSink) -> Self;
+
+    /// Overrides the firing budget.
+    fn with_fuel(self, fuel: u64) -> Self;
+
+    /// Selects how many host worker threads execute the program. The
+    /// emulator switches to its parallel wave backend for `n > 1` (`0` =
+    /// one per core); the timed machine is a discrete-event simulation
+    /// driven by a single event queue, so it accepts the setting for
+    /// interface uniformity and always simulates its PEs on one thread.
+    fn with_threads(self, threads: usize) -> Self;
+
+    /// The program outputs of a finished run, by slot — the piece of the
+    /// result every engine shares, so generic harnesses can check
+    /// answers without knowing the engine.
+    fn outputs(result: &Self::Output) -> &HashMap<u32, Value>;
+}
+
+impl Machine for Emulator<'_> {
+    type Output = EmuResult;
+
+    fn run(&mut self, inputs: &[Value]) -> Result<EmuResult, ExecError> {
+        Emulator::run(self, inputs)
+    }
+
+    fn run_jobs(&mut self, jobs: &[(CodeBlockId, Vec<Value>)]) -> Result<EmuResult, ExecError> {
+        Emulator::run_jobs(self, jobs)
+    }
+
+    fn with_sink(self, sink: SharedSink) -> Self {
+        Emulator::with_sink(self, sink)
+    }
+
+    fn with_fuel(self, fuel: u64) -> Self {
+        Emulator::with_fuel(self, fuel)
+    }
+
+    fn with_threads(self, threads: usize) -> Self {
+        Emulator::with_threads(self, threads)
+    }
+
+    fn outputs(result: &EmuResult) -> &HashMap<u32, Value> {
+        &result.outputs
+    }
+}
+
+impl<T: Topology> Machine for TimedMachine<T> {
+    type Output = TimedResult;
+
+    fn run(&mut self, inputs: &[Value]) -> Result<TimedResult, ExecError> {
+        TimedMachine::run(self, inputs)
+    }
+
+    fn run_jobs(&mut self, jobs: &[(CodeBlockId, Vec<Value>)]) -> Result<TimedResult, ExecError> {
+        TimedMachine::run_jobs(self, jobs)
+    }
+
+    fn with_sink(self, sink: SharedSink) -> Self {
+        TimedMachine::with_sink(self, sink)
+    }
+
+    fn with_fuel(self, fuel: u64) -> Self {
+        TimedMachine::with_fuel(self, fuel)
+    }
+
+    fn with_threads(self, threads: usize) -> Self {
+        TimedMachine::with_threads(self, threads)
+    }
+
+    fn outputs(result: &TimedResult) -> &HashMap<u32, Value> {
+        &result.outputs
+    }
+}

@@ -1,0 +1,728 @@
+//! The parallel wave-execution backend of the [`Emulator`](crate::Emulator).
+//!
+//! The paper's group built a 32–128-processor emulation facility (Fig
+//! 3-1) because measuring the parallelism profiles of *large* programs on
+//! one processor was too slow. This module is that facility for the
+//! reproduction: it executes the emulator's waves across a pool of scoped
+//! worker threads while producing an [`EmuResult`] that is **bit-identical**
+//! to the sequential backend's, for every program.
+//!
+//! # How determinism is preserved
+//!
+//! Within one wave the sequential backend processes tokens in wave order:
+//! absorb into the waiting–matching store (updating the running occupancy
+//! peak per token), fire if enabled, apply any I-structure action inline,
+//! and append the firing's outputs to the next wave. The parallel backend
+//! reproduces that order exactly from unordered parallel work:
+//!
+//! - **Sharded matching.** Each worker owns the waiting–matching shard
+//!   for the activity names that hash to it, so a token's absorption is a
+//!   pure function of its shard's state. Workers process their tokens in
+//!   ascending wave index and report `(index, occupancy delta, outcome)`
+//!   records; the coordinator replays the deltas in index order, which
+//!   reconstructs the exact running occupancy — and thus `peak_matching` —
+//!   of a sequential run.
+//! - **Coordinator-side context allocation.** `D` and `Apply` are the
+//!   only opcodes that allocate contexts. Workers hand them back
+//!   unexecuted; the coordinator fires them in wave-index order under a
+//!   write lock, so context ids (and hence every downstream activity
+//!   name) match the sequential backend. All other opcodes execute on the
+//!   workers under a read lock — `DInv`/`Return` only read context
+//!   records created in strictly earlier waves.
+//! - **Sharded structures.** Allocation ids are assigned by the
+//!   coordinator in firing order; fetches and stores are routed to the
+//!   shard that owns the structure and applied there in firing order.
+//!   Operations on distinct structures commute, so per-shard program
+//!   order reproduces the sequential cell states, released-reader orders
+//!   and immediate/deferred counts.
+//! - **Deterministic merge.** The next wave is assembled strictly in
+//!   firing order: each firing's direct output tokens, then its structure
+//!   action's tokens — the exact append order of the sequential `fire`.
+//!   Trace events are synthesized (or replayed from worker-filled
+//!   [`EventBuffer`]s) in the same order, so order-sensitive sinks
+//!   observe the sequential event stream.
+//! - **Error precedence.** The first error in wave-index order wins, and
+//!   an `OutOfFuel` at firing *q* loses to any error at a firing ≤ *q* —
+//!   exactly the sequential control flow.
+//!
+//! `loop_bound` (k-bounded loops) forces the sequential backend: its
+//! holding-pen scheduling is a global, order-sensitive fixpoint that
+//! would serialize the workers anyway.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
+
+use ttda_mem::{shard_of, Addr, IStructureShard, Presence, ReadOutcome};
+use ttda_sim::Cycle;
+use ttda_trace::{EventBuffer, PresenceState, SharedSink, TraceEvent};
+
+use crate::context::ContextManager;
+use crate::emu::EmuResult;
+use crate::exec::{absorb, allocates_context, execute, execute_ro, StructAction};
+use crate::graph::{CodeBlockId, Program};
+use crate::tag::{ActivityName, Iter, Port, Token};
+use crate::value::{StructRef, Value};
+use crate::ExecError;
+
+/// Stafford's mix13 finalizer — the same mixer the timed machine uses to
+/// spread activity names over PEs. Deterministic across runs/platforms.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The worker whose waiting–matching shard owns `tag`.
+fn worker_of(tag: ActivityName, workers: usize) -> usize {
+    let packed = (tag.u.0 as u64) << 48
+        | (tag.c.0 as u64) << 36
+        | (tag.s.0 as u64) << 16
+        | tag.i.0 as u64;
+    (mix(packed) % workers as u64) as usize
+}
+
+/// A structure operation routed to the shard that owns the structure.
+struct StructOp {
+    /// Wave index of the firing that requested the operation.
+    index: u32,
+    /// The firing's activity name (for error rendering).
+    tag: ActivityName,
+    action: StructAction,
+}
+
+/// Work sent from the coordinator to one worker.
+enum Job {
+    /// Absorb (and where possible execute) this worker's slice of a
+    /// wave, in ascending wave index.
+    Wave(Vec<(u32, Token)>),
+    /// Apply this worker's slice of the wave's structure operations, in
+    /// ascending wave index. `creates` registers ids allocated this wave.
+    Struct {
+        now: Cycle,
+        creates: Vec<(u32, usize)>,
+        ops: Vec<StructOp>,
+    },
+}
+
+/// Everything a worker-side firing produced.
+struct FireOut {
+    tag: ActivityName,
+    is_alu: bool,
+    tokens: Vec<Token>,
+    output: Option<(u32, Value)>,
+    action: Option<StructAction>,
+}
+
+/// What became of one absorbed token.
+enum Outcome {
+    /// Parked as a partial match.
+    Parked,
+    /// Enabled and executed on the worker.
+    Fired(FireOut),
+    /// Enabled, but the opcode allocates a context: the coordinator must
+    /// execute it in wave order.
+    NeedsCtx {
+        tag: ActivityName,
+        operands: Vec<Value>,
+    },
+}
+
+/// Per-token record: wave index, waiting-store occupancy delta, outcome.
+struct TokRec {
+    index: u32,
+    delta: isize,
+    outcome: Outcome,
+}
+
+struct WaveReply {
+    recs: Vec<TokRec>,
+    err: Option<(u32, ExecError)>,
+}
+
+/// Tokens and trace events produced by one structure operation.
+struct OpOut {
+    index: u32,
+    tokens: Vec<Token>,
+    traces: EventBuffer,
+}
+
+struct StructReply {
+    outs: Vec<OpOut>,
+    err: Option<(u32, ExecError)>,
+    /// Deferred reads outstanding in this worker's shard after the ops.
+    deferred_outstanding: usize,
+    immediate: u64,
+    deferred: u64,
+    writes: u64,
+}
+
+enum Reply {
+    Wave(WaveReply),
+    Struct(StructReply),
+}
+
+/// Entry point: the parallel equivalent of `Emulator::run_jobs`.
+pub(crate) fn run_jobs(
+    program: &Program,
+    jobs: &[(CodeBlockId, Vec<Value>)],
+    threads: usize,
+    fuel: u64,
+    sink: Option<SharedSink>,
+) -> Result<EmuResult, ExecError> {
+    debug_assert!(threads >= 2, "parallel backend needs at least two workers");
+    let mut ctx = ContextManager::new(program.main);
+    let mut wave: Vec<Token> = Vec::new();
+    for (block_id, inputs) in jobs {
+        let block = program.block(*block_id).ok_or(ExecError::BadTarget {
+            activity: block_id.to_string(),
+        })?;
+        if inputs.len() != block.params.len() {
+            return Err(ExecError::InputArity {
+                expected: block.params.len(),
+                got: inputs.len(),
+            });
+        }
+        let root = ctx.new_root(*block_id);
+        for (k, v) in inputs.iter().enumerate() {
+            wave.push(Token::new(
+                ActivityName {
+                    u: root,
+                    c: *block_id,
+                    s: block.params[k],
+                    i: Iter::ONE,
+                },
+                Port(0),
+                *v,
+            ));
+        }
+    }
+    if let Some(s) = &sink {
+        let mut s = s.borrow_mut();
+        for _ in 0..wave.len() {
+            s.record(Cycle::ZERO, &TraceEvent::TokenEmit { pe: 0 });
+        }
+    }
+
+    let ctx_lock = RwLock::new(ctx);
+    let traced = sink.is_some();
+    std::thread::scope(|scope| {
+        let mut job_txs: Vec<Sender<Job>> = Vec::with_capacity(threads);
+        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (jtx, jrx) = channel::<Job>();
+            let (rtx, rrx) = channel::<Reply>();
+            let ctx_ref = &ctx_lock;
+            scope.spawn(move || worker(program, ctx_ref, traced, jrx, rtx));
+            job_txs.push(jtx);
+            reply_rxs.push(rrx);
+        }
+        // `drive` owns the senders; dropping them on return hangs up the
+        // workers, so the scope's implicit join cannot deadlock.
+        drive(program, &ctx_lock, fuel, sink, wave, job_txs, reply_rxs)
+    })
+}
+
+/// The coordinator's wave loop. See the module docs for the phase plan.
+fn drive(
+    program: &Program,
+    ctx_lock: &RwLock<ContextManager>,
+    fuel: u64,
+    sink: Option<SharedSink>,
+    mut wave: Vec<Token>,
+    job_txs: Vec<Sender<Job>>,
+    reply_rxs: Vec<Receiver<Reply>>,
+) -> Result<EmuResult, ExecError> {
+    const DEAD: &str = "emulator worker thread terminated unexpectedly";
+    let threads = job_txs.len();
+    let traced = sink.is_some();
+    let trace = |now: Cycle, ev: &TraceEvent| {
+        if let Some(s) = &sink {
+            s.borrow_mut().record(now, ev);
+        }
+    };
+
+    let mut outputs: HashMap<u32, Value> = HashMap::new();
+    let mut profile: Vec<usize> = Vec::new();
+    let mut instructions: u64 = 0;
+    let mut alu_ops: u64 = 0;
+    let mut peak_matching: usize = 0;
+    let mut waiting_total: usize = 0;
+    let mut peak_deferred: usize = 0;
+    let mut deferred_by_worker = vec![0usize; threads];
+    let mut istore_immediate: u64 = 0;
+    let mut istore_deferred: u64 = 0;
+    let mut istore_writes: u64 = 0;
+    let mut next_struct_id: u32 = 0;
+    let mut now = Cycle::ZERO;
+
+    while !wave.is_empty() {
+        let wlen = wave.len();
+
+        // Phase 1: shard the wave's tokens by activity name and let each
+        // worker absorb + (where possible) execute its slice.
+        let mut parts: Vec<Vec<(u32, Token)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, t) in wave.into_iter().enumerate() {
+            parts[worker_of(t.tag, threads)].push((i as u32, t));
+        }
+        let mut wave_sent = vec![false; threads];
+        for (w, part) in parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                job_txs[w].send(Job::Wave(part)).expect(DEAD);
+                wave_sent[w] = true;
+            }
+        }
+        let mut recs: Vec<Option<TokRec>> = (0..wlen).map(|_| None).collect();
+        let mut first_err: Option<(u32, ExecError)> = None;
+        for (w, rx) in reply_rxs.iter().enumerate() {
+            if !wave_sent[w] {
+                continue;
+            }
+            let Reply::Wave(rep) = rx.recv().expect(DEAD) else {
+                unreachable!("struct reply outside the structure phase");
+            };
+            for r in rep.recs {
+                let i = r.index as usize;
+                recs[i] = Some(r);
+            }
+            if let Some((i, e)) = rep.err {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+
+        // Phase 2: walk the records in wave order — fire the
+        // context-allocating instructions, assign structure ids, route
+        // structure ops to their shards, and find the fuel crossing.
+        struct Slot {
+            index: u32,
+            fired: FireOut,
+            alloc_tokens: Vec<Token>,
+        }
+        let mut merged: Vec<(isize, Option<usize>)> = Vec::with_capacity(wlen);
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut creates: Vec<Vec<(u32, usize)>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut ops: Vec<Vec<StructOp>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut fuel_idx: Option<u32> = None;
+        {
+            let mut ctx = ctx_lock.write().expect("context lock poisoned");
+            for (i, rec) in recs.into_iter().enumerate() {
+                if first_err.as_ref().is_some_and(|(j, _)| i as u32 >= *j) {
+                    break;
+                }
+                let rec = rec.expect("every token before the first error has a record");
+                let mut fired = match rec.outcome {
+                    Outcome::Parked => {
+                        merged.push((rec.delta, None));
+                        continue;
+                    }
+                    Outcome::Fired(f) => f,
+                    Outcome::NeedsCtx { tag, operands } => {
+                        let instr = program
+                            .block(tag.c)
+                            .and_then(|b| b.instr(tag.s))
+                            .expect("absorb resolved the instruction");
+                        match execute(program, &mut ctx, tag, instr, &operands) {
+                            Ok(eff) => FireOut {
+                                tag,
+                                is_alu: eff.is_alu,
+                                tokens: eff.tokens,
+                                output: eff.output,
+                                action: eff.action,
+                            },
+                            Err(e) => {
+                                first_err = Some((i as u32, e));
+                                break;
+                            }
+                        }
+                    }
+                };
+                // The sequential backend checks the budget after every
+                // firing; record where this wave would cross it.
+                if fuel_idx.is_none() && instructions + slots.len() as u64 + 1 > fuel {
+                    fuel_idx = Some(i as u32);
+                }
+                let mut alloc_tokens: Vec<Token> = Vec::new();
+                match fired.action.take() {
+                    None => {}
+                    Some(StructAction::Alloc { len, dests }) => {
+                        let id = next_struct_id;
+                        next_struct_id += 1;
+                        creates[shard_of(id, threads)].push((id, len));
+                        let p = Value::Ptr(StructRef { id, len: len as u32 });
+                        for (rtag, port) in dests {
+                            alloc_tokens.push(Token::new(rtag, port, p));
+                        }
+                    }
+                    Some(action @ StructAction::Fetch { .. }) | Some(action @ StructAction::Store { .. }) => {
+                        let ptr = match &action {
+                            StructAction::Fetch { ptr, .. } | StructAction::Store { ptr, .. } => *ptr,
+                            StructAction::Alloc { .. } => unreachable!(),
+                        };
+                        ops[shard_of(ptr.id, threads)].push(StructOp {
+                            index: i as u32,
+                            tag: fired.tag,
+                            action,
+                        });
+                    }
+                }
+                merged.push((rec.delta, Some(slots.len())));
+                slots.push(Slot { index: i as u32, fired, alloc_tokens });
+            }
+        }
+
+        // Phase 3: ship the structure work to the owning shards.
+        let mut struct_sent = vec![false; threads];
+        for w in 0..threads {
+            if creates[w].is_empty() && ops[w].is_empty() {
+                continue;
+            }
+            job_txs[w]
+                .send(Job::Struct {
+                    now,
+                    creates: std::mem::take(&mut creates[w]),
+                    ops: std::mem::take(&mut ops[w]),
+                })
+                .expect(DEAD);
+            struct_sent[w] = true;
+        }
+        let mut op_outs: Vec<Option<OpOut>> = (0..wlen).map(|_| None).collect();
+        for (w, rx) in reply_rxs.iter().enumerate() {
+            if !struct_sent[w] {
+                continue;
+            }
+            let Reply::Struct(rep) = rx.recv().expect(DEAD) else {
+                unreachable!("wave reply inside the structure phase");
+            };
+            for o in rep.outs {
+                let i = o.index as usize;
+                op_outs[i] = Some(o);
+            }
+            if let Some((i, e)) = rep.err {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+            deferred_by_worker[w] = rep.deferred_outstanding;
+            istore_immediate += rep.immediate;
+            istore_deferred += rep.deferred;
+            istore_writes += rep.writes;
+        }
+
+        // Error precedence, exactly as the sequential control flow has
+        // it: the budget check runs *after* a successful firing, so an
+        // error at firing index <= the crossing index wins.
+        match (first_err.take(), fuel_idx) {
+            (Some((ei, e)), Some(fi)) => {
+                return Err(if ei <= fi { e } else { ExecError::OutOfFuel });
+            }
+            (Some((_, e)), None) => return Err(e),
+            (None, Some(_)) => return Err(ExecError::OutOfFuel),
+            (None, None) => {}
+        }
+
+        // Phase 4: deterministic merge — replay the wave in index order,
+        // reconstructing counters, traces and the next wave exactly as
+        // the sequential backend builds them.
+        let fired_count = slots.len();
+        let mut next: Vec<Token> = Vec::new();
+        for (delta, slot_idx) in merged {
+            trace(now, &TraceEvent::TokenConsume { pe: 0 });
+            waiting_total = (waiting_total as isize + delta) as usize;
+            peak_matching = peak_matching.max(waiting_total);
+            let Some(si) = slot_idx else {
+                trace(now, &TraceEvent::MatchWait { pe: 0, occupancy: waiting_total as u64 });
+                continue;
+            };
+            let slot = &mut slots[si];
+            instructions += 1;
+            if slot.fired.is_alu {
+                alu_ops += 1;
+            }
+            trace(now, &TraceEvent::MatchFire { pe: 0, alu: slot.fired.is_alu, busy: 0 });
+            if let Some((s, v)) = slot.fired.output.take() {
+                outputs.insert(s, v);
+            }
+            let mut emitted = slot.fired.tokens.len();
+            next.append(&mut slot.fired.tokens);
+            if let Some(op) = op_outs[slot.index as usize].as_mut() {
+                if let Some(sk) = &sink {
+                    op.traces.replay_into(sk);
+                }
+                emitted += op.tokens.len();
+                next.append(&mut op.tokens);
+            }
+            emitted += slot.alloc_tokens.len();
+            next.append(&mut slot.alloc_tokens);
+            if traced {
+                for _ in 0..emitted {
+                    trace(now, &TraceEvent::TokenEmit { pe: 0 });
+                }
+            }
+        }
+
+        peak_deferred = peak_deferred.max(deferred_by_worker.iter().sum());
+        if fired_count > 0 {
+            profile.push(fired_count);
+            trace(now, &TraceEvent::WaveEnd { fired: fired_count as u64 });
+            now = now.saturating_add(Cycle(1));
+        }
+        wave = next;
+    }
+
+    let stranded = waiting_total + deferred_by_worker.iter().sum::<usize>();
+    if stranded > 0 {
+        return Err(ExecError::Deadlock { stranded });
+    }
+    trace(now, &TraceEvent::Halt { in_flight: 0 });
+
+    let contexts = ctx_lock.read().expect("context lock poisoned").allocated();
+    Ok(EmuResult {
+        outputs,
+        instructions,
+        alu_ops,
+        waves: profile.len() as u64,
+        profile,
+        contexts,
+        peak_matching,
+        peak_deferred,
+        istore_immediate,
+        istore_deferred,
+        istore_writes,
+    })
+}
+
+/// One worker: owns a waiting–matching shard and an I-structure shard
+/// for the whole run, draining jobs until the coordinator hangs up.
+fn worker(
+    program: &Program,
+    ctx_lock: &RwLock<ContextManager>,
+    traced: bool,
+    jobs: Receiver<Job>,
+    replies: Sender<Reply>,
+) {
+    let mut waiting: HashMap<ActivityName, Vec<Option<Value>>> = HashMap::new();
+    let mut shard: IStructureShard<Value, (ActivityName, Port)> = IStructureShard::new();
+    while let Ok(job) = jobs.recv() {
+        let reply = match job {
+            Job::Wave(tokens) => {
+                Reply::Wave(match_and_execute(program, ctx_lock, &mut waiting, tokens))
+            }
+            Job::Struct { now, creates, ops } => {
+                Reply::Struct(apply_struct_ops(&mut shard, now, creates, ops, traced))
+            }
+        };
+        if replies.send(reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Worker side of a wave: absorb each token into this worker's shard in
+/// wave order, executing enabled non-context-allocating instructions
+/// under a shared context lock.
+fn match_and_execute(
+    program: &Program,
+    ctx_lock: &RwLock<ContextManager>,
+    waiting: &mut HashMap<ActivityName, Vec<Option<Value>>>,
+    tokens: Vec<(u32, Token)>,
+) -> WaveReply {
+    let ctx = ctx_lock.read().expect("context lock poisoned");
+    let mut recs = Vec::with_capacity(tokens.len());
+    let mut err = None;
+    for (index, token) in tokens {
+        let before = waiting.len() as isize;
+        let absorbed = match absorb(program, waiting, token) {
+            Ok(a) => a,
+            Err(e) => {
+                err = Some((index, e));
+                break;
+            }
+        };
+        let delta = waiting.len() as isize - before;
+        let outcome = match absorbed {
+            None => Outcome::Parked,
+            Some((tag, operands)) => {
+                let instr = program
+                    .block(tag.c)
+                    .and_then(|b| b.instr(tag.s))
+                    .expect("absorb resolved the instruction");
+                if allocates_context(&instr.op) {
+                    Outcome::NeedsCtx { tag, operands }
+                } else {
+                    match execute_ro(&ctx, tag, instr, &operands) {
+                        Ok(eff) => Outcome::Fired(FireOut {
+                            tag,
+                            is_alu: eff.is_alu,
+                            tokens: eff.tokens,
+                            output: eff.output,
+                            action: eff.action,
+                        }),
+                        Err(e) => {
+                            err = Some((index, e));
+                            break;
+                        }
+                    }
+                }
+            }
+        };
+        recs.push(TokRec { index, delta, outcome });
+    }
+    WaveReply { recs, err }
+}
+
+fn dangling(tag: ActivityName, ptr: StructRef) -> ExecError {
+    ExecError::BadTarget {
+        activity: format!("{tag} (dangling {ptr:?})"),
+    }
+}
+
+/// Worker side of the structure phase: register this wave's allocations
+/// owned by the shard, then apply fetches/stores in wave order,
+/// mirroring the sequential backend's inline handling (including its
+/// trace event order, buffered for coordinator replay).
+fn apply_struct_ops(
+    shard: &mut IStructureShard<Value, (ActivityName, Port)>,
+    now: Cycle,
+    creates: Vec<(u32, usize)>,
+    ops: Vec<StructOp>,
+    traced: bool,
+) -> StructReply {
+    for (id, len) in creates {
+        shard.create(id, len);
+    }
+    let mut outs = Vec::with_capacity(ops.len());
+    let mut err = None;
+    let mut immediate = 0u64;
+    let mut deferred = 0u64;
+    let mut writes = 0u64;
+    for op in ops {
+        match apply_one(shard, op, now, traced, &mut immediate, &mut deferred, &mut writes) {
+            Ok(out) => outs.push(out),
+            Err((i, e)) => {
+                err = Some((i, e));
+                break;
+            }
+        }
+    }
+    StructReply {
+        outs,
+        err,
+        deferred_outstanding: shard.deferred_outstanding(),
+        immediate,
+        deferred,
+        writes,
+    }
+}
+
+fn apply_one(
+    shard: &mut IStructureShard<Value, (ActivityName, Port)>,
+    op: StructOp,
+    now: Cycle,
+    traced: bool,
+    immediate: &mut u64,
+    deferred: &mut u64,
+    writes: &mut u64,
+) -> Result<OpOut, (u32, ExecError)> {
+    let StructOp { index, tag, action } = op;
+    let mut out = OpOut {
+        index,
+        tokens: Vec::new(),
+        traces: EventBuffer::new(),
+    };
+    let fail = |e: ExecError| (index, e);
+    match action {
+        StructAction::Alloc { .. } => {
+            unreachable!("allocations are resolved on the coordinator")
+        }
+        StructAction::Fetch { ptr, idx, dests } => {
+            for (rtag, port) in dests {
+                let before = if traced {
+                    shard
+                        .store(ptr.id)
+                        .ok_or_else(|| fail(dangling(tag, ptr)))?
+                        .presence(Addr(idx))
+                        .map_err(|e| fail(e.into()))?
+                } else {
+                    Presence::Empty
+                };
+                let outcome = shard
+                    .read(ptr.id, Addr(idx), (rtag, port))
+                    .ok_or_else(|| fail(dangling(tag, ptr)))?
+                    .map_err(|e| fail(e.into()))?;
+                match outcome {
+                    ReadOutcome::Value(v) => {
+                        *immediate += 1;
+                        out.tokens.push(Token::new(rtag, port, v));
+                        if traced {
+                            out.traces.push(now, TraceEvent::IStoreRead { module: ptr.id, immediate: true });
+                        }
+                    }
+                    ReadOutcome::Deferred => {
+                        *deferred += 1;
+                        if traced {
+                            out.traces.push(now, TraceEvent::IStoreRead { module: ptr.id, immediate: false });
+                            let depth = shard
+                                .store(ptr.id)
+                                .expect("structure present")
+                                .deferred_count(Addr(idx))
+                                .map_err(|e| fail(e.into()))? as u64;
+                            out.traces.push(now, TraceEvent::DeferEnqueue { module: ptr.id, depth });
+                            if before != Presence::Deferred {
+                                out.traces.push(
+                                    now,
+                                    TraceEvent::Presence {
+                                        module: ptr.id,
+                                        from: before.as_trace(),
+                                        to: PresenceState::Deferred,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        StructAction::Store { ptr, idx, value, dests } => {
+            let before = if traced {
+                shard
+                    .store(ptr.id)
+                    .ok_or_else(|| fail(dangling(tag, ptr)))?
+                    .presence(Addr(idx))
+                    .map_err(|e| fail(e.into()))?
+            } else {
+                Presence::Empty
+            };
+            let released = shard
+                .write(ptr.id, Addr(idx), value)
+                .ok_or_else(|| fail(dangling(tag, ptr)))?
+                .map_err(|e| fail(e.into()))?;
+            *writes += 1;
+            if traced {
+                out.traces.push(now, TraceEvent::IStoreWrite { module: ptr.id });
+                out.traces.push(
+                    now,
+                    TraceEvent::Presence {
+                        module: ptr.id,
+                        from: before.as_trace(),
+                        to: PresenceState::Present,
+                    },
+                );
+                if !released.is_empty() {
+                    out.traces.push(
+                        now,
+                        TraceEvent::DeferRelease { module: ptr.id, released: released.len() as u64 },
+                    );
+                }
+            }
+            for (rtag, port) in released {
+                out.tokens.push(Token::new(rtag, port, value));
+            }
+            for (rtag, port) in dests {
+                out.tokens.push(Token::new(rtag, port, Value::Unit));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -274,17 +274,35 @@ impl<T: Topology> TimedMachine<T> {
         }
     }
 
-    /// Attaches (or detaches, with `None`) a trace sink. The sink is also
-    /// threaded into the network fabric, so one sink observes token
-    /// lifecycle, I-structure and packet events for the whole machine.
+    /// Attaches (or detaches, with `None`) a trace sink.
+    #[deprecated(note = "use the `with_sink` builder (shared `Machine` surface)")]
     pub fn set_sink(&mut self, sink: Option<SharedSink>) {
         self.fabric.set_sink(sink.clone());
         self.sink = sink;
     }
 
-    /// Builder-style [`TimedMachine::set_sink`].
+    /// Attaches a trace sink. The sink is also threaded into the network
+    /// fabric, so one sink observes token lifecycle, I-structure and
+    /// packet events for the whole machine.
     pub fn with_sink(mut self, sink: SharedSink) -> Self {
-        self.set_sink(Some(sink));
+        self.fabric.set_sink(Some(sink.clone()));
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Overrides the firing budget ([`TimedConfig::fuel`]).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.config.fuel = fuel;
+        self
+    }
+
+    /// Accepts the shared [`Machine`](crate::Machine) thread setting.
+    /// The timed model is a discrete-event simulation driven by one
+    /// event queue — its *simulated* PEs are already "parallel", and host
+    /// threading does not apply — so the value is ignored; the method
+    /// exists so engine-generic configuration code compiles against both
+    /// engines.
+    pub fn with_threads(self, _threads: usize) -> Self {
         self
     }
 

@@ -34,9 +34,11 @@ pub mod cache;
 mod fullempty;
 mod istore;
 mod module;
+mod shard;
 
 pub use fullempty::{FullEmptyError, FullEmptyMemory, TryReadOutcome};
 pub use istore::{
     IStructure, IStructureController, IStructureError, IStructureStats, Presence, ReadOutcome,
 };
 pub use module::{Addr, MemOp, MemoryModule};
+pub use shard::{shard_of, IStructureShard};

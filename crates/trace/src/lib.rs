@@ -201,8 +201,12 @@ pub trait TraceSink {
 
 /// A sink shared between a machine, its memory modules and its network.
 ///
-/// All engines are single-threaded, so `Rc<RefCell<…>>` is the right
-/// amount of machinery: one sink instance observes the whole machine.
+/// Sinks are observed from the machine's *coordinating* thread only, so
+/// `Rc<RefCell<…>>` is the right amount of machinery: one sink instance
+/// observes the whole machine. Parallel backends never hand a
+/// `SharedSink` to a worker thread (it is not `Send`); workers record
+/// into [`EventBuffer`]s instead, which the coordinator replays into the
+/// sink in a deterministic order.
 pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
 
 /// Wraps a concrete sink for sharing across subsystems.
@@ -216,6 +220,71 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _at: Cycle, _ev: &TraceEvent) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// An owned, order-preserving event buffer — the bridge between worker
+/// threads and a (single-threaded) [`SharedSink`].
+///
+/// Worker threads cannot touch a `SharedSink` (it is `Rc`-based and not
+/// `Send`), and even if they could, interleaving their events
+/// nondeterministically would break the order-sensitive invariants
+/// downstream sinks check (e.g. running waiting–matching occupancy).
+/// Instead each worker records into its own `EventBuffer` — which *is*
+/// `Send`, since events are plain `Copy` data — and the coordinating
+/// thread replays the buffers into the real sink in a deterministic
+/// merge order. The sink then observes exactly the event stream a
+/// sequential run would have produced.
+///
+/// `EventBuffer` also implements [`TraceSink`], so code written against
+/// the sink trait can record into a buffer unchanged.
+#[derive(Debug, Default, Clone)]
+pub struct EventBuffer {
+    events: Vec<(Cycle, TraceEvent)>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        EventBuffer { events: Vec::new() }
+    }
+
+    /// Appends one stamped event.
+    pub fn push(&mut self, at: Cycle, ev: TraceEvent) {
+        self.events.push((at, ev));
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The buffered events, in recording order.
+    pub fn events(&self) -> &[(Cycle, TraceEvent)] {
+        &self.events
+    }
+
+    /// Replays every buffered event into `sink`, preserving order and
+    /// timestamps; the buffer is left empty.
+    pub fn replay_into(&mut self, sink: &SharedSink) {
+        let mut s = sink.borrow_mut();
+        for (at, ev) in self.events.drain(..) {
+            s.record(at, &ev);
+        }
+    }
+}
+
+impl TraceSink for EventBuffer {
+    fn record(&mut self, at: Cycle, ev: &TraceEvent) {
+        self.push(at, *ev);
+    }
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -257,5 +326,25 @@ mod tests {
         sink.borrow_mut()
             .record(Cycle(3), &TraceEvent::TokenEmit { pe: 1 });
         assert!(sink.borrow().as_any().downcast_ref::<NullSink>().is_some());
+    }
+
+    #[test]
+    fn event_buffer_is_send_and_replays_in_order() {
+        fn assert_send<T: Send>() {}
+        assert_send::<EventBuffer>();
+
+        let mut buf = EventBuffer::new();
+        buf.record(Cycle(1), &TraceEvent::TokenEmit { pe: 0 });
+        buf.push(Cycle(2), TraceEvent::TokenConsume { pe: 0 });
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.events()[0], (Cycle(1), TraceEvent::TokenEmit { pe: 0 }));
+
+        let sink = shared(CountingSink::new());
+        buf.replay_into(&sink);
+        assert!(buf.is_empty());
+        let s = sink.borrow();
+        let c = s.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert_eq!(c.tokens_emitted(), 1);
+        assert_eq!(c.tokens_consumed(), 1);
     }
 }

@@ -6,6 +6,7 @@
 //! cargo run --example id_compiler                 # built-in demo
 //! cargo run --example id_compiler -- prog.id 7    # your program + int inputs
 //! cargo run --example id_compiler -- --dot        # emit dot to stdout
+//! cargo run --example id_compiler -- --threads 4  # parallel wave backend
 //! ```
 
 use ttda::core::{Emulator, Value};
@@ -27,8 +28,16 @@ def main(n) =
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let want_dot = args.iter().any(|a| a == "--dot");
+    let mut threads = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        threads = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or("--threads needs a number (0 = one per core)")?;
+        args.drain(pos..pos + 2);
+    }
     let rest: Vec<&String> = args.iter().filter(|a| *a != "--dot").collect();
 
     let source = match rest.first() {
@@ -59,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let mut emu = Emulator::new(&program);
-    let r = emu.run(&inputs)?;
+    let r = Emulator::new(&program).with_threads(threads).run(&inputs)?;
     eprintln!("\nran in {} waves, {} firings", r.waves, r.instructions);
     eprintln!(
         "parallelism: mean {:.1}, peak {}; contexts allocated: {}",

@@ -5,7 +5,7 @@
 //! cargo run --example multiprogramming
 //! ```
 
-use ttda::core::{Program, TimedConfig, TimedMachine, Value};
+use ttda::core::{Emulator, Program, TimedConfig, TimedMachine, Value};
 use ttda::sim::Cycle;
 use ttda::workloads::id;
 
@@ -49,15 +49,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The sharpest case: the SAME code block, twice, different inputs.
     let fib = ttda::idc::compile(id::fib())?;
     let (merged, mains) = Program::merge(&[fib.clone(), fib], 4);
-    let mut m = TimedMachine::ideal(merged, 4, Cycle(4), TimedConfig::default());
-    let r = m.run_jobs(&[
+    let mut m = TimedMachine::ideal(merged.clone(), 4, Cycle(4), TimedConfig::default());
+    let jobs = [
         (mains[0], vec![Value::Int(10)]),
         (mains[1], vec![Value::Int(15)]),
-    ])?;
+    ];
+    let r = m.run_jobs(&jobs)?;
     println!(
         "\nsame code block, two jobs: fib(10) = {} and fib(15) = {} — identical\n\
          instructions, interleaved activations, zero interference.",
         r.outputs[&0], r.outputs[&4]
+    );
+
+    // The emulator's parallel backend multiprograms the same way: both
+    // jobs flow through the sharded matching store at once, and the
+    // deterministic wave merge keeps the result independent of how many
+    // host threads executed it.
+    let seq = Emulator::new(&merged).run_jobs(&jobs)?;
+    let par = Emulator::new(&merged).with_threads(4).run_jobs(&jobs)?;
+    assert_eq!(seq, par);
+    println!(
+        "emulator, 1 vs 4 worker threads: bit-identical EmuResult ({} firings, {} waves).",
+        seq.instructions, seq.waves
     );
     Ok(())
 }

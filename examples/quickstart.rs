@@ -5,8 +5,15 @@
 //! cargo run --example quickstart
 //! ```
 
-use ttda::core::{Emulator, TimedConfig, TimedMachine, Value};
+use ttda::core::{Emulator, Machine, TimedConfig, TimedMachine, Value};
 use ttda::sim::Cycle;
+
+/// Both engines implement [`Machine`], so one generic harness can
+/// configure, run and read back either of them.
+fn answer<M: Machine>(mut m: M, inputs: &[Value]) -> Value {
+    let r = m.run(inputs).expect("runs");
+    M::outputs(&r)[&0]
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The ID program of Fig 2-2: trapezoidal-rule integration. With
@@ -33,9 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Engine 1: the fast emulator (Fig 3-1's emulation prong). Executes
     // the graph in enabled-instruction waves and reports the idealized
-    // parallelism profile.
-    let mut emu = Emulator::new(&program);
-    let r = emu.run(&inputs)?;
+    // parallelism profile. `with_threads(0)` asks for one worker per
+    // host core; the sharded backend merges every wave in canonical
+    // firing order, so the result is bit-identical to a one-thread run.
+    let r = Emulator::new(&program).with_threads(0).run(&inputs)?;
     println!("\n[emulator]  result          = {}", r.outputs[&0]);
     println!("[emulator]  instructions    = {}", r.instructions);
     println!("[emulator]  critical path   = {} waves", r.waves);
@@ -48,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Engine 2: the detailed timed machine (the simulation prong): 8
     // processing elements with I-structure modules, 20-cycle network.
-    let mut machine = TimedMachine::ideal(program, 8, Cycle(20), TimedConfig::default());
+    let mut machine = TimedMachine::ideal(program.clone(), 8, Cycle(20), TimedConfig::default());
     let r = machine.run(&inputs)?;
     println!("\n[timed 8PE] result          = {}", r.outputs[&0]);
     println!("[timed 8PE] completion      = {}", r.stats.cycles);
@@ -65,5 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.stats.istore_deferred,
         r.stats.istore_deferred + r.stats.istore_immediate
     );
+
+    // Both engines share the `Machine` builder surface, so engine-generic
+    // code needs no knowledge of which one it is driving.
+    let a = answer(Emulator::new(&program).with_threads(2), &inputs);
+    let b = answer(
+        TimedMachine::ideal(program, 8, Cycle(20), TimedConfig::default()),
+        &inputs,
+    );
+    assert_eq!(a, b);
+    println!("\n[machine]   one generic harness drives both engines: {a}");
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! cargo run --example survey_tour
 //! ```
 
+use ttda::core::{Emulator, Value};
 use ttda::machines::{
     branchy_kernel, regular_kernel, CmInstr, CmStar, CmStarConfig, Cmmp, CmmpConfig,
     ConnectionMachine, Ultra, UltraConfig, Vliw,
@@ -104,6 +105,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n,
         100.0 * s.comm_fraction(),
         s.congestion()
+    );
+
+    // --- The critique's answer (§2): on the TTDA the *program* carries
+    // the parallelism, so how many host workers emulate it is invisible
+    // in everything but wall time.
+    println!("\nTTDA — the paper's answer");
+    let p = ttda::idc::compile(ttda::workloads::id::fib())?;
+    let seq = Emulator::new(&p).run(&[Value::Int(15)])?;
+    let par = Emulator::new(&p).with_threads(4).run(&[Value::Int(15)])?;
+    assert_eq!(seq, par);
+    println!(
+        "  fib(15) = {}: mean parallelism {:.1}, peak {} — bit-identical under\n\
+         1 or 4 emulation worker threads.",
+        seq.outputs[&0],
+        seq.mean_parallelism(),
+        seq.peak_parallelism()
     );
     Ok(())
 }

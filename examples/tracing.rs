@@ -12,7 +12,7 @@
 
 use std::any::Any;
 
-use ttda::core::{TimedConfig, TimedMachine, Value};
+use ttda::core::{Emulator, TimedConfig, TimedMachine, Value};
 use ttda::net::Hypercube;
 use ttda::sim::Cycle;
 use ttda::trace::{shared, ChromeTraceSink, CountingSink, TraceEvent, TraceSink};
@@ -65,5 +65,27 @@ fn main() {
     println!(
         "\nwrote target/traces/example.chrome.json ({} events) — open it at https://ui.perfetto.dev",
         tee.chrome.len()
+    );
+    drop(s);
+
+    // Tracing composes with the emulator's parallel backend: workers
+    // buffer their events locally and the coordinator replays them in
+    // canonical firing order, so the ledger balances exactly even with
+    // four threads racing through the waves.
+    let program = ttda::idc::compile(ttda::workloads::id::producer_consumer())
+        .expect("producer_consumer compiles");
+    let esink = shared(CountingSink::new());
+    Emulator::new(&program)
+        .with_sink(esink.clone())
+        .with_threads(4)
+        .run(&[Value::Int(16)])
+        .expect("run succeeds");
+    let s = esink.borrow();
+    let counts = s.as_any().downcast_ref::<CountingSink>().expect("counting");
+    println!(
+        "\n[emulator, 4 worker threads] token conservation: {} ({} emitted, {} consumed)",
+        if counts.token_conservation_holds() { "HOLDS" } else { "VIOLATED" },
+        counts.tokens_emitted(),
+        counts.tokens_consumed(),
     );
 }

@@ -7,14 +7,25 @@
 //! divergence in matching, tag manipulation, I-structure deferral or
 //! routing shows up as a result mismatch here.
 
-use ttda::core::{Emulator, MappingPolicy, TimedConfig, TimedMachine, Value};
+use ttda::core::{Emulator, Machine, MappingPolicy, TimedConfig, TimedMachine, Value};
 use ttda::net::{ClusterTree, Crossbar, Grid2d, Hypercube, Omega};
 use ttda::sim::Cycle;
 use ttda::workloads::{id, reference};
 
 fn emulate(src: &str, inputs: &[Value]) -> Value {
     let p = ttda::idc::compile(src).expect("compiles");
-    Emulator::new(&p).run(inputs).expect("emulates").outputs[&0]
+    let seq = Emulator::new(&p).run(inputs).expect("emulates");
+    // Every emulated workload doubles as a determinism check on the
+    // parallel wave backend: worker count must be invisible in the full
+    // result, not just the answer.
+    for threads in [2usize, 4] {
+        let par = Emulator::new(&p)
+            .with_threads(threads)
+            .run(inputs)
+            .expect("parallel backend runs");
+        assert_eq!(par, seq, "threads={threads} diverged from sequential");
+    }
+    seq.outputs[&0]
 }
 
 #[test]
@@ -133,6 +144,29 @@ fn deterministic_across_repeat_runs() {
     }
     assert_eq!(cycles[0], cycles[1]);
     assert_eq!(cycles[1], cycles[2]);
+}
+
+#[test]
+fn machine_trait_drives_both_engines() {
+    // The unified `Machine` surface: one generic harness configures and
+    // runs either engine — the emulator on its parallel backend, the
+    // timed machine on its event queue — and reads the shared outputs.
+    fn slot0<M: Machine>(m: M, inputs: &[Value]) -> Value {
+        let mut m = m.with_fuel(10_000_000);
+        let r = m.run(inputs).expect("runs");
+        M::outputs(&r)[&0]
+    }
+    let p = ttda::idc::compile(id::fib()).expect("compiles");
+    let want = Value::Int(reference::fib(12));
+    assert_eq!(slot0(Emulator::new(&p), &[Value::Int(12)]), want);
+    assert_eq!(slot0(Emulator::new(&p).with_threads(4), &[Value::Int(12)]), want);
+    assert_eq!(
+        slot0(
+            TimedMachine::ideal(p, 4, Cycle(5), TimedConfig::default()),
+            &[Value::Int(12)]
+        ),
+        want
+    );
 }
 
 #[test]

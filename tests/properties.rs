@@ -146,6 +146,30 @@ fn optimizer_preserves_random_expressions() {
 }
 
 #[test]
+fn parallel_backend_matches_sequential_on_random_programs() {
+    // The strongest promise the parallel wave backend makes: for *any*
+    // program, the full `EmuResult` — outputs, instruction and ALU
+    // counts, wave profile, peak matching-store occupancy, contexts — is
+    // bit-identical to the sequential emulator's, at every worker count.
+    check::forall("parallel backend matches sequential", |rng| {
+        let e = gen_expr(rng, 4, false);
+        let x = rng.gen_range(-30i64..30);
+        let y = rng.gen_range(-30i64..30);
+        let src = format!("def main(x, y) = {};", to_src(&e));
+        let p = ttda::idc::compile(&src).expect("compiles");
+        let inputs = [Value::Int(x), Value::Int(y)];
+        let seq = Emulator::new(&p).run(&inputs).expect("runs");
+        for threads in [2usize, 4, 8] {
+            let par = Emulator::new(&p)
+                .with_threads(threads)
+                .run(&inputs)
+                .expect("parallel backend runs");
+            assert_eq!(par, seq, "threads={threads} diverged from sequential");
+        }
+    });
+}
+
+#[test]
 fn timed_machine_agrees_with_emulator_on_random_exprs() {
     check::forall("timed machine agrees with emulator", |rng| {
         let e = gen_expr(rng, 4, false);

@@ -51,6 +51,51 @@ fn producer_consumer_conserves_tokens_on_the_emulator() {
 }
 
 #[test]
+fn parallel_backend_preserves_the_trace_ledger() {
+    // Worker threads buffer their events locally and the coordinator
+    // replays them in canonical firing order, so a sink attached to the
+    // parallel backend must see the *same* event stream as the
+    // sequential emulator — same ledger, same counters, zero reordering.
+    let p = ttda::idc::compile(ttda::workloads::id::producer_consumer()).unwrap();
+    let seq_sink = shared(CountingSink::new());
+    let seq = Emulator::new(&p)
+        .with_sink(seq_sink.clone())
+        .run(&[Value::Int(24)])
+        .expect("sequential run");
+    for threads in [2usize, 4] {
+        let par_sink = shared(CountingSink::new());
+        let par = Emulator::new(&p)
+            .with_sink(par_sink.clone())
+            .with_threads(threads)
+            .run(&[Value::Int(24)])
+            .expect("parallel run");
+        assert_eq!(par, seq, "threads={threads}: result diverged");
+        let c = counting(&par_sink);
+        assert!(c.token_conservation_holds(), "threads={threads}");
+        assert!(c.quiescent(), "threads={threads}");
+        assert_eq!(c.deferred_outstanding(), 0, "threads={threads}");
+        let s = counting(&seq_sink);
+        assert_eq!(c.tokens_emitted(), s.tokens_emitted(), "threads={threads}");
+        assert_eq!(c.tokens_consumed(), s.tokens_consumed(), "threads={threads}");
+        assert_eq!(
+            c.metrics().counter_value("match_fire"),
+            s.metrics().counter_value("match_fire"),
+            "threads={threads}"
+        );
+        assert_eq!(
+            c.metrics().counter_value("istore_read"),
+            s.metrics().counter_value("istore_read"),
+            "threads={threads}"
+        );
+        assert_eq!(
+            c.metrics().counter_value("istore_write"),
+            s.metrics().counter_value("istore_write"),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn producer_consumer_conserves_tokens_on_the_timed_machine() {
     let p = ttda::idc::compile(ttda::workloads::id::producer_consumer()).unwrap();
     let sink = shared(CountingSink::new());
