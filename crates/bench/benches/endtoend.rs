@@ -1,33 +1,12 @@
-//! Criterion bench behind Experiments E2/E14: whole-machine runs.
+//! Criterion bench behind Experiments E2/E14: whole-machine runs. The
+//! bodies live in `ttda_bench::suites` so the `experiments quickbench`
+//! subcommand can run the same targets.
 
-use ttda_bench::quickbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ttda_machines::{CmStar, CmStarConfig};
-use ttda_vn::Core;
-use ttda_workloads::vn::chaotic_relaxation;
+use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
+use ttda_bench::suites;
 
 fn bench_endtoend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_cmstar_relaxation");
-    for procs in [4usize, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &n| {
-            b.iter(|| {
-                let per_cluster = 8.min(n);
-                let clusters = n.div_ceil(per_cluster);
-                let cfg = CmStarConfig {
-                    clusters,
-                    per_cluster,
-                    words_per_module: 128,
-                    ..CmStarConfig::default()
-                };
-                let total = clusters * per_cluster;
-                let cores: Vec<Core> = (0..total)
-                    .map(|p| Core::new(chaotic_relaxation(p, total, 8, 4, 128)))
-                    .collect();
-                let mut m = CmStar::new(cores, cfg);
-                m.run().unwrap()
-            })
-        });
-    }
-    g.finish();
+    suites::endtoend(c);
 }
 
 criterion_group!(benches, bench_endtoend);

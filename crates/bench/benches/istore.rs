@@ -1,44 +1,12 @@
 //! Criterion bench behind Experiment E11/E6: I-structure storage vs
-//! full/empty busy-waiting.
+//! full/empty busy-waiting. The bodies live in `ttda_bench::suites` so
+//! the `experiments quickbench` subcommand can run the same targets.
 
 use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
-use ttda_mem::{Addr, FullEmptyMemory, IStructure, TryReadOutcome};
+use ttda_bench::suites;
 
 fn bench_istore(c: &mut Criterion) {
-    c.bench_function("e11_istructure_defer_release", |b| {
-        b.iter(|| {
-            let mut m: IStructure<i64, u32> = IStructure::new(256);
-            for i in 0..256usize {
-                m.read(Addr(i), i as u32).unwrap();
-            }
-            let mut released = 0;
-            for i in 0..256usize {
-                released += m.write(Addr(i), i as i64).unwrap().len();
-            }
-            released
-        })
-    });
-    c.bench_function("e6_full_empty_busy_wait", |b| {
-        b.iter(|| {
-            let mut m: FullEmptyMemory<i64> = FullEmptyMemory::new(256);
-            // Each consumer polls 4 times before the producer arrives.
-            for _ in 0..4 {
-                for i in 0..256usize {
-                    let _ = m.try_read(Addr(i)).unwrap();
-                }
-            }
-            for i in 0..256usize {
-                m.try_write(Addr(i), i as i64).unwrap();
-            }
-            let mut got = 0;
-            for i in 0..256usize {
-                if let TryReadOutcome::Value(_) = m.try_read(Addr(i)).unwrap() {
-                    got += 1;
-                }
-            }
-            (got, m.retries())
-        })
-    });
+    suites::istore(c);
 }
 
 criterion_group!(benches, bench_istore);

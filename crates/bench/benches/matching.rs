@@ -1,30 +1,12 @@
-//! Criterion bench behind Experiment E13/E10: emulator and timed-machine
-//! throughput on compiled Id programs.
+//! Criterion bench behind Experiment E13/E10 plus the store-level
+//! matching kernels; the bodies live in `ttda_bench::suites` so the
+//! `experiments quickbench` subcommand can run the same targets.
 
 use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
-use ttda_core::{Emulator, TimedConfig, TimedMachine, Value};
-use ttda_sim::Cycle;
-use ttda_workloads::id;
+use ttda_bench::suites;
 
 fn bench_matching(c: &mut Criterion) {
-    let trap = ttda_idc::compile(id::trapezoid()).unwrap();
-    let fib = ttda_idc::compile(id::fib()).unwrap();
-    c.bench_function("e10_emulate_trapezoid_n64", |b| {
-        b.iter(|| {
-            Emulator::new(&trap)
-                .run(&[Value::Float(0.0), Value::Float(1.0), Value::Int(64)])
-                .unwrap()
-        })
-    });
-    c.bench_function("e13_emulate_fib_14", |b| {
-        b.iter(|| Emulator::new(&fib).run(&[Value::Int(14)]).unwrap())
-    });
-    c.bench_function("e13_timed_fib_12_8pe", |b| {
-        b.iter(|| {
-            let mut m = TimedMachine::ideal(fib.clone(), 8, Cycle(4), TimedConfig::default());
-            m.run(&[Value::Int(12)]).unwrap()
-        })
-    });
+    suites::matching(c);
 }
 
 criterion_group!(benches, bench_matching);

@@ -30,10 +30,13 @@
 //! | e14 | end-to-end: TTDA vs von Neumann as the machine scales (§2.3) |
 //! | e15 | multiprogramming: unrelated jobs share one machine (§2.3, §1.2.4) |
 //! | e16 | host-thread scaling of the parallel emulation backend (§3) |
+//! | e17 | waiting–matching store throughput: packed tags vs stock HashMap (§2.2.2) |
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 pub mod experiments;
 pub mod quickbench;
+pub mod report;
+pub mod suites;
 pub mod tracecmd;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};

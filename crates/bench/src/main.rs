@@ -7,6 +7,8 @@
 //! cargo run --release -p ttda-bench --bin experiments -- e16 --threads 4
 //! cargo run --release -p ttda-bench --bin experiments -- trace producer-consumer
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json
 //! ```
 //!
 //! `--threads N` selects how many host worker threads every emulator run
@@ -18,18 +20,121 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ttda_bench::quickbench::Criterion;
+use ttda_bench::report::{check_regression, BenchReport};
 use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
-use ttda_bench::{run_experiment, EXPERIMENT_IDS};
+use ttda_bench::{run_experiment, suites, EXPERIMENT_IDS};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... | all [--threads N]\n       ids: {}\n\
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
+         \n       experiments quickbench [--suites matching,istore,endtoend] [--out FILE] [--check BASELINE]\n\
          \n       --threads N: emulator host worker threads (0 = one per core)",
         EXPERIMENT_IDS.join(", "),
         TRACE_SCENARIOS.join(", ")
     );
     ExitCode::FAILURE
+}
+
+/// `quickbench`: runs the named suites through the quickbench harness,
+/// writes the machine-readable `BENCH_matching.json` report, and — with
+/// `--check` — gates against a baseline report (>25% median ns/op
+/// growth on any shared target, or a matching tokens/sec drop beyond
+/// the same factor, fails the run).
+fn quickbench_main(args: &[String]) -> ExitCode {
+    let mut out = PathBuf::from("BENCH_matching.json");
+    let mut check: Option<PathBuf> = None;
+    let mut which = vec!["matching".to_string(), "istore".to_string(), "endtoend".to_string()];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--suites" => match it.next() {
+                Some(list) => which = list.split(',').map(str::to_string).collect(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // The throughput comparison runs first, in a still-cold process —
+    // the state every real emulator run starts from. Window 32768: a
+    // saturated matching section holds tens of thousands of parked
+    // activities (E13 ties occupancy to exposed parallelism), and that
+    // is the regime the specialized store exists for.
+    println!("-- matching-saturating throughput (E17 kernel)");
+    let throughput = suites::matching_throughput(200_000, 32_768, 7);
+    println!(
+        "hashmap {:>12.0} tokens/s   packed {:>12.0} tokens/s   speedup {:.2}x",
+        throughput.hashmap_tokens_per_sec,
+        throughput.packed_tokens_per_sec,
+        throughput.speedup()
+    );
+    let mut c = Criterion::default();
+    for suite in &which {
+        println!("-- suite: {suite}");
+        match suite.as_str() {
+            "matching" => suites::matching(&mut c),
+            "istore" => suites::istore(&mut c),
+            "endtoend" => suites::endtoend(&mut c),
+            other => {
+                eprintln!("error: unknown suite `{other}` (matching, istore, endtoend)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = BenchReport { targets: c.into_stats(), throughput };
+    let json = report.to_json();
+    // Re-parse what we are about to write: the report must be
+    // well-formed by our own reader before it can become a baseline.
+    let current = match BenchReport::parse(&json) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: generated report is malformed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    if let Some(base_path) = check {
+        let base_json = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", base_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match BenchReport::parse(&base_json) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: baseline {} is malformed: {e}", base_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_regression(&current, &baseline, 0.25) {
+            Ok(lines) => {
+                println!("-- vs baseline {}", base_path.display());
+                for l in lines {
+                    println!("   {l}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: benchmark regression\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn trace_main(args: &[String]) -> ExitCode {
@@ -90,6 +195,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "trace" {
         return trace_main(&args[1..]);
+    }
+    if args[0] == "quickbench" {
+        return quickbench_main(&args[1..]);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()

@@ -90,25 +90,60 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+/// The timing summary of one finished benchmark target. Collected by
+/// [`Criterion`] so callers (the `experiments quickbench` subcommand)
+/// can emit a machine-readable report alongside the printed table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStat {
+    /// The benchmark label (`group/member` for grouped targets).
+    pub label: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) -> Option<BenchStat> {
     let mut b = Bencher::new();
     f(&mut b);
     if b.samples.is_empty() {
         println!("{label:<44} (no samples)");
-        return;
+        return None;
     }
     let total: Duration = b.samples.iter().sum();
     let mean = total / b.samples.len() as u32;
     let min = b.samples.iter().min().copied().unwrap_or_default();
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let mid = sorted.len() / 2;
+    let median = if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    } else {
+        sorted[mid]
+    };
     println!(
         "{label:<44} mean {mean:>10.3?}   min {min:>10.3?}   ({} iters)",
         b.samples.len()
     );
+    Some(BenchStat {
+        label: label.to_string(),
+        mean_ns: mean.as_nanos() as f64,
+        median_ns: median.as_nanos() as f64,
+        min_ns: min.as_nanos() as f64,
+        samples: b.samples.len(),
+    })
 }
 
-/// The top-level driver, mirroring `criterion::Criterion`.
+/// The top-level driver, mirroring `criterion::Criterion` — plus a
+/// result collector the real Criterion keeps on disk instead.
 #[derive(Debug, Default)]
-pub struct Criterion;
+pub struct Criterion {
+    stats: Vec<BenchStat>,
+}
 
 impl Criterion {
     /// Runs one named benchmark.
@@ -116,20 +151,32 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.into().id, &mut f);
+        if let Some(s) = run_one(&id.into().id, &mut f) {
+            self.stats.push(s);
+        }
         self
     }
 
     /// Opens a named group; member benchmarks print as `group/member`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into() }
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+
+    /// The collected per-target summaries, in run order.
+    pub fn stats(&self) -> &[BenchStat] {
+        &self.stats
+    }
+
+    /// Consumes the driver, yielding the collected summaries.
+    pub fn into_stats(self) -> Vec<BenchStat> {
+        self.stats
     }
 }
 
 /// A named set of related benchmarks, mirroring
 /// `criterion::BenchmarkGroup`.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
 }
 
@@ -140,7 +187,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().id);
-        run_one(&label, &mut f);
+        if let Some(s) = run_one(&label, &mut f) {
+            self.parent.stats.push(s);
+        }
         self
     }
 
@@ -155,7 +204,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().id);
-        run_one(&label, &mut |b| f(b, input));
+        if let Some(s) = run_one(&label, &mut |b| f(b, input)) {
+            self.parent.stats.push(s);
+        }
         self
     }
 
@@ -210,7 +261,7 @@ mod tests {
     #[test]
     fn groups_and_functions_run_their_closures() {
         std::env::set_var("QUICKBENCH_MAX_ITERS", "2");
-        let mut c = Criterion;
+        let mut c = Criterion::default();
         let mut ran = 0;
         c.bench_function("t", |b| b.iter(|| ran += 1));
         assert!(ran >= 1);
@@ -221,6 +272,15 @@ mod tests {
         });
         g.finish();
         assert!(ran2 >= 4);
+        // Both targets left a stat record with sane fields.
+        let stats = c.into_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].label, "t");
+        assert_eq!(stats[1].label, "grp/4");
+        for s in &stats {
+            assert!(s.samples >= 1 && s.samples <= 2);
+            assert!(s.min_ns <= s.median_ns);
+        }
         std::env::remove_var("QUICKBENCH_MAX_ITERS");
     }
 }

@@ -1,0 +1,265 @@
+//! Machine-readable benchmark reports (`BENCH_matching.json`).
+//!
+//! The container has no serde, so this module hand-writes and
+//! hand-parses the one JSON shape the repo tracks: per-target median
+//! ns/op from the quickbench suites plus the matching-saturating
+//! tokens/sec comparison. The checked-in `BENCH_matching.json` at the
+//! repository root is the baseline every later perf PR is judged
+//! against; [`check_regression`] is the gate CI's bench-smoke job runs.
+
+use crate::quickbench::BenchStat;
+use crate::suites::MatchingThroughput;
+
+/// Identifies the report shape; bumped if fields change meaning.
+pub const SCHEMA: &str = "ttda-bench/matching/v1";
+
+/// Everything one `experiments quickbench` run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Per-target timing summaries, in run order.
+    pub targets: Vec<BenchStat>,
+    /// The matching-saturating store comparison.
+    pub throughput: MatchingThroughput,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"targets\": [\n");
+        for (k, t) in self.targets.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"target\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                json_escape(&t.label),
+                t.median_ns,
+                t.mean_ns,
+                t.min_ns,
+                t.samples,
+                if k + 1 < self.targets.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let th = &self.throughput;
+        out.push_str("  \"matching_throughput\": {\n");
+        out.push_str(&format!("    \"tokens\": {},\n", th.tokens));
+        out.push_str(&format!("    \"window\": {},\n", th.window));
+        out.push_str(&format!(
+            "    \"hashmap_tokens_per_sec\": {:.0},\n",
+            th.hashmap_tokens_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"packed_tokens_per_sec\": {:.0},\n",
+            th.packed_tokens_per_sec
+        ));
+        out.push_str(&format!("    \"speedup\": {:.2}\n", th.speedup()));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// This is a shape-checking reader for our own emitter's subset of
+    /// JSON, not a general parser: it verifies the schema tag, extracts
+    /// every `target`/`median_ns` pair, and reads the throughput block.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn parse(json: &str) -> Result<ParsedReport, String> {
+        if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+            return Err(format!("missing or wrong schema tag (want {SCHEMA})"));
+        }
+        let mut targets = Vec::new();
+        let mut rest = json;
+        while let Some(pos) = rest.find("\"target\": \"") {
+            rest = &rest[pos + "\"target\": \"".len()..];
+            let name_end = rest.find('"').ok_or("unterminated target name")?;
+            let name = rest[..name_end].to_string();
+            let med_pos = rest
+                .find("\"median_ns\": ")
+                .ok_or_else(|| format!("target {name}: no median_ns"))?;
+            let med = number_at(&rest[med_pos + "\"median_ns\": ".len()..])
+                .ok_or_else(|| format!("target {name}: unparsable median_ns"))?;
+            if !(med.is_finite() && med >= 0.0) {
+                return Err(format!("target {name}: median_ns {med} out of range"));
+            }
+            targets.push((name, med));
+        }
+        if targets.is_empty() {
+            return Err("no benchmark targets in report".into());
+        }
+        let hashmap_tps = field(json, "\"hashmap_tokens_per_sec\": ")?;
+        let packed_tps = field(json, "\"packed_tokens_per_sec\": ")?;
+        if hashmap_tps <= 0.0 || packed_tps <= 0.0 {
+            return Err("non-positive tokens/sec in matching_throughput".into());
+        }
+        Ok(ParsedReport {
+            targets,
+            hashmap_tokens_per_sec: hashmap_tps,
+            packed_tokens_per_sec: packed_tps,
+        })
+    }
+}
+
+fn field(json: &str, key: &str) -> Result<f64, String> {
+    let pos = json.find(key).ok_or_else(|| format!("missing {key}"))?;
+    number_at(&json[pos + key.len()..]).ok_or_else(|| format!("unparsable value for {key}"))
+}
+
+fn number_at(s: &str) -> Option<f64> {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .map_or(s.len(), |(k, _)| k);
+    s[..end].parse().ok()
+}
+
+/// The comparison-relevant subset of a parsed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// `(target label, median ns/op)` pairs.
+    pub targets: Vec<(String, f64)>,
+    /// Reference matcher throughput.
+    pub hashmap_tokens_per_sec: f64,
+    /// Packed store throughput.
+    pub packed_tokens_per_sec: f64,
+}
+
+impl ParsedReport {
+    fn median(&self, label: &str) -> Option<f64> {
+        self.targets.iter().find(|(l, _)| l == label).map(|&(_, m)| m)
+    }
+}
+
+/// Compares `current` against `baseline`: any target present in both
+/// whose median ns/op grew by more than `tolerance` (0.25 = 25%) is a
+/// regression, as is a packed-store tokens/sec drop by more than the
+/// same factor. Returns the per-target comparison lines on success.
+///
+/// # Errors
+///
+/// A description of every regression found.
+pub fn check_regression(
+    current: &ParsedReport,
+    baseline: &ParsedReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (label, base_med) in &baseline.targets {
+        let Some(cur_med) = current.median(label) else {
+            lines.push(format!("{label}: gone from current run (skipped)"));
+            continue;
+        };
+        let ratio = cur_med / base_med;
+        lines.push(format!(
+            "{label}: {base_med:.0} -> {cur_med:.0} ns/op ({ratio:.2}x)"
+        ));
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{label} regressed: {base_med:.0} -> {cur_med:.0} ns/op ({ratio:.2}x > {:.2}x allowed)",
+                1.0 + tolerance
+            ));
+        }
+    }
+    let tps_ratio = current.packed_tokens_per_sec / baseline.packed_tokens_per_sec;
+    lines.push(format!(
+        "packed_tokens_per_sec: {:.2e} -> {:.2e} ({tps_ratio:.2}x)",
+        baseline.packed_tokens_per_sec, current.packed_tokens_per_sec
+    ));
+    if tps_ratio < 1.0 / (1.0 + tolerance) {
+        failures.push(format!(
+            "packed matching throughput regressed: {:.2e} -> {:.2e} tokens/sec",
+            baseline.packed_tokens_per_sec, current.packed_tokens_per_sec
+        ));
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            targets: vec![
+                BenchStat {
+                    label: "matching/packed_stream_20k_w512".into(),
+                    mean_ns: 1000.0,
+                    median_ns: 990.0,
+                    min_ns: 900.0,
+                    samples: 50,
+                },
+                BenchStat {
+                    label: "e13_emulate_fib_14".into(),
+                    mean_ns: 5e6,
+                    median_ns: 4.9e6,
+                    min_ns: 4.5e6,
+                    samples: 40,
+                },
+            ],
+            throughput: MatchingThroughput {
+                tokens: 40_000,
+                window: 512,
+                hashmap_tokens_per_sec: 1.0e7,
+                packed_tokens_per_sec: 2.6e7,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let json = report().to_json();
+        let parsed = BenchReport::parse(&json).expect("well-formed");
+        assert_eq!(parsed.targets.len(), 2);
+        assert_eq!(parsed.targets[0].0, "matching/packed_stream_20k_w512");
+        assert_eq!(parsed.targets[0].1, 990.0);
+        assert_eq!(parsed.hashmap_tokens_per_sec, 1.0e7);
+        assert_eq!(parsed.packed_tokens_per_sec, 2.6e7);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("{\"schema\": \"ttda-bench/matching/v1\"}").is_err());
+        let json = report().to_json().replace("median_ns", "nedian_ms");
+        assert!(BenchReport::parse(&json).is_err());
+    }
+
+    #[test]
+    fn regression_gate_trips_on_slowdown_only() {
+        let base = BenchReport::parse(&report().to_json()).unwrap();
+        let mut cur = base.clone();
+        // 10% slower: within a 25% tolerance.
+        cur.targets[0].1 *= 1.10;
+        assert!(check_regression(&cur, &base, 0.25).is_ok());
+        // 30% slower: regression.
+        cur.targets[0].1 = base.targets[0].1 * 1.30;
+        let err = check_regression(&cur, &base, 0.25).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // Faster is never a failure.
+        cur.targets[0].1 = base.targets[0].1 * 0.5;
+        assert!(check_regression(&cur, &base, 0.25).is_ok());
+        // Throughput drop beyond tolerance trips the gate.
+        let mut slow = base.clone();
+        slow.packed_tokens_per_sec = base.packed_tokens_per_sec * 0.5;
+        assert!(check_regression(&slow, &base, 0.25).is_err());
+    }
+}

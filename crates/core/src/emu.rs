@@ -18,6 +18,7 @@ use ttda_trace::{PresenceState, SharedSink, TraceEvent};
 use crate::context::ContextManager;
 use crate::exec::{execute, StructAction};
 use crate::graph::{Instruction, Program};
+use crate::matching::{MatchingStore, Operands};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
 use crate::ExecError;
@@ -71,13 +72,27 @@ impl EmuResult {
 
 /// Worker-thread default: the `TTDA_THREADS` environment variable, so a
 /// whole test suite or experiment batch can switch backends without code
-/// changes (`TTDA_THREADS=4 cargo test`). Unset or unparsable means 1
-/// (sequential); 0 means "one worker per available core".
+/// changes (`TTDA_THREADS=4 cargo test`). Unset means 1 (sequential);
+/// 0 means "one worker per available core". An unparsable value also
+/// falls back to 1, but says so on stderr (once per process) instead of
+/// silently running sequential when the user asked for something else.
 fn env_threads() -> usize {
-    std::env::var("TTDA_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(1)
+    match std::env::var("TTDA_THREADS") {
+        Err(_) => 1,
+        Ok(s) => match s.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "ttda-core: TTDA_THREADS={s:?} is not a thread count; \
+                         running sequential (set an integer, or 0 for all cores)"
+                    );
+                });
+                1
+            }
+        },
+    }
 }
 
 /// The untimed tagged-token interpreter.
@@ -86,7 +101,7 @@ fn env_threads() -> usize {
 pub struct Emulator<'p> {
     program: &'p Program,
     ctx: ContextManager,
-    waiting: HashMap<ActivityName, Vec<Option<Value>>>,
+    waiting: MatchingStore,
     structures: Vec<IStructure<Value, (ActivityName, Port)>>,
     outputs: HashMap<u32, Value>,
     fuel: u64,
@@ -123,7 +138,7 @@ impl<'p> Emulator<'p> {
         Emulator {
             program,
             ctx: ContextManager::new(program.main),
-            waiting: HashMap::new(),
+            waiting: MatchingStore::new(),
             structures: Vec::new(),
             outputs: HashMap::new(),
             fuel: 100_000_000,
@@ -289,9 +304,7 @@ impl<'p> Emulator<'p> {
                 for t in wave.iter().chain(held.iter()) {
                     note(&t.tag);
                 }
-                for tag in self.waiting.keys() {
-                    note(tag);
-                }
+                self.waiting.for_each_key(|tag| note(&tag));
                 // Deferred readers are live too: their iteration has not
                 // finished until the datum arrives.
                 for st in &self.structures {
@@ -383,19 +396,14 @@ impl<'p> Emulator<'p> {
     }
 
     /// Deferred readers currently parked across every structure.
+    /// Sampled once per wave, so it uses the structures' O(1) running
+    /// counters rather than scanning every cell.
     fn outstanding_deferred(&self) -> usize {
         self.stranded_readers()
     }
 
     fn stranded_readers(&self) -> usize {
-        self.structures
-            .iter()
-            .map(|s| {
-                (0..s.size())
-                    .map(|a| s.deferred_count(Addr(a)).unwrap_or(0))
-                    .sum::<usize>()
-            })
-            .sum()
+        self.structures.iter().map(|s| s.deferred_outstanding()).sum()
     }
 
     fn lookup(&self, tag: ActivityName) -> Result<&Instruction, ExecError> {
@@ -409,7 +417,7 @@ impl<'p> Emulator<'p> {
 
     /// The waiting–matching section: inserts a token; returns the full
     /// operand set when the instruction becomes enabled.
-    fn absorb(&mut self, token: Token) -> Result<Option<(ActivityName, Vec<Value>)>, ExecError> {
+    fn absorb(&mut self, token: Token) -> Result<Option<(ActivityName, Operands)>, ExecError> {
         let r = crate::exec::absorb(self.program, &mut self.waiting, token)?;
         self.peak_matching = self.peak_matching.max(self.waiting.len());
         if self.sink.is_some() {
@@ -430,7 +438,7 @@ impl<'p> Emulator<'p> {
     fn fire(
         &mut self,
         tag: ActivityName,
-        ops: Vec<Value>,
+        ops: Operands,
         out: &mut Vec<Token>,
     ) -> Result<(), ExecError> {
         let instr = self.lookup(tag)?.clone();

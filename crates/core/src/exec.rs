@@ -11,6 +11,7 @@
 
 use crate::context::{ContextKind, ContextManager};
 use crate::graph::{Dest, DestBranch, Instruction, OpCode, Program};
+use crate::matching::{Absorbed, MatchingStore, Operands, PortOutOfRange};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{as_bool, as_int, as_ptr, StructRef, Value};
 use crate::ExecError;
@@ -102,16 +103,16 @@ fn nonneg_index(tag: ActivityName, idx: i64) -> Result<usize, ExecError> {
 /// the store, as in Fig 2-3.
 pub(crate) fn absorb(
     program: &Program,
-    waiting: &mut std::collections::HashMap<ActivityName, Vec<Option<Value>>>,
+    waiting: &mut MatchingStore,
     token: Token,
-) -> Result<Option<(ActivityName, Vec<Value>)>, ExecError> {
+) -> Result<Option<(ActivityName, Operands)>, ExecError> {
     let instr = program
         .block(token.tag.c)
         .and_then(|b| b.instr(token.tag.s))
         .ok_or_else(|| ExecError::BadTarget {
             activity: token.tag.to_string(),
         })?;
-    let arity = instr.op.arity() as usize;
+    let arity = instr.op.arity();
     let literal = instr.literal;
 
     if instr.nt <= 1 && arity <= 1 {
@@ -119,32 +120,15 @@ pub(crate) fn absorb(
             Some((_, lv)) => lv,
             None => token.value,
         };
-        return Ok(Some((token.tag, vec![v])));
+        return Ok(Some((token.tag, Operands::one(v))));
     }
 
-    let entry = waiting.entry(token.tag).or_insert_with(|| {
-        let mut slots: Vec<Option<Value>> = vec![None; arity];
-        if let Some((p, lv)) = literal {
-            slots[p.0 as usize] = Some(lv);
-        }
-        slots
-    });
-    let slot = entry
-        .get_mut(token.port.0 as usize)
-        .ok_or(ExecError::BadTarget {
+    match waiting.absorb(token.tag, arity, literal, token.port, token.value) {
+        Ok(Absorbed::Parked) => Ok(None),
+        Ok(Absorbed::Enabled(operands)) => Ok(Some((token.tag, operands))),
+        Err(PortOutOfRange) => Err(ExecError::BadTarget {
             activity: token.tag.to_string(),
-        })?;
-    *slot = Some(token.value);
-    if entry.iter().all(Option::is_some) {
-        let operands = waiting
-            .remove(&token.tag)
-            .expect("entry exists")
-            .into_iter()
-            .map(|o| o.expect("all present"))
-            .collect();
-        Ok(Some((token.tag, operands)))
-    } else {
-        Ok(None)
+        }),
     }
 }
 

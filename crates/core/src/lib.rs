@@ -50,6 +50,7 @@ mod emu;
 mod exec;
 mod graph;
 mod machine;
+pub mod matching;
 pub mod opt;
 mod par;
 mod tag;
@@ -61,6 +62,7 @@ pub use builder::{BuildError, GraphBuilder, NodeId};
 pub use context::{ContextManager, ContextRecord};
 pub use emu::{EmuResult, Emulator};
 pub use machine::Machine;
+pub use matching::MatchingStore;
 pub use graph::{
     CodeBlock, CodeBlockId, Dest, DestBranch, GraphError, InstrId, Instruction, OpCode, Program,
 };

@@ -61,6 +61,7 @@ use crate::context::ContextManager;
 use crate::emu::EmuResult;
 use crate::exec::{absorb, allocates_context, execute, execute_ro, StructAction};
 use crate::graph::{CodeBlockId, Program};
+use crate::matching::{MatchingStore, Operands};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
 use crate::ExecError;
@@ -74,7 +75,14 @@ fn mix(mut x: u64) -> u64 {
 }
 
 /// The worker whose waiting–matching shard owns `tag`.
-fn worker_of(tag: ActivityName, workers: usize) -> usize {
+///
+/// Deliberately *not* the hash [`crate::matching`] uses for bucket
+/// placement: this one mixes a lossy 48-bit packing, the store folds the
+/// full 128-bit name through fibonacci multiplies. If they agreed, all
+/// keys owned by one shard would collide into one probe chain of that
+/// shard's table (`matching::tests::shard_resident_keys_spread_over_buckets`
+/// guards the independence).
+pub(crate) fn worker_of(tag: ActivityName, workers: usize) -> usize {
     let packed = (tag.u.0 as u64) << 48
         | (tag.c.0 as u64) << 36
         | (tag.s.0 as u64) << 16
@@ -124,7 +132,7 @@ enum Outcome {
     /// execute it in wave order.
     NeedsCtx {
         tag: ActivityName,
-        operands: Vec<Value>,
+        operands: Operands,
     },
 }
 
@@ -502,7 +510,7 @@ fn worker(
     jobs: Receiver<Job>,
     replies: Sender<Reply>,
 ) {
-    let mut waiting: HashMap<ActivityName, Vec<Option<Value>>> = HashMap::new();
+    let mut waiting = MatchingStore::new();
     let mut shard: IStructureShard<Value, (ActivityName, Port)> = IStructureShard::new();
     while let Ok(job) = jobs.recv() {
         let reply = match job {
@@ -525,7 +533,7 @@ fn worker(
 fn match_and_execute(
     program: &Program,
     ctx_lock: &RwLock<ContextManager>,
-    waiting: &mut HashMap<ActivityName, Vec<Option<Value>>>,
+    waiting: &mut MatchingStore,
     tokens: Vec<(u32, Token)>,
 ) -> WaveReply {
     let ctx = ctx_lock.read().expect("context lock poisoned");

@@ -24,6 +24,7 @@ use ttda_trace::{PresenceState, SharedSink, TraceEvent};
 use crate::context::ContextManager;
 use crate::exec::{absorb, execute, Continuation, StructAction};
 use crate::graph::Program;
+use crate::matching::MatchingStore;
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
 use crate::ExecError;
@@ -197,7 +198,7 @@ enum Ev {
 #[derive(Debug, Default)]
 struct PeState {
     queue: VecDeque<Token>,
-    waiting: HashMap<ActivityName, Vec<Option<Value>>>,
+    waiting: MatchingStore,
     busy_until: Cycle,
     wake_scheduled: bool,
     alu_busy: Cycle,
@@ -272,13 +273,6 @@ impl<T: Topology> TimedMachine<T> {
             fabric: Fabric::new(topology, config.fabric),
             sink: None,
         }
-    }
-
-    /// Attaches (or detaches, with `None`) a trace sink.
-    #[deprecated(note = "use the `with_sink` builder (shared `Machine` surface)")]
-    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
-        self.fabric.set_sink(sink.clone());
-        self.sink = sink;
     }
 
     /// Attaches a trace sink. The sink is also threaded into the network

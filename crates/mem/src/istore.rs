@@ -120,6 +120,9 @@ enum Cell<T, R> {
 #[derive(Debug, Clone)]
 pub struct IStructure<T, R = u64> {
     cells: Vec<Cell<T, R>>,
+    /// Running total of parked readers across all cells, maintained
+    /// incrementally so per-wave diagnostics don't rescan every cell.
+    deferred: usize,
 }
 
 impl<T, R> IStructure<T, R> {
@@ -127,12 +130,23 @@ impl<T, R> IStructure<T, R> {
     pub fn new(size: usize) -> Self {
         IStructure {
             cells: std::iter::repeat_with(|| Cell::Empty).take(size).collect(),
+            deferred: 0,
         }
     }
 
     /// Number of cells.
     pub fn size(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Total readers currently parked across every cell's deferred list.
+    ///
+    /// O(1): the count is maintained by [`read`](IStructure::read),
+    /// [`write`](IStructure::write) and
+    /// [`reclaim`](IStructure::reclaim), mirroring
+    /// [`IStructureShard::deferred_outstanding`](crate::IStructureShard::deferred_outstanding).
+    pub fn deferred_outstanding(&self) -> usize {
+        self.deferred
     }
 
     /// The presence bits of a cell.
@@ -187,10 +201,12 @@ impl<T: Clone, R> IStructure<T, R> {
             Cell::Present(v) => Ok(ReadOutcome::Value(v.clone())),
             Cell::Empty => {
                 *cell = Cell::Deferred(vec![reader]);
+                self.deferred += 1;
                 Ok(ReadOutcome::Deferred)
             }
             Cell::Deferred(list) => {
                 list.push(reader);
+                self.deferred += 1;
                 Ok(ReadOutcome::Deferred)
             }
         }
@@ -216,6 +232,7 @@ impl<T: Clone, R> IStructure<T, R> {
             }
             Cell::Deferred(readers) => {
                 *cell = Cell::Present(value);
+                self.deferred -= readers.len();
                 Ok(readers)
             }
         }
@@ -255,6 +272,7 @@ impl<T: Clone, R> IStructure<T, R> {
             }
             *cell = Cell::Empty;
         }
+        self.deferred -= dropped;
         dropped
     }
 }
@@ -507,6 +525,22 @@ mod tests {
         assert!(m.presence(Addr(5)).is_err());
         let e = IStructureError::OutOfRange { addr: Addr(5), size: 1 };
         assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn deferred_outstanding_tracks_incrementally() {
+        let mut m: IStructure<i64> = IStructure::new(3);
+        assert_eq!(m.deferred_outstanding(), 0);
+        m.read(Addr(0), 1).unwrap();
+        m.read(Addr(0), 2).unwrap();
+        m.read(Addr(1), 3).unwrap();
+        assert_eq!(m.deferred_outstanding(), 3);
+        m.write(Addr(0), 5).unwrap(); // releases two
+        assert_eq!(m.deferred_outstanding(), 1);
+        m.write(Addr(2), 6).unwrap(); // releases none
+        assert_eq!(m.deferred_outstanding(), 1);
+        assert_eq!(m.reclaim(), 1);
+        assert_eq!(m.deferred_outstanding(), 0);
     }
 
     #[test]

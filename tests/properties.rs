@@ -189,6 +189,93 @@ fn timed_machine_agrees_with_emulator_on_random_exprs() {
 }
 
 // ---------------------------------------------------------------------
+// Waiting–matching store vs the HashMap it replaced.
+// ---------------------------------------------------------------------
+
+#[test]
+fn matching_store_agrees_with_hashmap_model() {
+    use std::collections::HashMap;
+    use ttda::core::matching::{Absorbed, MatchingStore};
+    use ttda::core::{ActivityName, CodeBlockId, Ctx, InstrId, Iter, Port};
+
+    // The open-addressed store must be observationally identical to the
+    // `HashMap<ActivityName, Vec<Option<Value>>>` transition function it
+    // replaced: same park/enable outcome per token, operands in port
+    // order, same occupancy after every operation, same resident key
+    // set. Tag components are drawn from tiny ranges so the same
+    // activity is revisited constantly, and arity is a deterministic
+    // function of (c, s) — as in a real program, where it comes from
+    // the instruction — spanning 1..=5 to cover both the inline and
+    // spill representations.
+    check::forall("matching store agrees with hashmap model", |rng| {
+        let mut store = MatchingStore::new();
+        let mut model: HashMap<ActivityName, Vec<Option<Value>>> = HashMap::new();
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            let c = rng.gen_range(0u32..3);
+            let s = rng.gen_range(0u32..7);
+            let tag = ActivityName {
+                u: Ctx(rng.gen_range(0u32..3)),
+                c: CodeBlockId(c),
+                s: InstrId(s),
+                i: Iter(rng.gen_range(0u32..4)),
+            };
+            let arity = (1 + (c + s) % 5) as u8;
+            let literal = if (c + s) % 3 == 0 && arity >= 2 {
+                Some((Port(0), Value::Int((10 * c + s) as i64)))
+            } else {
+                None
+            };
+            let port = if rng.chance(0.05) {
+                Port(arity + rng.gen_range(0u8..3)) // out of range
+            } else {
+                Port(rng.gen_range(0u8..arity))
+            };
+            let value = Value::Int(rng.gen_range(-100i64..100));
+
+            // One step of the original HashMap transition function.
+            let want = if port.0 >= arity {
+                Err(())
+            } else {
+                let slots = model.entry(tag).or_insert_with(|| {
+                    let mut v = vec![None; arity as usize];
+                    if let Some((p, lv)) = literal {
+                        v[p.0 as usize] = Some(lv);
+                    }
+                    v
+                });
+                slots[port.0 as usize] = Some(value);
+                if slots.iter().all(Option::is_some) {
+                    let operands: Vec<Value> =
+                        model.remove(&tag).unwrap().into_iter().map(Option::unwrap).collect();
+                    Ok(Some(operands))
+                } else {
+                    Ok(None)
+                }
+            };
+
+            let got = store.absorb(tag, arity, literal, port, value);
+            match (got, want) {
+                (Err(_), Err(())) => {}
+                (Ok(Absorbed::Parked), Ok(None)) => {}
+                (Ok(Absorbed::Enabled(ops)), Ok(Some(want_ops))) => {
+                    assert_eq!(&ops[..], &want_ops[..], "operand order diverged for {tag:?}");
+                }
+                (got, want) => panic!("outcome diverged for {tag:?}: {got:?} vs {want:?}"),
+            }
+            assert_eq!(store.len(), model.len(), "occupancy diverged");
+        }
+        let mut store_keys = Vec::new();
+        store.for_each_key(|k| store_keys.push((k.u.0, k.c.0, k.s.0, k.i.0)));
+        store_keys.sort_unstable();
+        let mut model_keys: Vec<_> =
+            model.keys().map(|k| (k.u.0, k.c.0, k.s.0, k.i.0)).collect();
+        model_keys.sort_unstable();
+        assert_eq!(store_keys, model_keys, "resident key sets diverged");
+    });
+}
+
+// ---------------------------------------------------------------------
 // I-structure invariants under arbitrary operation interleavings.
 // ---------------------------------------------------------------------
 
