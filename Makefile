@@ -1,6 +1,6 @@
 # Convenience targets for the ttda suite.
 
-.PHONY: all test bench experiments doc examples clean
+.PHONY: all test bench experiments experiments-output quickbench doc examples clean
 
 all: test
 
@@ -12,6 +12,17 @@ bench:
 
 experiments:
 	cargo run --release -p ttda-bench --bin experiments -- all
+
+# Regenerates the checked-in experiment tables in normalized mode
+# (host-dependent digits masked); CI's experiments-determinism job
+# diffs against this file, so commit it whenever a table changes.
+experiments-output:
+	cargo run --release -p ttda-bench --bin experiments -- all --normalize > experiments_output.txt
+
+# Regenerates both tracked benchmark baselines at the repo root.
+quickbench:
+	cargo run --release -p ttda-bench --bin experiments -- quickbench \
+		--out BENCH_matching.json --istore-out BENCH_istore.json
 
 doc:
 	cargo doc --workspace --no-deps

@@ -7,7 +7,11 @@ use ttda_mem::Addr;
 fn drive(sys: &mut CoherentSystem, procs: usize) {
     for round in 0..200usize {
         for p in 0..procs {
-            let addr = if round % 3 == 0 { Addr(round % 8) } else { Addr(100 + p * 64 + round % 16) };
+            let addr = if round % 3 == 0 {
+                Addr(round % 8)
+            } else {
+                Addr(100 + p * 64 + round % 16)
+            };
             if (round + p) % 4 == 0 {
                 sys.write(p, addr);
             } else {
@@ -22,12 +26,24 @@ fn bench_coherence(c: &mut Criterion) {
     for procs in [4usize, 16] {
         for (name, policy, protocol) in [
             ("store_in_snoop", WritePolicy::StoreIn, Protocol::Snoop),
-            ("store_thru_snoop", WritePolicy::StoreThrough, Protocol::Snoop),
-            ("store_in_directory", WritePolicy::StoreIn, Protocol::Directory),
+            (
+                "store_thru_snoop",
+                WritePolicy::StoreThrough,
+                Protocol::Snoop,
+            ),
+            (
+                "store_in_directory",
+                WritePolicy::StoreIn,
+                Protocol::Directory,
+            ),
         ] {
             g.bench_with_input(BenchmarkId::new(name, procs), &procs, |b, &n| {
                 b.iter(|| {
-                    let cfg = CacheConfig { write_policy: policy, protocol, ..CacheConfig::default() };
+                    let cfg = CacheConfig {
+                        write_policy: policy,
+                        protocol,
+                        ..CacheConfig::default()
+                    };
                     let mut sys = CoherentSystem::new(n, cfg);
                     drive(&mut sys, n);
                     sys.stats().coherence_traffic

@@ -10,7 +10,12 @@ fn bench_faa(c: &mut Criterion) {
             let name = if combining { "combining" } else { "serial" };
             g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 b.iter(|| {
-                    let mut u = Ultra::new(UltraConfig { procs: n, combining, ..UltraConfig::default() }).unwrap();
+                    let mut u = Ultra::new(UltraConfig {
+                        procs: n,
+                        combining,
+                        ..UltraConfig::default()
+                    })
+                    .unwrap();
                     u.hot_spot(&vec![1; n])
                 })
             });

@@ -17,15 +17,19 @@ fn bench_latency(c: &mut Criterion) {
                 run_blocking(&mut core, &mut mem, |_, _| Cycle(l), RunConfig::default()).unwrap()
             })
         });
-        g.bench_with_input(BenchmarkId::new("multictx16", latency), &latency, |b, &l| {
-            b.iter(|| {
-                let prog = latency_probe(40, 4, 0, 1);
-                let cores = (0..16).map(|_| Core::new(prog.clone())).collect();
-                let mut mc = MultiContext::new(cores, RunConfig::default());
-                let mut mem = FlatMemory::new(512);
-                mc.run(&mut mem, |_, _| Cycle(l)).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("multictx16", latency),
+            &latency,
+            |b, &l| {
+                b.iter(|| {
+                    let prog = latency_probe(40, 4, 0, 1);
+                    let cores = (0..16).map(|_| Core::new(prog.clone())).collect();
+                    let mut mc = MultiContext::new(cores, RunConfig::default());
+                    let mut mem = FlatMemory::new(512);
+                    mc.run(&mut mem, |_, _| Cycle(l)).unwrap()
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("ttda", latency), &latency, |b, &l| {
             let p = ttda_idc::compile(ttda_workloads::id::producer_consumer()).unwrap();
             b.iter(|| {

@@ -18,9 +18,13 @@ fn bench_sync(c: &mut Criterion) {
             let w = producer_consumer(6, 10, strategy);
             b.iter(|| {
                 let cores = vec![Core::new(w.producer.clone()), Core::new(w.consumer.clone())];
-                let cfg = RunConfig { retry_interval: Cycle(8), ..RunConfig::default() };
+                let cfg = RunConfig {
+                    retry_interval: Cycle(8),
+                    ..RunConfig::default()
+                };
                 let mut smp = Smp::new(cores, FlatMemory::new(1 << 14), cfg);
-                smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3)).unwrap()
+                smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3))
+                    .unwrap()
             })
         });
     }

@@ -59,7 +59,10 @@ pub fn a1() -> String {
             ("spread", MappingPolicy::Spread),
         ] {
             // Cheap network: one-cycle-ish transfers.
-            let cfg = TimedConfig { mapping, ..TimedConfig::default() };
+            let cfg = TimedConfig {
+                mapping,
+                ..TimedConfig::default()
+            };
             let mut m = TimedMachine::ideal(p.clone(), 8, Cycle(6), cfg);
             let r = m.run(&inputs).expect("runs");
             assert_eq!(r.outputs[&0], expect);
@@ -115,7 +118,13 @@ pub fn a2() -> String {
          backing store costs extra service time on every access while full",
     );
     let p = ttda_idc::compile(id::fib()).expect("compiles");
-    let mut t = Table::new(&["capacity/PE", "cycles", "slowdown", "overflowed accesses", "peak occupancy"]);
+    let mut t = Table::new(&[
+        "capacity/PE",
+        "cycles",
+        "slowdown",
+        "overflowed accesses",
+        "peak occupancy",
+    ]);
     let mut base = 0u64;
     for cap in [0usize, 256, 64, 16, 4] {
         let cfg = TimedConfig {
@@ -130,7 +139,11 @@ pub fn a2() -> String {
             base = r.stats.cycles.as_u64();
         }
         t.row_owned(vec![
-            if cap == 0 { "unbounded".into() } else { cap.to_string() },
+            if cap == 0 {
+                "unbounded".into()
+            } else {
+                cap.to_string()
+            },
             r.stats.cycles.as_u64().to_string(),
             format!("{:.2}x", r.stats.cycles.as_u64() as f64 / base as f64),
             r.stats.match_overflows.to_string(),
@@ -260,7 +273,7 @@ pub fn a4() -> String {
         "peak deferred reads",
         "mean parallelism",
     ]);
-    
+
     let mut rows: Vec<(String, ttda_core::EmuResult)> = Vec::new();
     let unbounded = Emulator::new(&p).run(&inputs).expect("runs");
     let base_waves = unbounded.waves.max(1);
@@ -317,7 +330,11 @@ pub fn a5() -> String {
         "after opt",
     ]);
     let cases: Vec<(&str, &str, Vec<Value>)> = vec![
-        ("trapezoid n=64", id::trapezoid(), vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)]),
+        (
+            "trapezoid n=64",
+            id::trapezoid(),
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
+        ),
         ("fib k=13", id::fib(), vec![Value::Int(13)]),
         ("wavefront n=8", id::wavefront(), vec![Value::Int(8)]),
         ("matmul n=4", id::matmul(), vec![Value::Int(4)]),
@@ -399,7 +416,10 @@ mod tests {
     fn mapping_policies_differ_in_traffic() {
         let p = ttda_idc::compile(id::fib()).expect("compiles");
         let run = |mapping| {
-            let cfg = TimedConfig { mapping, ..TimedConfig::default() };
+            let cfg = TimedConfig {
+                mapping,
+                ..TimedConfig::default()
+            };
             let mut m = TimedMachine::ideal(p.clone(), 8, Cycle(4), cfg);
             m.run(&[Value::Int(12)]).expect("runs").stats
         };

@@ -35,7 +35,9 @@ pub fn e10() -> String {
         let r = Emulator::new(&p)
             .run(&[Value::Float(0.0), Value::Float(1.0), Value::Int(n)])
             .expect("runs");
-        let Value::Float(got) = r.outputs[&0] else { panic!("float result") };
+        let Value::Float(got) = r.outputs[&0] else {
+            panic!("float result")
+        };
         let ok = (got - reference::trapezoid(0.0, 1.0, n)).abs() < 1e-9;
         t.row_owned(vec![
             "trapezoid (Fig 2-2)".into(),
@@ -102,7 +104,11 @@ pub fn e10() -> String {
     // an emulation facility to look at.
     out.push_str("\nParallelism profiles (enabled instructions per wave, peak-normalized):\n");
     let profiles: Vec<(&str, &str, Vec<Value>)> = vec![
-        ("trapezoid n=64 ", id::trapezoid(), vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)]),
+        (
+            "trapezoid n=64 ",
+            id::trapezoid(),
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
+        ),
         ("fib k=14       ", id::fib(), vec![Value::Int(14)]),
         ("wavefront n=10 ", id::wavefront(), vec![Value::Int(10)]),
         ("matmul n=5     ", id::matmul(), vec![Value::Int(5)]),
@@ -158,7 +164,10 @@ pub fn e11() -> String {
     t.row_owned(vec![
         "read (cell empty, deferred)".into(),
         (d_done - r_done).as_u64().to_string(),
-        format!("same port time; outcome {:?}", matches!(out2, ReadOutcome::Deferred)),
+        format!(
+            "same port time; outcome {:?}",
+            matches!(out2, ReadOutcome::Deferred)
+        ),
     ]);
     t.row_owned(vec![
         "write releasing 1 deferred".into(),
@@ -193,7 +202,11 @@ pub fn e13() -> String {
         "peak/instr %",
     ]);
     let progs: Vec<(&str, &str, Vec<Value>)> = vec![
-        ("trapezoid", id::trapezoid(), vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)]),
+        (
+            "trapezoid",
+            id::trapezoid(),
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
+        ),
         ("fib", id::fib(), vec![Value::Int(14)]),
         ("matmul", id::matmul(), vec![Value::Int(4)]),
     ];

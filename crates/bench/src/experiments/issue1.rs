@@ -11,9 +11,14 @@ use super::section;
 fn blocking_utilization(latency: u64) -> f64 {
     let mut core = Core::new(latency_probe(150, 4, 0, 1));
     let mut mem = FlatMemory::new(1024);
-    run_blocking(&mut core, &mut mem, |_, _| Cycle(latency), RunConfig::default())
-        .expect("probe runs")
-        .utilization()
+    run_blocking(
+        &mut core,
+        &mut mem,
+        |_, _| Cycle(latency),
+        RunConfig::default(),
+    )
+    .expect("probe runs")
+    .utilization()
 }
 
 fn multictx_utilization(contexts: usize, latency: u64) -> f64 {
@@ -30,7 +35,10 @@ fn ttda_cycles(latency: u64) -> (u64, f64) {
     let p = ttda_idc::compile(ttda_workloads::id::producer_consumer()).expect("compiles");
     let mut m = TimedMachine::ideal(p, 4, Cycle(latency), TimedConfig::default());
     let r = m.run(&[Value::Int(24)]).expect("runs");
-    assert_eq!(r.outputs[&0], Value::Int(ttda_workloads::reference::square_sum(24)));
+    assert_eq!(
+        r.outputs[&0],
+        Value::Int(ttda_workloads::reference::square_sum(24))
+    );
     (r.stats.cycles.as_u64(), r.stats.alu_utilization())
 }
 
@@ -91,7 +99,14 @@ pub fn e4() -> String {
          grow. Hence, the number of low-level contexts to be maintained will also have \
          to increase\" (§1.1)",
     );
-    let mut t = Table::new(&["latency", "k=1", "k=4", "k=16", "k=64", "k needed (util>=70%)"]);
+    let mut t = Table::new(&[
+        "latency",
+        "k=1",
+        "k=4",
+        "k=16",
+        "k=64",
+        "k needed (util>=70%)",
+    ]);
     for latency in [2u64, 5, 10, 20, 50, 100] {
         let needed = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
             .into_iter()

@@ -4,6 +4,7 @@ mod ablations;
 mod dataflow;
 mod endtoend;
 mod issue1;
+mod istoreperf;
 mod matchperf;
 mod multiprog;
 mod scaling;
@@ -15,6 +16,7 @@ pub use ablations::{a1, a2, a3, a4, a5};
 pub use dataflow::{e10, e11, e13};
 pub use endtoend::e14;
 pub use issue1::{e1, e4};
+pub use istoreperf::e18;
 pub use matchperf::e17;
 pub use multiprog::e15;
 pub use scaling::e16;
@@ -24,9 +26,9 @@ pub use testbed::e12;
 
 /// All experiment ids, in order (e* reproduce paper claims, a* are
 /// design ablations).
-pub const EXPERIMENT_IDS: [&str; 22] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "a1", "a2", "a3", "a4", "a5",
+pub const EXPERIMENT_IDS: [&str; 23] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "a1", "a2", "a3", "a4", "a5",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -53,6 +55,7 @@ pub fn run_experiment(id: &str) -> Result<String, String> {
         "e15" => e15(),
         "e16" => e16(),
         "e17" => e17(),
+        "e18" => e18(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),

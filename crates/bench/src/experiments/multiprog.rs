@@ -57,7 +57,9 @@ pub fn e15() -> String {
     let mut m = TimedMachine::ideal(merged.clone(), pes, lat, cfg);
     let r = m.run_jobs(&jobs).expect("runs");
     assert_eq!(r.outputs[&0], Value::Int(reference::fib(13)));
-    let Value::Float(pi) = r.outputs[&16] else { panic!("trapezoid output") };
+    let Value::Float(pi) = r.outputs[&16] else {
+        panic!("trapezoid output")
+    };
     assert!((pi - std::f64::consts::PI).abs() < 1e-3);
     assert_eq!(
         r.outputs[&32],
@@ -136,7 +138,12 @@ mod tests {
         let mut serial = 0;
         for j in &jobs {
             let mut m = TimedMachine::ideal(merged.clone(), 4, Cycle(5), cfg);
-            serial += m.run_jobs(std::slice::from_ref(j)).unwrap().stats.cycles.as_u64();
+            serial += m
+                .run_jobs(std::slice::from_ref(j))
+                .unwrap()
+                .stats
+                .cycles
+                .as_u64();
         }
         assert!(both.stats.cycles.as_u64() < serial);
     }

@@ -47,8 +47,13 @@ pub fn e16() -> String {
          host processors to gain speed",
     );
 
-    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    out.push_str(&format!("host cores available: {host}\n\n"));
+    let norm = crate::normalized();
+    if norm {
+        out.push_str("host cores available: (normalized)\n\n");
+    } else {
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        out.push_str(&format!("host cores available: {host}\n\n"));
+    }
 
     let cases: [(&str, &str, Vec<Value>, Value); 2] = [
         (
@@ -82,11 +87,19 @@ pub fn e16() -> String {
             // matching-store occupancy, wave-by-wave profile — must be
             // byte-identical to the sequential emulator's.
             assert_eq!(r, seq, "{name} at {threads} threads diverged");
+            let (wall, speedup) = if norm {
+                ("(normalized)".to_string(), "(normalized)".to_string())
+            } else {
+                (
+                    format!("{:.1} ms", secs * 1e3),
+                    format!("{:.2}x", base / secs),
+                )
+            };
             t.row_owned(vec![
                 name.into(),
                 threads.to_string(),
-                format!("{:.1} ms", secs * 1e3),
-                format!("{:.2}x", base / secs),
+                wall,
+                speedup,
                 "true".into(),
             ]);
         }
@@ -126,7 +139,10 @@ mod tests {
             let p = ttda_idc::compile(src).unwrap();
             let seq = Emulator::new(&p).run(&inputs).unwrap();
             for threads in [2usize, 4, 8] {
-                let par = Emulator::new(&p).with_threads(threads).run(&inputs).unwrap();
+                let par = Emulator::new(&p)
+                    .with_threads(threads)
+                    .run(&inputs)
+                    .unwrap();
                 assert_eq!(par, seq, "threads={threads}");
             }
         }

@@ -52,7 +52,14 @@ pub fn e2() -> String {
          processor idle time put an upper limit on the number of processors that could \
          cooperate on even highly parallel programs (e.g., chaotic relaxation)\" (§1.2.2)",
     );
-    let mut t = Table::new(&["procs", "cells/proc", "utilization", "cycles", "remote refs", "speedup"]);
+    let mut t = Table::new(&[
+        "procs",
+        "cells/proc",
+        "utilization",
+        "cycles",
+        "remote refs",
+        "speedup",
+    ]);
     let total = 128;
     let (_, base, _) = cmstar_run(1, total);
     for procs in [1usize, 2, 4, 8, 16, 32] {
@@ -75,7 +82,12 @@ pub fn e2() -> String {
     out
 }
 
-fn coherence_run(procs: usize, policy: WritePolicy, protocol: Protocol, shared_frac_pct: usize) -> (f64, f64, f64) {
+fn coherence_run(
+    procs: usize,
+    policy: WritePolicy,
+    protocol: Protocol,
+    shared_frac_pct: usize,
+) -> (f64, f64, f64) {
     let cfg = CacheConfig {
         write_policy: policy,
         protocol,
@@ -102,7 +114,11 @@ fn coherence_run(procs: usize, policy: WritePolicy, protocol: Protocol, shared_f
     }
     let s = sys.stats();
     let per_access = cycles.as_u64() as f64 / (accesses * procs) as f64;
-    (s.traffic_per_access(), s.invalidations as f64 / (accesses * procs) as f64, per_access)
+    (
+        s.traffic_per_access(),
+        s.invalidations as f64 / (accesses * procs) as f64,
+        per_access,
+    )
 }
 
 /// E3: cache coherence overhead vs scale and policy.
@@ -148,7 +164,13 @@ pub fn e3() -> String {
 
     // The Hydra-semaphore cost: §1.2.1 "the performance cost of this
     // relative to, say, an ALU operation is rather high".
-    let mut t3 = Table::new(&["procs", "lock txns", "cycles/transaction", "vs 1 ALU op", "counter ok"]);
+    let mut t3 = Table::new(&[
+        "procs",
+        "lock txns",
+        "cycles/transaction",
+        "vs 1 ALU op",
+        "counter ok",
+    ]);
     for procs in [1usize, 2, 4, 8, 16] {
         let (per_txn, ok) = lock_cost(procs, 20);
         t3.row_owned(vec![
@@ -175,7 +197,10 @@ pub fn e3() -> String {
 fn lock_cost(procs: usize, k: i64) -> (f64, bool) {
     use ttda_machines::{Cmmp, CmmpConfig};
     use ttda_vn::DataMemory;
-    let cfg = CmmpConfig { procs, ..CmmpConfig::default() };
+    let cfg = CmmpConfig {
+        procs,
+        ..CmmpConfig::default()
+    };
     let cores = vec![Core::new(ttda_workloads::vn::spin_lock_counter(k, 5)); procs];
     let mut m = Cmmp::new(cores, cfg);
     let stats = m.run().expect("locks run");
@@ -213,7 +238,9 @@ pub fn e7() -> String {
             combining,
             ..UltraConfig::default()
         };
-        let serial = Ultra::new(mk(false)).expect("size ok").hot_spot(&vec![1; n]);
+        let serial = Ultra::new(mk(false))
+            .expect("size ok")
+            .hot_spot(&vec![1; n]);
         let comb = Ultra::new(mk(true)).expect("size ok").hot_spot(&vec![1; n]);
         assert_eq!(serial.finals[&0], n as i64);
         assert_eq!(comb.finals[&0], n as i64);
@@ -250,7 +277,14 @@ pub fn e8() -> String {
          contexts\" (§1.2.4)",
     );
     let machine = Vliw::default();
-    let mut t = Table::new(&["kernel", "ops", "ILP", "cycles p=0", "cycles p=10%", "cycles p=50%"]);
+    let mut t = Table::new(&[
+        "kernel",
+        "ops",
+        "ILP",
+        "cycles p=0",
+        "cycles p=10%",
+        "cycles p=50%",
+    ]);
     let kernels: Vec<(&str, ttda_machines::DepGraph)> = vec![
         ("regular (unrolled)", regular_kernel(16, 8)),
         ("branchy (irregular)", branchy_kernel(64)),
@@ -393,11 +427,15 @@ mod tests {
     #[test]
     fn combining_speedup_grows_with_n() {
         let t = |n: usize, c: bool| {
-            Ultra::new(UltraConfig { procs: n, combining: c, ..UltraConfig::default() })
-                .expect("ok")
-                .hot_spot(&vec![1; n])
-                .completion
-                .as_u64() as f64
+            Ultra::new(UltraConfig {
+                procs: n,
+                combining: c,
+                ..UltraConfig::default()
+            })
+            .expect("ok")
+            .hot_spot(&vec![1; n])
+            .completion
+            .as_u64() as f64
         };
         let s32 = t(32, false) / t(32, true);
         let s256 = t(256, false) / t(256, true);

@@ -71,8 +71,7 @@ pub fn e5() -> String {
         // Spins: consumer-side loads that re-read a flag; approximate as
         // consumer mem refs beyond the n*n data loads + per-granule flag
         // reads it needed anyway.
-        let spins = stats.busy_waits[1]
-            + stats.mem_refs[1].saturating_sub((n * n) as u64);
+        let spins = stats.busy_waits[1] + stats.mem_refs[1].saturating_sub((n * n) as u64);
         let extra_stores = match strategy {
             SyncStrategy::PerElementFlag => (n * n) as u64,
             SyncStrategy::PerRow => n as u64,
@@ -81,7 +80,11 @@ pub fn e5() -> String {
         };
         t.row_owned(vec![
             name.to_string(),
-            format!("{} ({:.2}x)", stats.cycles.as_u64(), stats.cycles.as_u64() as f64 / base as f64),
+            format!(
+                "{} ({:.2}x)",
+                stats.cycles.as_u64(),
+                stats.cycles.as_u64() as f64 / base as f64
+            ),
             pct(stats.idle[1].as_u64() as f64 / stats.cycles.as_u64() as f64),
             spins.to_string(),
             extra_stores.to_string(),

@@ -70,7 +70,12 @@ pub fn e12() -> String {
     out.push_str(&t.to_string());
 
     // Partitioning: split into independent emulation machines.
-    let mut t2 = Table::new(&["partitions", "machine size", "intra reachable", "cross reachable"]);
+    let mut t2 = Table::new(&[
+        "partitions",
+        "machine size",
+        "intra reachable",
+        "cross reachable",
+    ]);
     for split in [0usize, 1, 2] {
         let mut cube = Hypercube::new(7).expect("7-cube");
         cube.partition(split).expect("split ok");
@@ -93,7 +98,13 @@ pub fn e12() -> String {
     out.push_str(&t2.to_string());
 
     // Bandwidth: saturate with random traffic on the bit-serial links.
-    let mut t3 = Table::new(&["offered packets", "makespan (cy)", "mean latency", "p95 latency", "hottest link"]);
+    let mut t3 = Table::new(&[
+        "offered packets",
+        "makespan (cy)",
+        "mean latency",
+        "p95 latency",
+        "hottest link",
+    ]);
     for load in [64usize, 256, 1024] {
         let cube = Hypercube::new(7).expect("7-cube");
         let mut fabric = Fabric::new(cube, FabricConfig::bit_serial_4mbs());
@@ -110,7 +121,11 @@ pub fn e12() -> String {
             last.as_u64().to_string(),
             f3(s.latency.mean().unwrap_or(0.0)),
             s.latency.percentile(95.0).unwrap_or(0).to_string(),
-            fabric.hottest_link().map(|(_, n)| n).unwrap_or(0).to_string(),
+            fabric
+                .hottest_link()
+                .map(|(_, n)| n)
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     out.push_str("\nBit-serial (4 MB/s-equivalent) link saturation:\n");

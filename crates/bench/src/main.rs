@@ -7,8 +7,9 @@
 //! cargo run --release -p ttda-bench --bin experiments -- e16 --threads 4
 //! cargo run --release -p ttda-bench --bin experiments -- trace producer-consumer
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
+//! cargo run --release -p ttda-bench --bin experiments -- all --normalize
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
-//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json
 //! ```
 //!
 //! `--threads N` selects how many host worker threads every emulator run
@@ -21,31 +22,56 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ttda_bench::quickbench::Criterion;
-use ttda_bench::report::{check_regression, BenchReport};
+use ttda_bench::report::{check_istore_regression, check_regression, BenchReport, IStoreReport};
 use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
 use ttda_bench::{run_experiment, suites, EXPERIMENT_IDS};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <id>... | all [--threads N]\n       ids: {}\n\
+        "usage: experiments <id>... | all [--threads N] [--normalize]\n       ids: {}\n\
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
          \n       experiments quickbench [--suites matching,istore,endtoend] [--out FILE] [--check BASELINE]\n\
-         \n       --threads N: emulator host worker threads (0 = one per core)",
+         \n                              [--istore-out FILE] [--istore-check BASELINE]\n\
+         \n       --threads N: emulator host worker threads (0 = one per core)\n\
+         \n       --normalize: replace host-dependent numbers with placeholders (stable output)",
         EXPERIMENT_IDS.join(", "),
         TRACE_SCENARIOS.join(", ")
     );
     ExitCode::FAILURE
 }
 
+/// Reads a baseline report file and parses it with `parse`, mapping both
+/// failure modes onto a printed error.
+fn load_baseline<P>(
+    path: &PathBuf,
+    parse: impl FnOnce(&str) -> Result<P, String>,
+) -> Result<P, ExitCode> {
+    let json = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read baseline {}: {e}", path.display());
+        ExitCode::FAILURE
+    })?;
+    parse(&json).map_err(|e| {
+        eprintln!("error: baseline {} is malformed: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
 /// `quickbench`: runs the named suites through the quickbench harness,
-/// writes the machine-readable `BENCH_matching.json` report, and — with
-/// `--check` — gates against a baseline report (>25% median ns/op
-/// growth on any shared target, or a matching tokens/sec drop beyond
-/// the same factor, fails the run).
+/// writes the machine-readable `BENCH_matching.json` and (when the
+/// `istore` suite runs) `BENCH_istore.json` reports, and — with
+/// `--check` / `--istore-check` — gates against baseline reports (>25%
+/// median ns/op growth on any shared target, or a headline throughput
+/// drop beyond the same factor, fails the run).
 fn quickbench_main(args: &[String]) -> ExitCode {
     let mut out = PathBuf::from("BENCH_matching.json");
+    let mut istore_out = PathBuf::from("BENCH_istore.json");
     let mut check: Option<PathBuf> = None;
-    let mut which = vec!["matching".to_string(), "istore".to_string(), "endtoend".to_string()];
+    let mut istore_check: Option<PathBuf> = None;
+    let mut which = vec![
+        "matching".to_string(),
+        "istore".to_string(),
+        "endtoend".to_string(),
+    ];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -53,8 +79,16 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 Some(p) => out = PathBuf::from(p),
                 None => return usage(),
             },
+            "--istore-out" => match it.next() {
+                Some(p) => istore_out = PathBuf::from(p),
+                None => return usage(),
+            },
             "--check" => match it.next() {
                 Some(p) => check = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--istore-check" => match it.next() {
+                Some(p) => istore_check = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             "--suites" => match it.next() {
@@ -64,7 +98,8 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    // The throughput comparison runs first, in a still-cold process —
+    let run_istore = which.iter().any(|s| s == "istore");
+    // The throughput comparisons run first, in a still-cold process —
     // the state every real emulator run starts from. Window 32768: a
     // saturated matching section holds tens of thousands of parked
     // activities (E13 ties occupancy to exposed parallelism), and that
@@ -77,12 +112,29 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         throughput.packed_tokens_per_sec,
         throughput.speedup()
     );
+    // Same idea for the I-structure store: all-deferred traffic is the
+    // regime the packed engine exists for (E18 sweeps the ratio). 4096
+    // cells × 8 readers matches E18's sweep scale: large enough to
+    // exercise the node arena, small enough that the working set (not
+    // the memory wall) is what's being compared.
+    let istore_throughput = run_istore.then(|| {
+        println!("-- heavy-defer i-structure throughput (E18 kernel)");
+        let t = suites::istore_throughput(4096, 8, 31);
+        println!(
+            "enum    {:>12.0} ops/s      packed {:>12.0} ops/s      speedup {:.2}x",
+            t.enum_ops_per_sec,
+            t.packed_ops_per_sec,
+            t.speedup()
+        );
+        t
+    });
     let mut c = Criterion::default();
+    let mut ic = Criterion::default();
     for suite in &which {
         println!("-- suite: {suite}");
         match suite.as_str() {
             "matching" => suites::matching(&mut c),
-            "istore" => suites::istore(&mut c),
+            "istore" => suites::istore(&mut ic),
             "endtoend" => suites::endtoend(&mut c),
             other => {
                 eprintln!("error: unknown suite `{other}` (matching, istore, endtoend)");
@@ -90,7 +142,10 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    let report = BenchReport { targets: c.into_stats(), throughput };
+    let report = BenchReport {
+        targets: c.into_stats(),
+        throughput,
+    };
     let json = report.to_json();
     // Re-parse what we are about to write: the report must be
     // well-formed by our own reader before it can become a baseline.
@@ -106,20 +161,33 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", out.display());
+    let istore_current = match istore_throughput {
+        Some(throughput) => {
+            let report = IStoreReport {
+                targets: ic.into_stats(),
+                throughput,
+            };
+            let json = report.to_json();
+            let parsed = match IStoreReport::parse(&json) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: generated istore report is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&istore_out, &json) {
+                eprintln!("error: cannot write {}: {e}", istore_out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", istore_out.display());
+            Some(parsed)
+        }
+        None => None,
+    };
     if let Some(base_path) = check {
-        let base_json = match std::fs::read_to_string(&base_path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read baseline {}: {e}", base_path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let baseline = match BenchReport::parse(&base_json) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("error: baseline {} is malformed: {e}", base_path.display());
-                return ExitCode::FAILURE;
-            }
+        let baseline = match load_baseline(&base_path, BenchReport::parse) {
+            Ok(b) => b,
+            Err(code) => return code,
         };
         match check_regression(&current, &baseline, 0.25) {
             Ok(lines) => {
@@ -130,6 +198,28 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: benchmark regression\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(base_path) = istore_check {
+        let Some(current) = istore_current else {
+            eprintln!("error: --istore-check given but the istore suite was not selected");
+            return ExitCode::FAILURE;
+        };
+        let baseline = match load_baseline(&base_path, IStoreReport::parse) {
+            Ok(b) => b,
+            Err(code) => return code,
+        };
+        match check_istore_regression(&current, &baseline, 0.25) {
+            Ok(lines) => {
+                println!("-- vs baseline {}", base_path.display());
+                for l in lines {
+                    println!("   {l}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: istore benchmark regression\n{e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -189,6 +279,10 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if take_threads_flag(&mut args).is_none() {
         return usage();
+    }
+    while let Some(pos) = args.iter().position(|a| a == "--normalize") {
+        ttda_bench::set_normalize(true);
+        args.remove(pos);
     }
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         return usage();

@@ -37,12 +37,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`, e.g. `BenchmarkId::new("blocking", 50)`.
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// Just the parameter, for groups whose name says it all.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -159,7 +163,10 @@ impl Criterion {
 
     /// Opens a named group; member benchmarks print as `group/member`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into() }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
     }
 
     /// The collected per-target summaries, in run order.

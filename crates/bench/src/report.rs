@@ -1,25 +1,43 @@
-//! Machine-readable benchmark reports (`BENCH_matching.json`).
+//! Machine-readable benchmark reports (`BENCH_matching.json`,
+//! `BENCH_istore.json`).
 //!
 //! The container has no serde, so this module hand-writes and
-//! hand-parses the one JSON shape the repo tracks: per-target median
-//! ns/op from the quickbench suites plus the matching-saturating
-//! tokens/sec comparison. The checked-in `BENCH_matching.json` at the
-//! repository root is the baseline every later perf PR is judged
-//! against; [`check_regression`] is the gate CI's bench-smoke job runs.
+//! hand-parses the two JSON shapes the repo tracks: per-target median
+//! ns/op from the quickbench suites plus a reference-vs-packed
+//! throughput comparison — tokens/sec through the waiting–matching
+//! store for the matching report, ops/sec through the I-structure store
+//! for the istore report. The checked-in files at the repository root
+//! are the baselines every later perf PR is judged against;
+//! [`check_regression`] / [`check_istore_regression`] are the gates
+//! CI's bench-smoke job runs.
 
 use crate::quickbench::BenchStat;
-use crate::suites::MatchingThroughput;
+use crate::suites::{IStoreThroughput, MatchingThroughput};
 
-/// Identifies the report shape; bumped if fields change meaning.
+/// Identifies the matching-report shape; bumped if fields change meaning.
 pub const SCHEMA: &str = "ttda-bench/matching/v1";
 
-/// Everything one `experiments quickbench` run measures.
+/// Identifies the istore-report shape.
+pub const ISTORE_SCHEMA: &str = "ttda-bench/istore/v1";
+
+/// Everything one `experiments quickbench` run measures for the
+/// matching/endtoend suites.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Per-target timing summaries, in run order.
     pub targets: Vec<BenchStat>,
     /// The matching-saturating store comparison.
     pub throughput: MatchingThroughput,
+}
+
+/// Everything one `experiments quickbench` run measures for the istore
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IStoreReport {
+    /// Per-target timing summaries, in run order.
+    pub targets: Vec<BenchStat>,
+    /// The heavy-defer enum-vs-packed store comparison.
+    pub throughput: IStoreThroughput,
 }
 
 fn json_escape(s: &str) -> String {
@@ -33,25 +51,52 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+fn render_targets(out: &mut String, targets: &[BenchStat]) {
+    out.push_str("  \"targets\": [\n");
+    for (k, t) in targets.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"target\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+            json_escape(&t.label),
+            t.median_ns,
+            t.mean_ns,
+            t.min_ns,
+            t.samples,
+            if k + 1 < targets.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+}
+
+fn parse_targets(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut targets = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"target\": \"") {
+        rest = &rest[pos + "\"target\": \"".len()..];
+        let name_end = rest.find('"').ok_or("unterminated target name")?;
+        let name = rest[..name_end].to_string();
+        let med_pos = rest
+            .find("\"median_ns\": ")
+            .ok_or_else(|| format!("target {name}: no median_ns"))?;
+        let med = number_at(&rest[med_pos + "\"median_ns\": ".len()..])
+            .ok_or_else(|| format!("target {name}: unparsable median_ns"))?;
+        if !(med.is_finite() && med >= 0.0) {
+            return Err(format!("target {name}: median_ns {med} out of range"));
+        }
+        targets.push((name, med));
+    }
+    if targets.is_empty() {
+        return Err("no benchmark targets in report".into());
+    }
+    Ok(targets)
+}
+
 impl BenchReport {
     /// Renders the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-        out.push_str("  \"targets\": [\n");
-        for (k, t) in self.targets.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"target\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
-                json_escape(&t.label),
-                t.median_ns,
-                t.mean_ns,
-                t.min_ns,
-                t.samples,
-                if k + 1 < self.targets.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ],\n");
+        render_targets(&mut out, &self.targets);
         let th = &self.throughput;
         out.push_str("  \"matching_throughput\": {\n");
         out.push_str(&format!("    \"tokens\": {},\n", th.tokens));
@@ -82,25 +127,7 @@ impl BenchReport {
         if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
             return Err(format!("missing or wrong schema tag (want {SCHEMA})"));
         }
-        let mut targets = Vec::new();
-        let mut rest = json;
-        while let Some(pos) = rest.find("\"target\": \"") {
-            rest = &rest[pos + "\"target\": \"".len()..];
-            let name_end = rest.find('"').ok_or("unterminated target name")?;
-            let name = rest[..name_end].to_string();
-            let med_pos = rest
-                .find("\"median_ns\": ")
-                .ok_or_else(|| format!("target {name}: no median_ns"))?;
-            let med = number_at(&rest[med_pos + "\"median_ns\": ".len()..])
-                .ok_or_else(|| format!("target {name}: unparsable median_ns"))?;
-            if !(med.is_finite() && med >= 0.0) {
-                return Err(format!("target {name}: median_ns {med} out of range"));
-            }
-            targets.push((name, med));
-        }
-        if targets.is_empty() {
-            return Err("no benchmark targets in report".into());
-        }
+        let targets = parse_targets(json)?;
         let hashmap_tps = field(json, "\"hashmap_tokens_per_sec\": ")?;
         let packed_tps = field(json, "\"packed_tokens_per_sec\": ")?;
         if hashmap_tps <= 0.0 || packed_tps <= 0.0 {
@@ -114,6 +141,59 @@ impl BenchReport {
     }
 }
 
+impl IStoreReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{ISTORE_SCHEMA}\",\n"));
+        render_targets(&mut out, &self.targets);
+        let th = &self.throughput;
+        out.push_str("  \"istore_throughput\": {\n");
+        out.push_str(&format!("    \"ops\": {},\n", th.ops));
+        out.push_str(&format!(
+            "    \"readers_per_cell\": {},\n",
+            th.readers_per_cell
+        ));
+        out.push_str(&format!(
+            "    \"enum_ops_per_sec\": {:.0},\n",
+            th.enum_ops_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"packed_ops_per_sec\": {:.0},\n",
+            th.packed_ops_per_sec
+        ));
+        out.push_str(&format!("    \"speedup\": {:.2}\n", th.speedup()));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`IStoreReport::to_json`];
+    /// same shape-checking reader as [`BenchReport::parse`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn parse(json: &str) -> Result<ParsedIStoreReport, String> {
+        if !json.contains(&format!("\"schema\": \"{ISTORE_SCHEMA}\"")) {
+            return Err(format!(
+                "missing or wrong schema tag (want {ISTORE_SCHEMA})"
+            ));
+        }
+        let targets = parse_targets(json)?;
+        let enum_ops = field(json, "\"enum_ops_per_sec\": ")?;
+        let packed_ops = field(json, "\"packed_ops_per_sec\": ")?;
+        if enum_ops <= 0.0 || packed_ops <= 0.0 {
+            return Err("non-positive ops/sec in istore_throughput".into());
+        }
+        Ok(ParsedIStoreReport {
+            targets,
+            enum_ops_per_sec: enum_ops,
+            packed_ops_per_sec: packed_ops,
+        })
+    }
+}
+
 fn field(json: &str, key: &str) -> Result<f64, String> {
     let pos = json.find(key).ok_or_else(|| format!("missing {key}"))?;
     number_at(&json[pos + key.len()..]).ok_or_else(|| format!("unparsable value for {key}"))
@@ -122,12 +202,14 @@ fn field(json: &str, key: &str) -> Result<f64, String> {
 fn number_at(s: &str) -> Option<f64> {
     let end = s
         .char_indices()
-        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .find(|&(_, c)| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
         .map_or(s.len(), |(k, _)| k);
     s[..end].parse().ok()
 }
 
-/// The comparison-relevant subset of a parsed report.
+/// The comparison-relevant subset of a parsed matching report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedReport {
     /// `(target label, median ns/op)` pairs.
@@ -138,9 +220,64 @@ pub struct ParsedReport {
     pub packed_tokens_per_sec: f64,
 }
 
-impl ParsedReport {
-    fn median(&self, label: &str) -> Option<f64> {
-        self.targets.iter().find(|(l, _)| l == label).map(|&(_, m)| m)
+/// The comparison-relevant subset of a parsed istore report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedIStoreReport {
+    /// `(target label, median ns/op)` pairs.
+    pub targets: Vec<(String, f64)>,
+    /// Enum-cell reference store throughput.
+    pub enum_ops_per_sec: f64,
+    /// Packed store throughput.
+    pub packed_ops_per_sec: f64,
+}
+
+/// Shared gate body: per-target median growth beyond `tolerance` fails,
+/// as does a drop of the headline packed throughput by more than the
+/// same factor. Returns the comparison lines on success.
+fn gate(
+    cur_targets: &[(String, f64)],
+    base_targets: &[(String, f64)],
+    cur_packed: f64,
+    base_packed: f64,
+    packed_label: &str,
+    packed_unit: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (label, base_med) in base_targets {
+        let Some(cur_med) = cur_targets
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, m)| m)
+        else {
+            lines.push(format!("{label}: gone from current run (skipped)"));
+            continue;
+        };
+        let ratio = cur_med / base_med;
+        lines.push(format!(
+            "{label}: {base_med:.0} -> {cur_med:.0} ns/op ({ratio:.2}x)"
+        ));
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{label} regressed: {base_med:.0} -> {cur_med:.0} ns/op ({ratio:.2}x > {:.2}x allowed)",
+                1.0 + tolerance
+            ));
+        }
+    }
+    let ratio = cur_packed / base_packed;
+    lines.push(format!(
+        "{packed_label}: {base_packed:.2e} -> {cur_packed:.2e} ({ratio:.2}x)"
+    ));
+    if ratio < 1.0 / (1.0 + tolerance) {
+        failures.push(format!(
+            "{packed_label} regressed: {base_packed:.2e} -> {cur_packed:.2e} {packed_unit}"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures.join("\n"))
     }
 }
 
@@ -157,40 +294,38 @@ pub fn check_regression(
     baseline: &ParsedReport,
     tolerance: f64,
 ) -> Result<Vec<String>, String> {
-    let mut lines = Vec::new();
-    let mut failures = Vec::new();
-    for (label, base_med) in &baseline.targets {
-        let Some(cur_med) = current.median(label) else {
-            lines.push(format!("{label}: gone from current run (skipped)"));
-            continue;
-        };
-        let ratio = cur_med / base_med;
-        lines.push(format!(
-            "{label}: {base_med:.0} -> {cur_med:.0} ns/op ({ratio:.2}x)"
-        ));
-        if ratio > 1.0 + tolerance {
-            failures.push(format!(
-                "{label} regressed: {base_med:.0} -> {cur_med:.0} ns/op ({ratio:.2}x > {:.2}x allowed)",
-                1.0 + tolerance
-            ));
-        }
-    }
-    let tps_ratio = current.packed_tokens_per_sec / baseline.packed_tokens_per_sec;
-    lines.push(format!(
-        "packed_tokens_per_sec: {:.2e} -> {:.2e} ({tps_ratio:.2}x)",
-        baseline.packed_tokens_per_sec, current.packed_tokens_per_sec
-    ));
-    if tps_ratio < 1.0 / (1.0 + tolerance) {
-        failures.push(format!(
-            "packed matching throughput regressed: {:.2e} -> {:.2e} tokens/sec",
-            baseline.packed_tokens_per_sec, current.packed_tokens_per_sec
-        ));
-    }
-    if failures.is_empty() {
-        Ok(lines)
-    } else {
-        Err(failures.join("\n"))
-    }
+    gate(
+        &current.targets,
+        &baseline.targets,
+        current.packed_tokens_per_sec,
+        baseline.packed_tokens_per_sec,
+        "packed_tokens_per_sec",
+        "tokens/sec",
+        tolerance,
+    )
+}
+
+/// The istore twin of [`check_regression`]: gates the istore suite's
+/// medians and the packed store's heavy-defer ops/sec against
+/// `BENCH_istore.json`.
+///
+/// # Errors
+///
+/// A description of every regression found.
+pub fn check_istore_regression(
+    current: &ParsedIStoreReport,
+    baseline: &ParsedIStoreReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    gate(
+        &current.targets,
+        &baseline.targets,
+        current.packed_ops_per_sec,
+        baseline.packed_ops_per_sec,
+        "packed_ops_per_sec",
+        "ops/sec",
+        tolerance,
+    )
 }
 
 #[cfg(test)]
@@ -224,6 +359,24 @@ mod tests {
         }
     }
 
+    fn istore_report() -> IStoreReport {
+        IStoreReport {
+            targets: vec![BenchStat {
+                label: "istore/packed_heavy_defer".into(),
+                mean_ns: 800.0,
+                median_ns: 790.0,
+                min_ns: 700.0,
+                samples: 50,
+            }],
+            throughput: IStoreThroughput {
+                ops: 9216,
+                readers_per_cell: 8,
+                enum_ops_per_sec: 1.0e7,
+                packed_ops_per_sec: 1.8e7,
+            },
+        }
+    }
+
     #[test]
     fn roundtrip() {
         let json = report().to_json();
@@ -236,11 +389,25 @@ mod tests {
     }
 
     #[test]
+    fn istore_roundtrip() {
+        let json = istore_report().to_json();
+        let parsed = IStoreReport::parse(&json).expect("well-formed");
+        assert_eq!(parsed.targets.len(), 1);
+        assert_eq!(parsed.targets[0].0, "istore/packed_heavy_defer");
+        assert_eq!(parsed.enum_ops_per_sec, 1.0e7);
+        assert_eq!(parsed.packed_ops_per_sec, 1.8e7);
+        // The two schemas do not cross-parse.
+        assert!(BenchReport::parse(&json).is_err());
+        assert!(IStoreReport::parse(&report().to_json()).is_err());
+    }
+
+    #[test]
     fn malformed_reports_are_rejected() {
         assert!(BenchReport::parse("{}").is_err());
         assert!(BenchReport::parse("{\"schema\": \"ttda-bench/matching/v1\"}").is_err());
         let json = report().to_json().replace("median_ns", "nedian_ms");
         assert!(BenchReport::parse(&json).is_err());
+        assert!(IStoreReport::parse("{}").is_err());
     }
 
     #[test]
@@ -261,5 +428,27 @@ mod tests {
         let mut slow = base.clone();
         slow.packed_tokens_per_sec = base.packed_tokens_per_sec * 0.5;
         assert!(check_regression(&slow, &base, 0.25).is_err());
+    }
+
+    #[test]
+    fn istore_gate_trips_on_slowdown_only() {
+        let base = IStoreReport::parse(&istore_report().to_json()).unwrap();
+        let mut cur = base.clone();
+        cur.targets[0].1 *= 1.10;
+        assert!(check_istore_regression(&cur, &base, 0.25).is_ok());
+        cur.targets[0].1 = base.targets[0].1 * 1.30;
+        assert!(check_istore_regression(&cur, &base, 0.25).is_err());
+        let mut slow = base.clone();
+        slow.targets[0].1 = base.targets[0].1;
+        slow.packed_ops_per_sec = base.packed_ops_per_sec * 0.5;
+        let err = check_istore_regression(&slow, &base, 0.25).unwrap_err();
+        assert!(err.contains("packed_ops_per_sec"), "{err}");
+        // A target missing from the current run is skipped, not failed
+        // (covers baseline re-scopes like moving istore targets between
+        // report files).
+        let mut fewer = base.clone();
+        fewer.targets.clear();
+        fewer.targets.push(("istore/new_target".into(), 100.0));
+        assert!(check_istore_regression(&fewer, &base, 0.25).is_ok());
     }
 }

@@ -22,8 +22,12 @@ use ttda_sim::{Cycle, SimRng};
 use ttda_trace::{shared, ChromeTraceSink, CountingSink, TraceEvent, TraceSink};
 
 /// Scenario names accepted by [`run_trace`].
-pub const TRACE_SCENARIOS: [&str; 4] =
-    ["producer-consumer", "fib", "timed-hypercube", "fault-reroute"];
+pub const TRACE_SCENARIOS: [&str; 4] = [
+    "producer-consumer",
+    "fib",
+    "timed-hypercube",
+    "fault-reroute",
+];
 
 /// Both concrete sinks behind one handle: counts aggregate while the
 /// chrome sink keeps the full event log.
@@ -34,7 +38,10 @@ struct Tee {
 
 impl Tee {
     fn new() -> Self {
-        Tee { counts: CountingSink::new(), chrome: ChromeTraceSink::new() }
+        Tee {
+            counts: CountingSink::new(),
+            chrome: ChromeTraceSink::new(),
+        }
     }
 }
 
@@ -50,8 +57,7 @@ impl TraceSink for Tee {
 }
 
 fn report(name: &str, tee: &Tee, out_dir: &Path) -> Result<String, String> {
-    std::fs::create_dir_all(out_dir)
-        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     let jsonl = out_dir.join(format!("{name}.trace.jsonl"));
     let chrome = out_dir.join(format!("{name}.chrome.json"));
     std::fs::write(&jsonl, tee.chrome.to_jsonl())
@@ -65,12 +71,20 @@ fn report(name: &str, tee: &Tee, out_dir: &Path) -> Result<String, String> {
     out.push_str(&format!(
         "\ninvariants:\n  token conservation: {}\n  quiescent (0 in flight, 0 deferred): {}\n",
         if c.in_flight_at_halt().is_some() {
-            if c.token_conservation_holds() { "HOLDS" } else { "VIOLATED" }
+            if c.token_conservation_holds() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         } else {
             "n/a (no halt event)"
         },
         if c.in_flight_at_halt().is_some() {
-            if c.quiescent() { "HOLDS" } else { "VIOLATED" }
+            if c.quiescent() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         } else {
             "n/a (no halt event)"
         },
@@ -131,8 +145,8 @@ pub fn run_trace(name: &str, out_dir: &Path) -> Result<String, String> {
             // Random traffic on a 16-node hypercube, then a link failure
             // mid-stream: packet hop counts show the detours.
             let cube = Hypercube::new(4).map_err(|e| format!("topology: {e:?}"))?;
-            let mut fabric = Fabric::new(cube, FabricConfig::bit_serial_4mbs())
-                .with_sink(sink.clone());
+            let mut fabric =
+                Fabric::new(cube, FabricConfig::bit_serial_4mbs()).with_sink(sink.clone());
             let mut rng = SimRng::seed(1983);
             for i in 0..200u64 {
                 if i == 100 {

@@ -58,7 +58,10 @@ impl fmt::Display for BuildError {
                 write!(f, "cannot wire across code blocks ({from} -> {to})")
             }
             BuildError::LoopArity { vars, produced } => {
-                write!(f, "loop body produced {produced} values for {vars} variables")
+                write!(
+                    f,
+                    "loop body produced {produced} values for {vars} variables"
+                )
             }
             BuildError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
@@ -168,7 +171,10 @@ impl GraphBuilder {
     ///
     /// Panics if `block` was never created.
     pub fn select_block(&mut self, block: CodeBlockId) {
-        assert!((block.0 as usize) < self.blocks.len(), "unknown block {block}");
+        assert!(
+            (block.0 as usize) < self.blocks.len(),
+            "unknown block {block}"
+        );
         self.current = block.0 as usize;
     }
 
@@ -415,7 +421,13 @@ mod tests {
             },
             |_, _| vec![], // wrong: zero next values for one var
         );
-        assert!(matches!(r, Err(BuildError::LoopArity { vars: 1, produced: 0 })));
+        assert!(matches!(
+            r,
+            Err(BuildError::LoopArity {
+                vars: 1,
+                produced: 0
+            })
+        ));
         let e = r.unwrap_err();
         assert!(e.to_string().contains("loop body"));
     }
@@ -423,7 +435,10 @@ mod tests {
     #[test]
     fn invalid_graph_surfaces_at_finish() {
         let mut g = GraphBuilder::new("m");
-        let apply = g.instr(OpCode::Apply { callee: CodeBlockId(9), argc: 0 });
+        let apply = g.instr(OpCode::Apply {
+            callee: CodeBlockId(9),
+            argc: 0,
+        });
         let out = g.output(0);
         g.wire(apply, out, 0);
         assert!(matches!(g.finish_program(), Err(BuildError::Graph(_))));

@@ -196,7 +196,11 @@ mod tests {
     #[test]
     fn calls_are_never_shared() {
         let mut cm = ContextManager::new(CodeBlockId(0));
-        let d = vec![Dest { instr: crate::graph::InstrId(4), port: Port(0), when: DestBranch::Always }];
+        let d = vec![Dest {
+            instr: crate::graph::InstrId(4),
+            port: Port(0),
+            when: DestBranch::Always,
+        }];
         let a = cm.enter_call(Ctx(0), Iter(1), CodeBlockId(0), CodeBlockId(1), d.clone());
         let b = cm.enter_call(Ctx(0), Iter(1), CodeBlockId(0), CodeBlockId(1), d);
         assert_ne!(a, b, "each Apply firing is a fresh activation");

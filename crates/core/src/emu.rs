@@ -184,7 +184,9 @@ impl<'p> Emulator<'p> {
     /// The resolved worker count: `0` → available cores.
     fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
         } else {
             self.threads
         }
@@ -366,7 +368,9 @@ impl<'p> Emulator<'p> {
             peak_deferred = peak_deferred.max(self.outstanding_deferred());
             if fired > 0 {
                 profile.push(fired);
-                self.trace(TraceEvent::WaveEnd { fired: fired as u64 });
+                self.trace(TraceEvent::WaveEnd {
+                    fired: fired as u64,
+                });
                 self.now = self.now.saturating_add(Cycle(1));
             }
             wave = next;
@@ -403,7 +407,10 @@ impl<'p> Emulator<'p> {
     }
 
     fn stranded_readers(&self) -> usize {
-        self.structures.iter().map(|s| s.deferred_outstanding()).sum()
+        self.structures
+            .iter()
+            .map(|s| s.deferred_outstanding())
+            .sum()
     }
 
     fn lookup(&self, tag: ActivityName) -> Result<&Instruction, ExecError> {
@@ -458,7 +465,11 @@ impl<'p> Emulator<'p> {
             }
         };
         let out_before = out.len();
-        trace(&TraceEvent::MatchFire { pe: 0, alu: eff.is_alu, busy: 0 });
+        trace(&TraceEvent::MatchFire {
+            pe: 0,
+            alu: eff.is_alu,
+            busy: 0,
+        });
         out.extend(eff.tokens);
         if let Some((slot, v)) = eff.output {
             self.outputs.insert(slot, v);
@@ -468,7 +479,10 @@ impl<'p> Emulator<'p> {
             Some(StructAction::Alloc { len, dests }) => {
                 let id = self.structures.len() as u32;
                 self.structures.push(IStructure::new(len));
-                let p = Value::Ptr(StructRef { id, len: len as u32 });
+                let p = Value::Ptr(StructRef {
+                    id,
+                    len: len as u32,
+                });
                 for (rtag, port) in dests {
                     out.push(Token::new(rtag, port, p));
                 }
@@ -488,7 +502,10 @@ impl<'p> Emulator<'p> {
                         ReadOutcome::Value(v) => {
                             immediate += 1;
                             out.push(Token::new(rtag, port, v));
-                            trace(&TraceEvent::IStoreRead { module: ptr.id, immediate: true });
+                            trace(&TraceEvent::IStoreRead {
+                                module: ptr.id,
+                                immediate: true,
+                            });
                         }
                         ReadOutcome::Deferred => {
                             deferred += 1;
@@ -515,7 +532,12 @@ impl<'p> Emulator<'p> {
                 self.istore_immediate += immediate;
                 self.istore_deferred += deferred;
             }
-            Some(StructAction::Store { ptr, idx, value, dests }) => {
+            Some(StructAction::Store {
+                ptr,
+                idx,
+                value,
+                dests,
+            }) => {
                 let traced = sink.is_some();
                 let store = self.store_mut(tag, ptr)?;
                 let before = if traced {
@@ -523,7 +545,11 @@ impl<'p> Emulator<'p> {
                 } else {
                     Presence::Empty
                 };
-                let released = store.write(Addr(idx), value)?;
+                // Released readers stream straight into the output wave
+                // (the packed store's zero-allocation release path).
+                let released = store.write_with(Addr(idx), value, |(rtag, port)| {
+                    out.push(Token::new(rtag, port, value));
+                })?;
                 self.istore_writes += 1;
                 if traced {
                     trace(&TraceEvent::IStoreWrite { module: ptr.id });
@@ -532,15 +558,12 @@ impl<'p> Emulator<'p> {
                         from: before.as_trace(),
                         to: PresenceState::Present,
                     });
-                    if !released.is_empty() {
+                    if released > 0 {
                         trace(&TraceEvent::DeferRelease {
                             module: ptr.id,
-                            released: released.len() as u64,
+                            released: released as u64,
                         });
                     }
-                }
-                for (rtag, port) in released {
-                    out.push(Token::new(rtag, port, value));
                 }
                 for (rtag, port) in dests {
                     out.push(Token::new(rtag, port, Value::Unit));
@@ -709,8 +732,14 @@ mod tests {
         let n2 = g.instr_lit(OpCode::Alu(AluOp::Sub), 1, Value::Int(2));
         g.wire_false(sw, n1, 0);
         g.wire_false(sw, n2, 0);
-        let c1 = g.instr(OpCode::Apply { callee: fb, argc: 1 });
-        let c2 = g.instr(OpCode::Apply { callee: fb, argc: 1 });
+        let c1 = g.instr(OpCode::Apply {
+            callee: fb,
+            argc: 1,
+        });
+        let c2 = g.instr(OpCode::Apply {
+            callee: fb,
+            argc: 1,
+        });
         g.wire(n1, c1, 0).wire(n2, c2, 0);
         let add = g.instr(OpCode::Alu(AluOp::Add));
         let ret = g.instr(OpCode::Return);
@@ -718,7 +747,10 @@ mod tests {
 
         g.select_block(CodeBlockId(0));
         let x = g.param();
-        let call = g.instr(OpCode::Apply { callee: fb, argc: 1 });
+        let call = g.instr(OpCode::Apply {
+            callee: fb,
+            argc: 1,
+        });
         let out = g.output(0);
         g.wire(x, call, 0).wire(call, out, 0);
 
@@ -800,8 +832,12 @@ mod tests {
             .expect("run");
         let s = sink.borrow();
         let c = s.as_any().downcast_ref::<CountingSink>().unwrap();
-        assert!(c.token_conservation_holds(), "emitted {} consumed {}",
-            c.tokens_emitted(), c.tokens_consumed());
+        assert!(
+            c.token_conservation_holds(),
+            "emitted {} consumed {}",
+            c.tokens_emitted(),
+            c.tokens_consumed()
+        );
         assert!(c.quiescent(), "deferred reads must drain by halt");
         let m = c.metrics();
         assert_eq!(m.counter_value("match_fire"), r.instructions);
@@ -851,7 +887,13 @@ mod tests {
         g.wire(x, out, 0);
         let p = g.finish_program().unwrap();
         let err = Emulator::new(&p).run(&[]).unwrap_err();
-        assert_eq!(err, ExecError::InputArity { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            ExecError::InputArity {
+                expected: 1,
+                got: 0
+            }
+        );
     }
 
     #[test]

@@ -69,16 +69,34 @@ pub(crate) struct Effect {
 fn retag(tag: ActivityName, dests: &[Dest], value: Value, out: &mut Vec<Token>) {
     for d in dests {
         if d.when == DestBranch::Always {
-            out.push(Token::new(ActivityName { s: d.instr, ..tag }, d.port, value));
+            out.push(Token::new(
+                ActivityName { s: d.instr, ..tag },
+                d.port,
+                value,
+            ));
         }
     }
 }
 
-fn retag_branch(tag: ActivityName, dests: &[Dest], take_true: bool, value: Value, out: &mut Vec<Token>) {
-    let want = if take_true { DestBranch::IfTrue } else { DestBranch::IfFalse };
+fn retag_branch(
+    tag: ActivityName,
+    dests: &[Dest],
+    take_true: bool,
+    value: Value,
+    out: &mut Vec<Token>,
+) {
+    let want = if take_true {
+        DestBranch::IfTrue
+    } else {
+        DestBranch::IfFalse
+    };
     for d in dests {
         if d.when == want {
-            out.push(Token::new(ActivityName { s: d.instr, ..tag }, d.port, value));
+            out.push(Token::new(
+                ActivityName { s: d.instr, ..tag },
+                d.port,
+                value,
+            ));
         }
     }
 }
@@ -157,7 +175,11 @@ pub(crate) fn execute(
     match &instr.op {
         OpCode::D { loop_id } => {
             let inner = ctx.enter_loop(tag.u, tag.i, *loop_id, tag.c);
-            let ntag = ActivityName { u: inner, i: Iter::ONE, ..tag };
+            let ntag = ActivityName {
+                u: inner,
+                i: Iter::ONE,
+                ..tag
+            };
             retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
         }
         OpCode::Apply { callee, argc } => {
@@ -236,22 +258,36 @@ pub(crate) fn execute_ro(
             let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
                 activity: tag.to_string(),
             })?;
-            let ntag = ActivityName { u: rec.parent, i: rec.parent_iter, ..tag };
+            let ntag = ActivityName {
+                u: rec.parent,
+                i: rec.parent_iter,
+                ..tag
+            };
             retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
         }
         OpCode::L => {
-            let ntag = ActivityName { i: tag.i.next(), ..tag };
+            let ntag = ActivityName {
+                i: tag.i.next(),
+                ..tag
+            };
             retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
         }
         OpCode::LInv => {
-            let ntag = ActivityName { i: Iter::ONE, ..tag };
+            let ntag = ActivityName {
+                i: Iter::ONE,
+                ..tag
+            };
             retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
         }
         OpCode::Return => {
             let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
                 activity: tag.to_string(),
             })?;
-            let ContextKind::Call { ret_block, ref dests } = rec.kind else {
+            let ContextKind::Call {
+                ret_block,
+                ref dests,
+            } = rec.kind
+            else {
                 return Err(ExecError::BadTarget {
                     activity: format!("{tag} (Return outside a call context)"),
                 });

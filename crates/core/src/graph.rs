@@ -143,7 +143,12 @@ impl OpCode {
             | OpCode::IAlloc
             | OpCode::Output(_)
             | OpCode::Sink => 1,
-            OpCode::Alu(_) | OpCode::Cmp(_) | OpCode::And | OpCode::Or | OpCode::Switch | OpCode::IFetch => 2,
+            OpCode::Alu(_)
+            | OpCode::Cmp(_)
+            | OpCode::And
+            | OpCode::Or
+            | OpCode::Switch
+            | OpCode::IFetch => 2,
             OpCode::IStore => 3,
             OpCode::Apply { argc, .. } => *argc,
         }
@@ -382,20 +387,37 @@ impl Program {
                                 return Err(GraphError::NoReturn { callee });
                             }
                         }
-                        _ => return Err(GraphError::BadApply { block: bid, at: sid }),
+                        _ => {
+                            return Err(GraphError::BadApply {
+                                block: bid,
+                                at: sid,
+                            })
+                        }
                     }
                 }
                 let is_switch = ins.op == OpCode::Switch;
                 for d in &ins.dests {
                     let Some(target) = block.instr(d.instr) else {
-                        return Err(GraphError::BadDest { block: bid, from: sid, to: d.instr });
+                        return Err(GraphError::BadDest {
+                            block: bid,
+                            from: sid,
+                            to: d.instr,
+                        });
                     };
                     if d.port.0 >= target.op.arity() {
-                        return Err(GraphError::BadPort { block: bid, to: d.instr, port: d.port });
+                        return Err(GraphError::BadPort {
+                            block: bid,
+                            to: d.instr,
+                            port: d.port,
+                        });
                     }
                     if let Some((lp, _)) = target.literal {
                         if lp == d.port {
-                            return Err(GraphError::BadPort { block: bid, to: d.instr, port: d.port });
+                            return Err(GraphError::BadPort {
+                                block: bid,
+                                to: d.instr,
+                                port: d.port,
+                            });
                         }
                     }
                     let branch_ok = if is_switch {
@@ -404,7 +426,10 @@ impl Program {
                         d.when == DestBranch::Always
                     };
                     if !branch_ok {
-                        return Err(GraphError::BadBranch { block: bid, from: sid });
+                        return Err(GraphError::BadBranch {
+                            block: bid,
+                            from: sid,
+                        });
                     }
                 }
             }
@@ -419,7 +444,12 @@ impl Program {
         let mut s = String::from("digraph ttda {\n  rankdir=TB;\n");
         for (bi, block) in self.blocks.iter().enumerate() {
             let _ = writeln!(s, "  subgraph cluster_{bi} {{");
-            let _ = writeln!(s, "    label=\"{} ({})\";", block.name, CodeBlockId(bi as u32));
+            let _ = writeln!(
+                s,
+                "    label=\"{} ({})\";",
+                block.name,
+                CodeBlockId(bi as u32)
+            );
             for (si, ins) in block.instrs.iter().enumerate() {
                 let label = format!("{:?}", ins.op)
                     .replace('"', "'")
@@ -450,7 +480,11 @@ mod tests {
 
     fn one_block(instrs: Vec<Instruction>, params: Vec<InstrId>) -> Program {
         Program {
-            blocks: vec![CodeBlock { name: "t".into(), instrs, params }],
+            blocks: vec![CodeBlock {
+                name: "t".into(),
+                instrs,
+                params,
+            }],
             main: CodeBlockId(0),
         }
     }
@@ -460,7 +494,14 @@ mod tests {
         assert_eq!(OpCode::Identity.arity(), 1);
         assert_eq!(OpCode::Alu(AluOp::Add).arity(), 2);
         assert_eq!(OpCode::IStore.arity(), 3);
-        assert_eq!(OpCode::Apply { callee: CodeBlockId(0), argc: 4 }.arity(), 4);
+        assert_eq!(
+            OpCode::Apply {
+                callee: CodeBlockId(0),
+                argc: 4
+            }
+            .arity(),
+            4
+        );
         assert!(OpCode::Alu(AluOp::Add).is_alu_work());
         assert!(!OpCode::Switch.is_alu_work());
     }
@@ -475,7 +516,11 @@ mod tests {
     #[test]
     fn validate_catches_dangling_dest() {
         let mut i = Instruction::new(OpCode::Identity);
-        i.dests.push(Dest { instr: InstrId(9), port: Port(0), when: DestBranch::Always });
+        i.dests.push(Dest {
+            instr: InstrId(9),
+            port: Port(0),
+            when: DestBranch::Always,
+        });
         let p = one_block(vec![i], vec![]);
         assert!(matches!(p.validate(), Err(GraphError::BadDest { .. })));
     }
@@ -483,7 +528,11 @@ mod tests {
     #[test]
     fn validate_catches_bad_port_and_literal_collision() {
         let mut src = Instruction::new(OpCode::Identity);
-        src.dests.push(Dest { instr: InstrId(1), port: Port(5), when: DestBranch::Always });
+        src.dests.push(Dest {
+            instr: InstrId(1),
+            port: Port(5),
+            when: DestBranch::Always,
+        });
         let tgt = Instruction::new(OpCode::Alu(AluOp::Add));
         let p = one_block(vec![src.clone(), tgt], vec![]);
         assert!(matches!(p.validate(), Err(GraphError::BadPort { .. })));
@@ -498,13 +547,21 @@ mod tests {
     #[test]
     fn validate_checks_switch_branches() {
         let mut sw = Instruction::new(OpCode::Switch);
-        sw.dests.push(Dest { instr: InstrId(1), port: Port(0), when: DestBranch::Always });
+        sw.dests.push(Dest {
+            instr: InstrId(1),
+            port: Port(0),
+            when: DestBranch::Always,
+        });
         let sink = Instruction::new(OpCode::Sink);
         let p = one_block(vec![sw, sink], vec![]);
         assert!(matches!(p.validate(), Err(GraphError::BadBranch { .. })));
 
         let mut id = Instruction::new(OpCode::Identity);
-        id.dests.push(Dest { instr: InstrId(1), port: Port(0), when: DestBranch::IfTrue });
+        id.dests.push(Dest {
+            instr: InstrId(1),
+            port: Port(0),
+            when: DestBranch::IfTrue,
+        });
         let sink = Instruction::new(OpCode::Sink);
         let p = one_block(vec![id, sink], vec![]);
         assert!(matches!(p.validate(), Err(GraphError::BadBranch { .. })));
@@ -512,7 +569,10 @@ mod tests {
 
     #[test]
     fn validate_checks_apply() {
-        let apply = Instruction::new(OpCode::Apply { callee: CodeBlockId(7), argc: 1 });
+        let apply = Instruction::new(OpCode::Apply {
+            callee: CodeBlockId(7),
+            argc: 1,
+        });
         let p = one_block(vec![apply], vec![]);
         assert!(matches!(p.validate(), Err(GraphError::BadApply { .. })));
     }
@@ -524,15 +584,33 @@ mod tests {
             instrs: vec![Instruction::new(OpCode::Identity)],
             params: vec![InstrId(0)],
         };
-        let apply = Instruction::new(OpCode::Apply { callee: CodeBlockId(1), argc: 1 });
-        let main = CodeBlock { name: "m".into(), instrs: vec![apply], params: vec![] };
-        let p = Program { blocks: vec![main, callee], main: CodeBlockId(0) };
-        assert_eq!(p.validate(), Err(GraphError::NoReturn { callee: CodeBlockId(1) }));
+        let apply = Instruction::new(OpCode::Apply {
+            callee: CodeBlockId(1),
+            argc: 1,
+        });
+        let main = CodeBlock {
+            name: "m".into(),
+            instrs: vec![apply],
+            params: vec![],
+        };
+        let p = Program {
+            blocks: vec![main, callee],
+            main: CodeBlockId(0),
+        };
+        assert_eq!(
+            p.validate(),
+            Err(GraphError::NoReturn {
+                callee: CodeBlockId(1)
+            })
+        );
     }
 
     #[test]
     fn validate_bad_main_and_param() {
-        let p = Program { blocks: vec![], main: CodeBlockId(0) };
+        let p = Program {
+            blocks: vec![],
+            main: CodeBlockId(0),
+        };
         assert_eq!(p.validate(), Err(GraphError::BadMain));
         let p = one_block(vec![], vec![InstrId(3)]);
         assert!(matches!(p.validate(), Err(GraphError::BadParam { .. })));

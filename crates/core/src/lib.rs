@@ -61,13 +61,15 @@ pub mod wire;
 pub use builder::{BuildError, GraphBuilder, NodeId};
 pub use context::{ContextManager, ContextRecord};
 pub use emu::{EmuResult, Emulator};
-pub use machine::Machine;
-pub use matching::MatchingStore;
 pub use graph::{
     CodeBlock, CodeBlockId, Dest, DestBranch, GraphError, InstrId, Instruction, OpCode, Program,
 };
+pub use machine::Machine;
+pub use matching::MatchingStore;
 pub use tag::{ActivityName, Ctx, Iter, Port, Token};
-pub use timed::{MachineStats, MappingPolicy, StructPlacement, TimedConfig, TimedMachine, TimedResult};
+pub use timed::{
+    MachineStats, MappingPolicy, StructPlacement, TimedConfig, TimedMachine, TimedResult,
+};
 pub use value::{AluOp, CmpOp, StructRef, TypeError, Value};
 
 use std::error::Error;
@@ -114,7 +116,10 @@ impl fmt::Display for ExecError {
                 write!(f, "program takes {expected} inputs, got {got}")
             }
             ExecError::Deadlock { stranded } => {
-                write!(f, "deadlock: {stranded} tokens stranded in waiting-matching")
+                write!(
+                    f,
+                    "deadlock: {stranded} tokens stranded in waiting-matching"
+                )
             }
             ExecError::OutOfFuel => write!(f, "execution exceeded its fuel"),
         }

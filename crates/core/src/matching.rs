@@ -23,8 +23,8 @@
 //! order. `tests/properties.rs` drives it against a `HashMap` reference
 //! model to pin that equivalence down.
 //!
-//! The hash here is deliberately *not* the shard hash in
-//! [`par`](crate::par): workers are chosen by mix13 over a lossy 48-bit
+//! The hash here is deliberately *not* the shard hash in the (private)
+//! `par` module: workers are chosen by mix13 over a lossy 48-bit
 //! packing, while slots use fibonacci folds of the full 128-bit name.
 //! If the two agreed, every key routed to one shard would also land in
 //! one probe chain of that shard's table, degenerating to a linked
@@ -90,10 +90,7 @@ impl PackedName {
 /// keys owned by one shard still spreads over that shard's buckets.
 #[inline]
 fn slot_hash(key: PackedName) -> u64 {
-    let mut x = key
-        .hi
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .rotate_left(32)
+    let mut x = key.hi.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(32)
         ^ key.lo.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
     x = (x ^ (x >> 30)).wrapping_mul(0x2545_f491_4f6c_dd1d);
     x ^ (x >> 28)
@@ -116,19 +113,19 @@ struct Entry {
     spill: Vec<Option<Value>>,
 }
 
-/// A complete operand set, inline up to [`INLINE`] values — the common
-/// case never touches the heap. Dereferences to `&[Value]` for the
-/// executor.
+/// A complete operand set, inline up to `INLINE` (3) values — the
+/// common case never touches the heap. Dereferences to `&[Value]` for
+/// the executor.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Operands {
-    /// At most [`INLINE`] operands, stored in place.
+    /// At most `INLINE` operands, stored in place.
     Inline {
         /// Number of live values in `vals`.
         len: u8,
         /// The operand values, port order, padded with `Unit`.
         vals: [Value; INLINE],
     },
-    /// More than [`INLINE`] operands (wide `Apply`).
+    /// More than `INLINE` operands (wide `Apply`).
     Heap(Vec<Value>),
 }
 
@@ -136,7 +133,10 @@ impl Operands {
     /// A single operand, allocation-free (the `nt ≤ 1` bypass path).
     #[inline]
     pub fn one(v: Value) -> Self {
-        Operands::Inline { len: 1, vals: [v, Value::Unit, Value::Unit] }
+        Operands::Inline {
+            len: 1,
+            vals: [v, Value::Unit, Value::Unit],
+        }
     }
 }
 
@@ -336,9 +336,16 @@ impl MatchingStore {
     /// storage (capacity retained) for recycling.
     fn take_operands(e: &mut Entry) -> Operands {
         if (e.arity as usize) <= INLINE {
-            Operands::Inline { len: e.arity, vals: e.slots }
+            Operands::Inline {
+                len: e.arity,
+                vals: e.slots,
+            }
         } else {
-            let vals = e.spill.iter().map(|o| o.expect("all ports filled")).collect();
+            let vals = e
+                .spill
+                .iter()
+                .map(|o| o.expect("all ports filled"))
+                .collect();
             e.spill.clear();
             Operands::Heap(vals)
         }
@@ -371,7 +378,9 @@ impl MatchingStore {
         if (arity as usize) > INLINE {
             // Indexing panics on a literal port ≥ arity, as the
             // reference model's closure did; the builder validates this.
-            self.entries[idx as usize].spill.resize(arity as usize, None);
+            self.entries[idx as usize]
+                .spill
+                .resize(arity as usize, None);
         }
         if let Some((p, lv)) = literal {
             Self::fill(&mut self.entries[idx as usize], p, lv);
@@ -427,7 +436,12 @@ mod tests {
     use crate::tag::{Ctx, Iter};
 
     fn tag(u: u32, c: u32, s: u32, i: u32) -> ActivityName {
-        ActivityName { u: Ctx(u), c: CodeBlockId(c), s: InstrId(s), i: Iter(i) }
+        ActivityName {
+            u: Ctx(u),
+            c: CodeBlockId(c),
+            s: InstrId(s),
+            i: Iter(i),
+        }
     }
 
     #[test]
@@ -440,7 +454,10 @@ mod tests {
     fn two_operand_match() {
         let mut m = MatchingStore::new();
         let t = tag(1, 0, 4, 1);
-        assert_eq!(m.absorb(t, 2, None, Port(0), Value::Int(3)), Ok(Absorbed::Parked));
+        assert_eq!(
+            m.absorb(t, 2, None, Port(0), Value::Int(3)),
+            Ok(Absorbed::Parked)
+        );
         assert_eq!(m.len(), 1);
         let r = m.absorb(t, 2, None, Port(1), Value::Int(9)).unwrap();
         match r {
@@ -457,7 +474,13 @@ mod tests {
         // arity 2 with a literal at port 1: the single token completes
         // the set without the store's occupancy ever rising.
         let r = m
-            .absorb(t, 2, Some((Port(1), Value::Int(40))), Port(0), Value::Int(2))
+            .absorb(
+                t,
+                2,
+                Some((Port(1), Value::Int(40))),
+                Port(0),
+                Value::Int(2),
+            )
             .unwrap();
         match r {
             Absorbed::Enabled(ops) => assert_eq!(&*ops, &[Value::Int(2), Value::Int(40)]),
@@ -470,10 +493,19 @@ mod tests {
     fn port_overwrite_is_idempotent_on_occupancy() {
         let mut m = MatchingStore::new();
         let t = tag(1, 0, 4, 1);
-        assert_eq!(m.absorb(t, 3, None, Port(0), Value::Int(1)), Ok(Absorbed::Parked));
-        assert_eq!(m.absorb(t, 3, None, Port(0), Value::Int(2)), Ok(Absorbed::Parked));
+        assert_eq!(
+            m.absorb(t, 3, None, Port(0), Value::Int(1)),
+            Ok(Absorbed::Parked)
+        );
+        assert_eq!(
+            m.absorb(t, 3, None, Port(0), Value::Int(2)),
+            Ok(Absorbed::Parked)
+        );
         assert_eq!(m.len(), 1);
-        assert_eq!(m.absorb(t, 3, None, Port(1), Value::Int(3)), Ok(Absorbed::Parked));
+        assert_eq!(
+            m.absorb(t, 3, None, Port(1), Value::Int(3)),
+            Ok(Absorbed::Parked)
+        );
         let r = m.absorb(t, 3, None, Port(2), Value::Int(4)).unwrap();
         match r {
             Absorbed::Enabled(ops) => {
@@ -487,7 +519,10 @@ mod tests {
     fn bad_port_is_rejected_without_parking() {
         let mut m = MatchingStore::new();
         let t = tag(1, 0, 4, 1);
-        assert_eq!(m.absorb(t, 2, None, Port(2), Value::Int(1)), Err(PortOutOfRange));
+        assert_eq!(
+            m.absorb(t, 2, None, Port(2), Value::Int(1)),
+            Err(PortOutOfRange)
+        );
         assert_eq!(m.len(), 0);
     }
 
@@ -510,7 +545,10 @@ mod tests {
         }
         assert_eq!(m.len(), 0);
         // The spill Vec is recycled with its capacity on the free list.
-        assert_eq!(m.absorb(t, 6, None, Port(0), Value::Int(1)), Ok(Absorbed::Parked));
+        assert_eq!(
+            m.absorb(t, 6, None, Port(0), Value::Int(1)),
+            Ok(Absorbed::Parked)
+        );
     }
 
     #[test]
@@ -518,7 +556,9 @@ mod tests {
         let mut m = MatchingStore::new();
         let n = 500u32;
         for k in 0..n {
-            let r = m.absorb(tag(k, 1, 2, 1), 2, None, Port(0), Value::Int(k as i64)).unwrap();
+            let r = m
+                .absorb(tag(k, 1, 2, 1), 2, None, Port(0), Value::Int(k as i64))
+                .unwrap();
             assert_eq!(r, Absorbed::Parked, "key {k}");
         }
         assert_eq!(m.len(), n as usize);
@@ -531,15 +571,22 @@ mod tests {
         // Remove every third key (forces backward shifts), then verify
         // the rest still match correctly.
         for k in (0..n).step_by(3) {
-            let r = m.absorb(tag(k, 1, 2, 1), 2, None, Port(1), Value::Int(-1)).unwrap();
+            let r = m
+                .absorb(tag(k, 1, 2, 1), 2, None, Port(1), Value::Int(-1))
+                .unwrap();
             assert!(matches!(r, Absorbed::Enabled(_)), "key {k}");
         }
         for k in 0..n {
             if k % 3 == 0 {
                 continue;
             }
-            match m.absorb(tag(k, 1, 2, 1), 2, None, Port(1), Value::Int(-1)).unwrap() {
-                Absorbed::Enabled(ops) => assert_eq!(&*ops, &[Value::Int(k as i64), Value::Int(-1)]),
+            match m
+                .absorb(tag(k, 1, 2, 1), 2, None, Port(1), Value::Int(-1))
+                .unwrap()
+            {
+                Absorbed::Enabled(ops) => {
+                    assert_eq!(&*ops, &[Value::Int(k as i64), Value::Int(-1)])
+                }
                 other => panic!("key {k}: expected match, got {other:?}"),
             }
         }
@@ -564,7 +611,10 @@ mod tests {
             let h = slot_hash(PackedName::pack(t));
             buckets.insert(h as usize & (1024 - 1));
         }
-        assert!(in_shard > 500, "shard hash should own ~1/4 of keys, got {in_shard}");
+        assert!(
+            in_shard > 500,
+            "shard hash should own ~1/4 of keys, got {in_shard}"
+        );
         // With ~1000 keys over 1024 buckets, a degenerate correlation
         // would collapse to a handful of buckets; a sound hash fills
         // most of the table (E[distinct] ≈ 1024·(1−e^{−1}) ≈ 647).

@@ -125,7 +125,11 @@ fn optimize_block(block: &CodeBlock, stats: &mut OptStats) -> CodeBlock {
             if dead[i] || is_param(i) {
                 continue;
             }
-            let live_dests = ins.dests.iter().filter(|d| !dead[d.instr.0 as usize]).count();
+            let live_dests = ins
+                .dests
+                .iter()
+                .filter(|d| !dead[d.instr.0 as usize])
+                .count();
             if live_dests == 0 && is_pure(&ins.op) {
                 dead[i] = true;
                 changed = true;
@@ -227,8 +231,14 @@ mod tests {
             assert_equivalent(&p, &opt, &[Value::Int(n)]);
         }
         // And the optimized program executes fewer firings.
-        let before = Emulator::new(&p).run(&[Value::Int(50)]).unwrap().instructions;
-        let after = Emulator::new(&opt).run(&[Value::Int(50)]).unwrap().instructions;
+        let before = Emulator::new(&p)
+            .run(&[Value::Int(50)])
+            .unwrap()
+            .instructions;
+        let after = Emulator::new(&opt)
+            .run(&[Value::Int(50)])
+            .unwrap()
+            .instructions;
         assert!(after < before, "{after} !< {before}");
     }
 

@@ -83,10 +83,8 @@ fn mix(mut x: u64) -> u64 {
 /// shard's table (`matching::tests::shard_resident_keys_spread_over_buckets`
 /// guards the independence).
 pub(crate) fn worker_of(tag: ActivityName, workers: usize) -> usize {
-    let packed = (tag.u.0 as u64) << 48
-        | (tag.c.0 as u64) << 36
-        | (tag.s.0 as u64) << 16
-        | tag.i.0 as u64;
+    let packed =
+        (tag.u.0 as u64) << 48 | (tag.c.0 as u64) << 36 | (tag.s.0 as u64) << 16 | tag.i.0 as u64;
     (mix(packed) % workers as u64) as usize
 }
 
@@ -358,14 +356,20 @@ fn drive(
                         let id = next_struct_id;
                         next_struct_id += 1;
                         creates[shard_of(id, threads)].push((id, len));
-                        let p = Value::Ptr(StructRef { id, len: len as u32 });
+                        let p = Value::Ptr(StructRef {
+                            id,
+                            len: len as u32,
+                        });
                         for (rtag, port) in dests {
                             alloc_tokens.push(Token::new(rtag, port, p));
                         }
                     }
-                    Some(action @ StructAction::Fetch { .. }) | Some(action @ StructAction::Store { .. }) => {
+                    Some(action @ StructAction::Fetch { .. })
+                    | Some(action @ StructAction::Store { .. }) => {
                         let ptr = match &action {
-                            StructAction::Fetch { ptr, .. } | StructAction::Store { ptr, .. } => *ptr,
+                            StructAction::Fetch { ptr, .. } | StructAction::Store { ptr, .. } => {
+                                *ptr
+                            }
                             StructAction::Alloc { .. } => unreachable!(),
                         };
                         ops[shard_of(ptr.id, threads)].push(StructOp {
@@ -376,7 +380,11 @@ fn drive(
                     }
                 }
                 merged.push((rec.delta, Some(slots.len())));
-                slots.push(Slot { index: i as u32, fired, alloc_tokens });
+                slots.push(Slot {
+                    index: i as u32,
+                    fired,
+                    alloc_tokens,
+                });
             }
         }
 
@@ -440,7 +448,13 @@ fn drive(
             waiting_total = (waiting_total as isize + delta) as usize;
             peak_matching = peak_matching.max(waiting_total);
             let Some(si) = slot_idx else {
-                trace(now, &TraceEvent::MatchWait { pe: 0, occupancy: waiting_total as u64 });
+                trace(
+                    now,
+                    &TraceEvent::MatchWait {
+                        pe: 0,
+                        occupancy: waiting_total as u64,
+                    },
+                );
                 continue;
             };
             let slot = &mut slots[si];
@@ -448,7 +462,14 @@ fn drive(
             if slot.fired.is_alu {
                 alu_ops += 1;
             }
-            trace(now, &TraceEvent::MatchFire { pe: 0, alu: slot.fired.is_alu, busy: 0 });
+            trace(
+                now,
+                &TraceEvent::MatchFire {
+                    pe: 0,
+                    alu: slot.fired.is_alu,
+                    busy: 0,
+                },
+            );
             if let Some((s, v)) = slot.fired.output.take() {
                 outputs.insert(s, v);
             }
@@ -473,7 +494,12 @@ fn drive(
         peak_deferred = peak_deferred.max(deferred_by_worker.iter().sum());
         if fired_count > 0 {
             profile.push(fired_count);
-            trace(now, &TraceEvent::WaveEnd { fired: fired_count as u64 });
+            trace(
+                now,
+                &TraceEvent::WaveEnd {
+                    fired: fired_count as u64,
+                },
+            );
             now = now.saturating_add(Cycle(1));
         }
         wave = next;
@@ -575,7 +601,11 @@ fn match_and_execute(
                 }
             }
         };
-        recs.push(TokRec { index, delta, outcome });
+        recs.push(TokRec {
+            index,
+            delta,
+            outcome,
+        });
     }
     WaveReply { recs, err }
 }
@@ -606,7 +636,15 @@ fn apply_struct_ops(
     let mut deferred = 0u64;
     let mut writes = 0u64;
     for op in ops {
-        match apply_one(shard, op, now, traced, &mut immediate, &mut deferred, &mut writes) {
+        match apply_one(
+            shard,
+            op,
+            now,
+            traced,
+            &mut immediate,
+            &mut deferred,
+            &mut writes,
+        ) {
             Ok(out) => outs.push(out),
             Err((i, e)) => {
                 err = Some((i, e));
@@ -664,19 +702,38 @@ fn apply_one(
                         *immediate += 1;
                         out.tokens.push(Token::new(rtag, port, v));
                         if traced {
-                            out.traces.push(now, TraceEvent::IStoreRead { module: ptr.id, immediate: true });
+                            out.traces.push(
+                                now,
+                                TraceEvent::IStoreRead {
+                                    module: ptr.id,
+                                    immediate: true,
+                                },
+                            );
                         }
                     }
                     ReadOutcome::Deferred => {
                         *deferred += 1;
                         if traced {
-                            out.traces.push(now, TraceEvent::IStoreRead { module: ptr.id, immediate: false });
+                            out.traces.push(
+                                now,
+                                TraceEvent::IStoreRead {
+                                    module: ptr.id,
+                                    immediate: false,
+                                },
+                            );
                             let depth = shard
                                 .store(ptr.id)
                                 .expect("structure present")
                                 .deferred_count(Addr(idx))
-                                .map_err(|e| fail(e.into()))? as u64;
-                            out.traces.push(now, TraceEvent::DeferEnqueue { module: ptr.id, depth });
+                                .map_err(|e| fail(e.into()))?
+                                as u64;
+                            out.traces.push(
+                                now,
+                                TraceEvent::DeferEnqueue {
+                                    module: ptr.id,
+                                    depth,
+                                },
+                            );
                             if before != Presence::Deferred {
                                 out.traces.push(
                                     now,
@@ -692,7 +749,12 @@ fn apply_one(
                 }
             }
         }
-        StructAction::Store { ptr, idx, value, dests } => {
+        StructAction::Store {
+            ptr,
+            idx,
+            value,
+            dests,
+        } => {
             let before = if traced {
                 shard
                     .store(ptr.id)
@@ -702,13 +764,19 @@ fn apply_one(
             } else {
                 Presence::Empty
             };
+            // Released readers stream straight into the reply's token
+            // buffer (the packed store's zero-allocation release path).
+            let tokens = &mut out.tokens;
             let released = shard
-                .write(ptr.id, Addr(idx), value)
+                .write_with(ptr.id, Addr(idx), value, |(rtag, port)| {
+                    tokens.push(Token::new(rtag, port, value));
+                })
                 .ok_or_else(|| fail(dangling(tag, ptr)))?
                 .map_err(|e| fail(e.into()))?;
             *writes += 1;
             if traced {
-                out.traces.push(now, TraceEvent::IStoreWrite { module: ptr.id });
+                out.traces
+                    .push(now, TraceEvent::IStoreWrite { module: ptr.id });
                 out.traces.push(
                     now,
                     TraceEvent::Presence {
@@ -717,15 +785,15 @@ fn apply_one(
                         to: PresenceState::Present,
                     },
                 );
-                if !released.is_empty() {
+                if released > 0 {
                     out.traces.push(
                         now,
-                        TraceEvent::DeferRelease { module: ptr.id, released: released.len() as u64 },
+                        TraceEvent::DeferRelease {
+                            module: ptr.id,
+                            released: released as u64,
+                        },
                     );
                 }
-            }
-            for (rtag, port) in released {
-                out.tokens.push(Token::new(rtag, port, value));
             }
             for (rtag, port) in dests {
                 out.tokens.push(Token::new(rtag, port, Value::Unit));

@@ -17,6 +17,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use ttda_mem::{Addr, IStructureError, IStructureShard, Presence};
 use ttda_net::{Fabric, FabricConfig, Ideal, NodeId, Topology};
 use ttda_sim::{Cycle, EventQueue};
 use ttda_trace::{PresenceState, SharedSink, TraceEvent};
@@ -185,6 +186,21 @@ pub struct TimedResult {
     pub stats: MachineStats,
 }
 
+/// Surfaces a module-local store error with structure-global
+/// coordinates: the per-module stores work in local cells, but every
+/// other engine reports the element index the program actually used.
+fn globalize(e: IStructureError, ptr: StructRef, idx: usize) -> ExecError {
+    ExecError::IStructure(match e {
+        IStructureError::OutOfRange { .. } => IStructureError::OutOfRange {
+            addr: Addr(idx),
+            size: ptr.len as usize,
+        },
+        IStructureError::AlreadyWritten { .. } => {
+            IStructureError::AlreadyWritten { addr: Addr(idx) }
+        }
+    })
+}
+
 #[derive(Debug)]
 enum Ev {
     /// A `d=0` token reaches a PE's input.
@@ -204,15 +220,13 @@ struct PeState {
     alu_busy: Cycle,
 }
 
-#[derive(Debug)]
-enum Cell {
-    Present(Value),
-    Deferred(Vec<(ActivityName, Port)>),
-}
-
+/// One I-structure storage module: its slice of every structure (a
+/// lazily-materialized [`IStructureShard`] over the packed store — the
+/// same storage engine the emulator and the parallel backend run on)
+/// plus its single service port.
 #[derive(Debug, Default)]
 struct ModState {
-    cells: HashMap<(u32, u32), Cell>,
+    store: IStructureShard<Value, (ActivityName, Port)>,
     port_free: Cycle,
 }
 
@@ -319,12 +333,10 @@ impl<T: Topology> TimedMachine<T> {
         let h = match self.config.mapping {
             MappingPolicy::ByIteration => mix((tag.u.0 as u64) << 32 | tag.i.0 as u64),
             MappingPolicy::ByContext => mix(tag.u.0 as u64),
-            MappingPolicy::Spread => mix(
-                (tag.u.0 as u64) << 48
-                    | (tag.c.0 as u64) << 36
-                    | (tag.s.0 as u64) << 16
-                    | tag.i.0 as u64,
-            ),
+            MappingPolicy::Spread => mix((tag.u.0 as u64) << 48
+                | (tag.c.0 as u64) << 36
+                | (tag.s.0 as u64) << 16
+                | tag.i.0 as u64),
         };
         (h % self.pes() as u64) as usize
     }
@@ -333,6 +345,23 @@ impl<T: Topology> TimedMachine<T> {
         match self.config.placement {
             StructPlacement::Interleaved => (ptr.id as usize + idx) % self.pes(),
             StructPlacement::SingleModule => ptr.id as usize % self.pes(),
+        }
+    }
+
+    /// The owning module's (local cell, local slice size) for element
+    /// `idx` of `ptr`. Interleaved placement strides elements round-robin
+    /// across modules, so a module holds every `pes`-th element and the
+    /// local index is `idx / pes`; a single-module structure maps 1:1.
+    /// Bounds are enforced at slice granularity (`len.div_ceil(pes)`
+    /// cells per module), which catches out-of-range indices the old
+    /// per-cell hash map silently accepted.
+    fn local_slot(&self, ptr: StructRef, idx: usize) -> (Addr, usize) {
+        match self.config.placement {
+            StructPlacement::Interleaved => {
+                let n = self.pes();
+                (Addr(idx / n), (ptr.len as usize).div_ceil(n))
+            }
+            StructPlacement::SingleModule => (Addr(idx), ptr.len as usize),
         }
     }
 
@@ -412,7 +441,13 @@ impl<T: Topology> TimedMachine<T> {
                     i: Iter::ONE,
                 };
                 let pe = self.pe_of(tag);
-                q.push(Cycle::ZERO, Ev::Deliver { pe, token: Token::new(tag, Port(0), *v) });
+                q.push(
+                    Cycle::ZERO,
+                    Ev::Deliver {
+                        pe,
+                        token: Token::new(tag, Port(0), *v),
+                    },
+                );
                 trace(Cycle::ZERO, &TraceEvent::TokenEmit { pe: pe as u32 });
             }
         }
@@ -447,10 +482,13 @@ impl<T: Topology> TimedMachine<T> {
                     if sink.is_some() {
                         trace(now, &TraceEvent::TokenConsume { pe: pe as u32 });
                         if enabled.is_none() {
-                            trace(now, &TraceEvent::MatchWait {
-                                pe: pe as u32,
-                                occupancy: pes[pe].waiting.len() as u64,
-                            });
+                            trace(
+                                now,
+                                &TraceEvent::MatchWait {
+                                    pe: pe as u32,
+                                    occupancy: pes[pe].waiting.len() as u64,
+                                },
+                            );
                         }
                     }
                     if let Some((tag, ops)) = enabled {
@@ -458,7 +496,9 @@ impl<T: Topology> TimedMachine<T> {
                             .program
                             .block(tag.c)
                             .and_then(|b| b.instr(tag.s))
-                            .ok_or_else(|| ExecError::BadTarget { activity: tag.to_string() })?
+                            .ok_or_else(|| ExecError::BadTarget {
+                                activity: tag.to_string(),
+                            })?
                             .clone();
                         instructions += 1;
                         let eff = execute(&self.program, &mut ctx, tag, &instr, &ops)?;
@@ -470,11 +510,14 @@ impl<T: Topology> TimedMachine<T> {
                         let emit_count = eff.tokens.len() as u64;
                         busy += cfg.output_time.saturating_mul(emit_count);
                         let done = now + busy;
-                        trace(now, &TraceEvent::MatchFire {
-                            pe: pe as u32,
-                            alu: eff.is_alu,
-                            busy: busy.as_u64(),
-                        });
+                        trace(
+                            now,
+                            &TraceEvent::MatchFire {
+                                pe: pe as u32,
+                                alu: eff.is_alu,
+                                busy: busy.as_u64(),
+                            },
+                        );
 
                         for t in eff.tokens {
                             let dest = self.pe_of(t.tag);
@@ -483,8 +526,7 @@ impl<T: Topology> TimedMachine<T> {
                                 q.push(done + cfg.local_delay, Ev::Deliver { pe: dest, token: t });
                             } else {
                                 tokens_remote += 1;
-                                let arrive =
-                                    self.fabric.send(done, NodeId(pe), NodeId(dest));
+                                let arrive = self.fabric.send(done, NodeId(pe), NodeId(dest));
                                 q.push(arrive, Ev::Deliver { pe: dest, token: t });
                             }
                         }
@@ -501,7 +543,14 @@ impl<T: Topology> TimedMachine<T> {
                                         len: len as u32,
                                     });
                                     next_struct += 1;
-                                    self.route_value(&mut q, done, pe, ptr, &dests, &mut tokens_remote);
+                                    self.route_value(
+                                        &mut q,
+                                        done,
+                                        pe,
+                                        ptr,
+                                        &dests,
+                                        &mut tokens_remote,
+                                    );
                                 }
                                 StructAction::Fetch { ptr, idx, .. }
                                 | StructAction::Store { ptr, idx, .. } => {
@@ -531,112 +580,168 @@ impl<T: Topology> TimedMachine<T> {
                 }
                 Ev::IsOp { module, action } => match action {
                     StructAction::Fetch { ptr, idx, dests } => {
+                        let (local, size) = self.local_slot(ptr, idx);
                         let m = &mut modules[module];
                         let start = now.max(m.port_free);
                         let done = start + cfg.istore_access;
                         m.port_free = done;
-                        match m.cells.entry((ptr.id, idx as u32)) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
-                                Cell::Present(v) => {
-                                    is_immediate += 1;
-                                    let v = *v;
-                                    trace(done, &TraceEvent::IStoreRead {
-                                        module: module as u32,
-                                        immediate: true,
-                                    });
-                                    self.route_value(&mut q, done, module, v, &dests, &mut tokens_remote);
-                                }
-                                Cell::Deferred(list) => {
-                                    is_deferred += 1;
-                                    list.extend(dests);
-                                    if sink.is_some() {
-                                        trace(done, &TraceEvent::IStoreRead {
-                                            module: module as u32,
-                                            immediate: false,
-                                        });
-                                        trace(done, &TraceEvent::DeferEnqueue {
-                                            module: module as u32,
-                                            depth: list.len() as u64,
-                                        });
-                                    }
-                                }
-                            },
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                is_deferred += 1;
-                                let depth = dests.len() as u64;
-                                e.insert(Cell::Deferred(dests));
-                                if sink.is_some() {
-                                    trace(done, &TraceEvent::IStoreRead {
+                        m.store.ensure(ptr.id, size);
+                        let before = m
+                            .store
+                            .store(ptr.id)
+                            .expect("just ensured")
+                            .presence(local)
+                            .map_err(|e| globalize(e, ptr, idx))?;
+                        if before == Presence::Present {
+                            is_immediate += 1;
+                            let v = *m
+                                .store
+                                .store(ptr.id)
+                                .expect("just ensured")
+                                .peek(local)
+                                .expect("present cell holds a value");
+                            trace(
+                                done,
+                                &TraceEvent::IStoreRead {
+                                    module: module as u32,
+                                    immediate: true,
+                                },
+                            );
+                            self.route_value(&mut q, done, module, v, &dests, &mut tokens_remote);
+                        } else {
+                            is_deferred += 1;
+                            for reader in dests {
+                                m.store
+                                    .read(ptr.id, local, reader)
+                                    .expect("just ensured")
+                                    .map_err(|e| globalize(e, ptr, idx))?;
+                            }
+                            if sink.is_some() {
+                                let depth = m
+                                    .store
+                                    .store(ptr.id)
+                                    .expect("just ensured")
+                                    .deferred_count(local)
+                                    .map_err(|e| globalize(e, ptr, idx))?;
+                                trace(
+                                    done,
+                                    &TraceEvent::IStoreRead {
                                         module: module as u32,
                                         immediate: false,
-                                    });
-                                    trace(done, &TraceEvent::DeferEnqueue {
+                                    },
+                                );
+                                trace(
+                                    done,
+                                    &TraceEvent::DeferEnqueue {
                                         module: module as u32,
-                                        depth,
-                                    });
-                                    trace(done, &TraceEvent::Presence {
-                                        module: module as u32,
-                                        from: PresenceState::Empty,
-                                        to: PresenceState::Deferred,
-                                    });
+                                        depth: depth as u64,
+                                    },
+                                );
+                                if before == Presence::Empty {
+                                    trace(
+                                        done,
+                                        &TraceEvent::Presence {
+                                            module: module as u32,
+                                            from: PresenceState::Empty,
+                                            to: PresenceState::Deferred,
+                                        },
+                                    );
                                 }
                             }
                         }
                     }
-                    StructAction::Store { ptr, idx, value, dests } => {
+                    StructAction::Store {
+                        ptr,
+                        idx,
+                        value,
+                        dests,
+                    } => {
+                        let (local, size) = self.local_slot(ptr, idx);
                         let m = &mut modules[module];
                         let start = now.max(m.port_free);
                         // Writes cost 2x: presence-bit prefetch (§2.1).
                         let done = start + cfg.istore_access.saturating_mul(2);
                         m.port_free = done;
-                        let prev = m.cells.insert((ptr.id, idx as u32), Cell::Present(value));
+                        m.store.ensure(ptr.id, size);
+                        let before = m
+                            .store
+                            .store(ptr.id)
+                            .expect("just ensured")
+                            .presence(local)
+                            .map_err(|e| globalize(e, ptr, idx))?;
                         is_writes += 1;
-                        // A double write is an error (handled below), so
-                        // only trace the legal transitions.
-                        if sink.is_some() && !matches!(&prev, Some(Cell::Present(_))) {
-                            trace(done, &TraceEvent::IStoreWrite { module: module as u32 });
-                            trace(done, &TraceEvent::Presence {
-                                module: module as u32,
-                                from: match &prev {
-                                    Some(Cell::Deferred(_)) => PresenceState::Deferred,
-                                    _ => PresenceState::Empty,
-                                },
-                                to: PresenceState::Present,
-                            });
-                        }
-                        match prev {
-                            None => {}
-                            Some(Cell::Deferred(readers)) => {
-                                trace(done, &TraceEvent::DeferRelease {
+                        // A double write is an error (surfaced by the
+                        // store below), so only trace legal transitions.
+                        // DeferRelease precedes the released TokenEmits,
+                        // so its count comes from the pre-write depth.
+                        if sink.is_some() && before != Presence::Present {
+                            trace(
+                                done,
+                                &TraceEvent::IStoreWrite {
                                     module: module as u32,
-                                    released: readers.len() as u64,
-                                });
-                                self.route_value(&mut q, done, module, value, &readers, &mut tokens_remote);
-                            }
-                            Some(Cell::Present(old)) => {
-                                // Restore and report the race.
-                                m.cells.insert((ptr.id, idx as u32), Cell::Present(old));
-                                return Err(ExecError::IStructure(
-                                    ttda_mem::IStructureError::AlreadyWritten {
-                                        addr: ttda_mem::Addr(idx),
+                                },
+                            );
+                            trace(
+                                done,
+                                &TraceEvent::Presence {
+                                    module: module as u32,
+                                    from: before.as_trace(),
+                                    to: PresenceState::Present,
+                                },
+                            );
+                            if before == Presence::Deferred {
+                                let depth = m
+                                    .store
+                                    .store(ptr.id)
+                                    .expect("just ensured")
+                                    .deferred_count(local)
+                                    .map_err(|e| globalize(e, ptr, idx))?;
+                                trace(
+                                    done,
+                                    &TraceEvent::DeferRelease {
+                                        module: module as u32,
+                                        released: depth as u64,
                                     },
-                                ));
+                                );
                             }
                         }
-                        self.route_value(&mut q, done, module, Value::Unit, &dests, &mut tokens_remote);
+                        // Released readers stream straight to the router
+                        // (the packed store's zero-allocation release).
+                        m.store
+                            .write_with(ptr.id, local, value, |(tag, port)| {
+                                self.route_one(
+                                    &mut q,
+                                    done,
+                                    module,
+                                    value,
+                                    tag,
+                                    port,
+                                    &mut tokens_remote,
+                                );
+                            })
+                            .expect("just ensured")
+                            .map_err(|e| globalize(e, ptr, idx))?;
+                        self.route_value(
+                            &mut q,
+                            done,
+                            module,
+                            Value::Unit,
+                            &dests,
+                            &mut tokens_remote,
+                        );
                     }
                     StructAction::Alloc { .. } => unreachable!("alloc handled at the PE"),
                 },
             }
         }
 
-        // Quiescent: verify nothing is stranded.
+        // Quiescent: verify nothing is stranded. Deferred *readers* are
+        // counted (not deferred cells), matching the emulator's figure.
         let stranded: usize = pes.iter().map(|p| p.waiting.len()).sum::<usize>()
             + modules
                 .iter()
-                .flat_map(|m| m.cells.values())
-                .filter(|c| matches!(c, Cell::Deferred(_)))
-                .count();
+                .map(|m| m.store.deferred_outstanding())
+                .sum::<usize>();
         if stranded > 0 {
             return Err(ExecError::Deadlock { stranded });
         }
@@ -682,18 +787,36 @@ impl<T: Topology> TimedMachine<T> {
         tokens_remote: &mut u64,
     ) {
         for &(tag, port) in dests {
-            let pe = self.pe_of(tag);
-            let token = Token::new(tag, port, value);
-            if let Some(s) = &self.sink {
-                s.borrow_mut().record(at, &TraceEvent::TokenEmit { pe: pe as u32 });
-            }
-            if pe == from {
-                q.push(at + self.config.local_delay, Ev::Deliver { pe, token });
-            } else {
-                *tokens_remote += 1;
-                let arrive = self.fabric.send(at, NodeId(from), NodeId(pe));
-                q.push(arrive, Ev::Deliver { pe, token });
-            }
+            self.route_one(q, at, from, value, tag, port, tokens_remote);
+        }
+    }
+
+    /// Routes a single token — the streaming unit [`route_value`]
+    /// iterates, and the zero-allocation release path of the packed
+    /// store invokes directly per released reader.
+    #[allow(clippy::too_many_arguments)]
+    fn route_one(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        at: Cycle,
+        from: usize,
+        value: Value,
+        tag: ActivityName,
+        port: Port,
+        tokens_remote: &mut u64,
+    ) {
+        let pe = self.pe_of(tag);
+        let token = Token::new(tag, port, value);
+        if let Some(s) = &self.sink {
+            s.borrow_mut()
+                .record(at, &TraceEvent::TokenEmit { pe: pe as u32 });
+        }
+        if pe == from {
+            q.push(at + self.config.local_delay, Ev::Deliver { pe, token });
+        } else {
+            *tokens_remote += 1;
+            let arrive = self.fabric.send(at, NodeId(from), NodeId(pe));
+            q.push(arrive, Ev::Deliver { pe, token });
         }
     }
 }
@@ -755,8 +878,15 @@ mod tests {
     #[test]
     fn all_mapping_policies_agree_on_results() {
         let (p, expect) = sum_loop_program(15);
-        for mapping in [MappingPolicy::ByIteration, MappingPolicy::ByContext, MappingPolicy::Spread] {
-            let cfg = TimedConfig { mapping, ..TimedConfig::default() };
+        for mapping in [
+            MappingPolicy::ByIteration,
+            MappingPolicy::ByContext,
+            MappingPolicy::Spread,
+        ] {
+            let cfg = TimedConfig {
+                mapping,
+                ..TimedConfig::default()
+            };
             let mut m = TimedMachine::ideal(p.clone(), 4, Cycle(3), cfg);
             let r = m.run(&[Value::Int(15)]).unwrap();
             assert_eq!(r.outputs[&0], expect, "{mapping:?}");
@@ -803,17 +933,24 @@ mod tests {
 
         let (p, expect) = sum_loop_program(25);
         let sink = shared(CountingSink::new());
-        let mut m = TimedMachine::ideal(p, 4, Cycle(3), TimedConfig::default())
-            .with_sink(sink.clone());
+        let mut m =
+            TimedMachine::ideal(p, 4, Cycle(3), TimedConfig::default()).with_sink(sink.clone());
         let r = m.run(&[Value::Int(25)]).unwrap();
         assert_eq!(r.outputs[&0], expect);
         let s = sink.borrow();
         let c = s.as_any().downcast_ref::<CountingSink>().unwrap();
-        assert!(c.token_conservation_holds(), "emitted {} consumed {}",
-            c.tokens_emitted(), c.tokens_consumed());
+        assert!(
+            c.token_conservation_holds(),
+            "emitted {} consumed {}",
+            c.tokens_emitted(),
+            c.tokens_consumed()
+        );
         assert!(c.quiescent());
         assert_eq!(c.tokens_emitted(), r.stats.tokens_delivered);
-        assert_eq!(c.metrics().counter_value("match_fire"), r.stats.instructions);
+        assert_eq!(
+            c.metrics().counter_value("match_fire"),
+            r.stats.instructions
+        );
         // Every remote token and istore packet crossed the traced fabric.
         assert_eq!(c.packets(), r.stats.net_packets);
     }
@@ -857,13 +994,25 @@ mod tests {
     #[test]
     fn fuel_and_horizon_enforced() {
         let (p, _) = sum_loop_program(1000);
-        let cfg = TimedConfig { fuel: 100, ..TimedConfig::default() };
+        let cfg = TimedConfig {
+            fuel: 100,
+            ..TimedConfig::default()
+        };
         let mut m = TimedMachine::ideal(p.clone(), 2, Cycle(1), cfg);
-        assert_eq!(m.run(&[Value::Int(1000)]).unwrap_err(), ExecError::OutOfFuel);
+        assert_eq!(
+            m.run(&[Value::Int(1000)]).unwrap_err(),
+            ExecError::OutOfFuel
+        );
 
-        let cfg = TimedConfig { max_cycles: Cycle(50), ..TimedConfig::default() };
+        let cfg = TimedConfig {
+            max_cycles: Cycle(50),
+            ..TimedConfig::default()
+        };
         let mut m = TimedMachine::ideal(p, 2, Cycle(1), cfg);
-        assert_eq!(m.run(&[Value::Int(1000)]).unwrap_err(), ExecError::OutOfFuel);
+        assert_eq!(
+            m.run(&[Value::Int(1000)]).unwrap_err(),
+            ExecError::OutOfFuel
+        );
     }
 
     #[test]
@@ -899,7 +1048,10 @@ mod tests {
         let mut m = TimedMachine::ideal(p, 1, Cycle(1), TimedConfig::default());
         assert_eq!(
             m.run(&[]).unwrap_err(),
-            ExecError::InputArity { expected: 1, got: 0 }
+            ExecError::InputArity {
+                expected: 1,
+                got: 0
+            }
         );
     }
 
@@ -923,7 +1075,10 @@ mod tests {
         let p = g.finish_program().unwrap();
         let time = |pes: usize| {
             // Spread mapping so independent chains land on distinct PEs.
-            let cfg = TimedConfig { mapping: MappingPolicy::Spread, ..TimedConfig::default() };
+            let cfg = TimedConfig {
+                mapping: MappingPolicy::Spread,
+                ..TimedConfig::default()
+            };
             let mut m = TimedMachine::ideal(p.clone(), pes, Cycle(1), cfg);
             m.run(&[Value::Int(0)]).unwrap().stats.cycles.as_u64()
         };

@@ -268,22 +268,44 @@ mod tests {
 
     #[test]
     fn int_arith() {
-        assert_eq!(AluOp::Add.apply(&Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(AluOp::Sub.apply(&Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(-1));
-        assert_eq!(AluOp::Mul.apply(&Value::Int(4), &Value::Int(3)).unwrap(), Value::Int(12));
-        assert_eq!(AluOp::Div.apply(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(AluOp::Min.apply(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(2));
-        assert_eq!(AluOp::Max.apply(&Value::Int(7), &Value::Int(2)).unwrap(), Value::Int(7));
+        assert_eq!(
+            AluOp::Add.apply(&Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            AluOp::Sub.apply(&Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            AluOp::Mul.apply(&Value::Int(4), &Value::Int(3)).unwrap(),
+            Value::Int(12)
+        );
+        assert_eq!(
+            AluOp::Div.apply(&Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            AluOp::Min.apply(&Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            AluOp::Max.apply(&Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]
     fn mixed_arith_promotes() {
         assert_eq!(
-            AluOp::Add.apply(&Value::Int(1), &Value::Float(0.5)).unwrap(),
+            AluOp::Add
+                .apply(&Value::Int(1), &Value::Float(0.5))
+                .unwrap(),
             Value::Float(1.5)
         );
         assert_eq!(
-            AluOp::Div.apply(&Value::Float(1.0), &Value::Int(4)).unwrap(),
+            AluOp::Div
+                .apply(&Value::Float(1.0), &Value::Int(4))
+                .unwrap(),
             Value::Float(0.25)
         );
     }
@@ -293,23 +315,32 @@ mod tests {
         assert!(AluOp::Div.apply(&Value::Int(1), &Value::Int(0)).is_err());
         // Float division by zero is IEEE infinity, not an error.
         assert_eq!(
-            AluOp::Div.apply(&Value::Float(1.0), &Value::Float(0.0)).unwrap(),
+            AluOp::Div
+                .apply(&Value::Float(1.0), &Value::Float(0.0))
+                .unwrap(),
             Value::Float(f64::INFINITY)
         );
     }
 
     #[test]
     fn comparisons() {
-        assert_eq!(CmpOp::Lt.apply(&Value::Int(1), &Value::Int(2)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            CmpOp::Lt.apply(&Value::Int(1), &Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             CmpOp::Ge.apply(&Value::Float(2.0), &Value::Int(2)).unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            CmpOp::Eq.apply(&Value::Bool(true), &Value::Bool(true)).unwrap(),
+            CmpOp::Eq
+                .apply(&Value::Bool(true), &Value::Bool(true))
+                .unwrap(),
             Value::Bool(true)
         );
-        assert!(CmpOp::Lt.apply(&Value::Bool(true), &Value::Bool(false)).is_err());
+        assert!(CmpOp::Lt
+            .apply(&Value::Bool(true), &Value::Bool(false))
+            .is_err());
         assert!(CmpOp::Eq.apply(&Value::Unit, &Value::Int(1)).is_err());
     }
 
@@ -331,7 +362,10 @@ mod tests {
         assert_eq!(Value::Unit.to_string(), "()");
         assert_eq!(Value::Int(-3).to_string(), "-3");
         assert_eq!(Value::Bool(false).to_string(), "false");
-        assert_eq!(Value::Ptr(StructRef { id: 1, len: 4 }).to_string(), "istruct#1[4]");
+        assert_eq!(
+            Value::Ptr(StructRef { id: 1, len: 4 }).to_string(),
+            "istruct#1[4]"
+        );
         assert_eq!(Value::from(2i64), Value::Int(2));
         assert_eq!(Value::from(0.5), Value::Float(0.5));
         assert_eq!(Value::from(true), Value::Bool(true));

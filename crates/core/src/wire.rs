@@ -126,11 +126,7 @@ pub fn decode_token(bytes: &[u8]) -> Result<(Token, u16, u8), WireError> {
     let nt = take::<1>(bytes, &mut at)?[0];
     let port = Port(take::<1>(bytes, &mut at)?[0]);
     let value = take_value(bytes, &mut at)?;
-    Ok((
-        Token::new(ActivityName { u, c, s, i }, port, value),
-        pe,
-        nt,
-    ))
+    Ok((Token::new(ActivityName { u, c, s, i }, port, value), pe, nt))
 }
 
 /// Encoded size in bits — what the §3 facility's 4 MB/s bit-serial
@@ -181,7 +177,11 @@ mod tests {
     fn truncation_detected_at_every_length() {
         let bytes = encode_token(&tok(Value::Int(5)), 1, 2);
         for cut in 0..bytes.len() {
-            assert_eq!(decode_token(&bytes[..cut]), Err(WireError::Truncated), "cut={cut}");
+            assert_eq!(
+                decode_token(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut={cut}"
+            );
         }
         assert!(decode_token(&bytes).is_ok());
     }

@@ -19,9 +19,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use ttda_core::{
-    AluOp, CmpOp, CodeBlockId, GraphBuilder, NodeId, OpCode, Program, Value,
-};
+use ttda_core::{AluOp, CmpOp, CodeBlockId, GraphBuilder, NodeId, OpCode, Program, Value};
 
 use crate::ast::{BinOp, Binding, Def, Expr, SourceProgram, UnOp};
 use crate::CompileError;
@@ -66,8 +64,7 @@ pub fn compile_ast(sp: &SourceProgram) -> Result<Program, CompileError> {
         cg.compile_def(def)?;
     }
 
-    cg.g
-        .finish_program()
+    cg.g.finish_program()
         .map_err(|e| CompileError::Codegen(e.to_string()))
 }
 
@@ -168,9 +165,11 @@ impl Cg {
                 let v = Self::try_const(e).expect("literal");
                 Ok(self.constant(scope, v))
             }
-            Expr::Var(name) => scope.vars.get(name).copied().ok_or_else(|| {
-                CompileError::Codegen(format!("unknown variable `{name}`"))
-            }),
+            Expr::Var(name) => scope
+                .vars
+                .get(name)
+                .copied()
+                .ok_or_else(|| CompileError::Codegen(format!("unknown variable `{name}`"))),
             Expr::Unary(UnOp::Neg, inner) => {
                 if let Some(v) = Self::try_const(e) {
                     return Ok(self.constant(scope, v));
@@ -213,9 +212,10 @@ impl Cg {
             }
             Expr::If(c, t, el) => self.compile_if(scope, c, t, el),
             Expr::Call(name, args) => {
-                let &(callee, argc) = self.sigs.get(name).ok_or_else(|| {
-                    CompileError::Codegen(format!("unknown function `{name}`"))
-                })?;
+                let &(callee, argc) = self
+                    .sigs
+                    .get(name)
+                    .ok_or_else(|| CompileError::Codegen(format!("unknown function `{name}`")))?;
                 if args.len() != argc {
                     return Err(CompileError::Codegen(format!(
                         "`{name}` takes {argc} arguments, got {}",
@@ -279,9 +279,11 @@ impl Cg {
         idx: &Expr,
         value: &Expr,
     ) -> Result<(), CompileError> {
-        let a = scope.vars.get(target).copied().ok_or_else(|| {
-            CompileError::Codegen(format!("unknown array `{target}`"))
-        })?;
+        let a = scope
+            .vars
+            .get(target)
+            .copied()
+            .ok_or_else(|| CompileError::Codegen(format!("unknown array `{target}`")))?;
         let st = if let Some(iv) = Self::try_const(idx) {
             let st = self.g.instr_lit(OpCode::IStore, 1, iv);
             self.g.wire(a, st, 0);
@@ -571,9 +573,18 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        assert_eq!(run("def main(x) = x + 2 * 3;", &[Value::Int(4)]), Value::Int(10));
-        assert_eq!(run("def main(x) = (x + 2) * 3;", &[Value::Int(4)]), Value::Int(18));
-        assert_eq!(run("def main(x) = -x + 1;", &[Value::Int(4)]), Value::Int(-3));
+        assert_eq!(
+            run("def main(x) = x + 2 * 3;", &[Value::Int(4)]),
+            Value::Int(10)
+        );
+        assert_eq!(
+            run("def main(x) = (x + 2) * 3;", &[Value::Int(4)]),
+            Value::Int(18)
+        );
+        assert_eq!(
+            run("def main(x) = -x + 1;", &[Value::Int(4)]),
+            Value::Int(-3)
+        );
         assert_eq!(
             run("def main(x) = 10.0 / x;", &[Value::Int(4)]),
             Value::Float(2.5)
@@ -587,11 +598,17 @@ mod tests {
             Value::Int(5)
         );
         assert_eq!(
-            run("def main(x) = if x > 0 and x < 10 then 1 else 0;", &[Value::Int(5)]),
+            run(
+                "def main(x) = if x > 0 and x < 10 then 1 else 0;",
+                &[Value::Int(5)]
+            ),
             Value::Int(1)
         );
         assert_eq!(
-            run("def main(x) = if not (x == 3) then 1 else 0;", &[Value::Int(3)]),
+            run(
+                "def main(x) = if not (x == 3) then 1 else 0;",
+                &[Value::Int(3)]
+            ),
             Value::Int(0)
         );
         assert_eq!(
@@ -606,7 +623,10 @@ mod tests {
     #[test]
     fn let_blocks_shadow_sequentially() {
         assert_eq!(
-            run("def main(x) = { y = x + 1; y = y * 2; y };", &[Value::Int(3)]),
+            run(
+                "def main(x) = { y = x + 1; y = y * 2; y };",
+                &[Value::Int(3)]
+            ),
             Value::Int(8)
         );
     }
@@ -659,8 +679,13 @@ mod tests {
                    new x = x + h;
                    new s = s + f(x)
                  return s) * h };";
-        let v = run(src, &[Value::Float(0.0), Value::Float(2.0), Value::Int(200)]);
-        let Value::Float(got) = v else { panic!("float expected, got {v}") };
+        let v = run(
+            src,
+            &[Value::Float(0.0), Value::Float(2.0), Value::Int(200)],
+        );
+        let Value::Float(got) = v else {
+            panic!("float expected, got {v}")
+        };
         assert!((got - 8.0 / 3.0).abs() < 1e-3, "got {got}");
     }
 
@@ -717,7 +742,9 @@ mod tests {
         let r = m
             .run(&[Value::Float(0.0), Value::Float(1.0), Value::Int(50)])
             .unwrap();
-        let Value::Float(pi) = r.outputs[&0] else { panic!() };
+        let Value::Float(pi) = r.outputs[&0] else {
+            panic!()
+        };
         assert!((pi - std::f64::consts::PI).abs() < 1e-2, "got {pi}");
         assert!(r.stats.alu_utilization() > 0.0);
     }
@@ -737,11 +764,17 @@ mod tests {
         check("def f(x) = x; def main(x) = f(x, x);", "takes 1 arguments");
         check("def main() = 1;", "at least one parameter");
         check("def main(x, x) = x;", "duplicate parameter");
-        check("def f(x) = x; def f(x) = x; def main(x) = 1;", "duplicate definition");
+        check(
+            "def f(x) = x; def f(x) = x; def main(x) = 1;",
+            "duplicate definition",
+        );
         check(
             "def main(x) = (initial s = 0 for i from 1 to 3 do new q = 1 return s);",
             "not a loop variable",
         );
-        check("def main(x) = { a = array(2); b[0] <- 1; a[0] };", "unknown array");
+        check(
+            "def main(x) = { a = array(2); b[0] <- 1; a[0] };",
+            "unknown array",
+        );
     }
 }

@@ -157,7 +157,11 @@ impl Parser {
                     if self.eat(TokenKind::Arrow) {
                         let value = self.expr()?;
                         self.expect(TokenKind::Semi, "`;` after store")?;
-                        bindings.push(Binding::Store { target: name, idx, value });
+                        bindings.push(Binding::Store {
+                            target: name,
+                            idx,
+                            value,
+                        });
                         continue;
                     }
                 }
@@ -222,7 +226,11 @@ impl Parser {
                 self.expect(TokenKind::RBracket, "`]`")?;
                 self.expect(TokenKind::Arrow, "`<-`")?;
                 let value = self.expr()?;
-                body.push(Binding::Store { target: name, idx, value });
+                body.push(Binding::Store {
+                    target: name,
+                    idx,
+                    value,
+                });
             } else {
                 return self.err("expected `new` binding or array store in loop body");
             }
@@ -288,14 +296,20 @@ impl Parser {
     fn add_expr(&mut self) -> PResult<Expr> {
         self.binop_chain(
             Self::mul_expr,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
     fn mul_expr(&mut self) -> PResult<Expr> {
         self.binop_chain(
             Self::unary_expr,
-            &[(TokenKind::Star, BinOp::Mul), (TokenKind::Slash, BinOp::Div)],
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+            ],
         )
     }
 
@@ -426,7 +440,13 @@ mod tests {
                new s = s + x
              return s);";
         let sp = parse(src).unwrap();
-        let Expr::Loop { inits, for_clause, body, .. } = &sp.defs[0].body else {
+        let Expr::Loop {
+            inits,
+            for_clause,
+            body,
+            ..
+        } = &sp.defs[0].body
+        else {
             panic!("expected loop");
         };
         assert_eq!(inits.len(), 2);
@@ -441,7 +461,11 @@ mod tests {
         let sp = parse(src).unwrap();
         assert!(matches!(
             sp.defs[0].body,
-            Expr::Loop { while_clause: Some(_), for_clause: None, .. }
+            Expr::Loop {
+                while_clause: Some(_),
+                for_clause: None,
+                ..
+            }
         ));
     }
 

@@ -118,15 +118,16 @@ fn runtime_errors_are_reported_not_panicked() {
 
 #[test]
 fn parse_error_positions_are_useful() {
-    let check_line = |src: &str, line: u32| {
-        match compile(src) {
-            Err(CompileError::Parse { line: l, .. }) => assert_eq!(l, line, "{src}"),
-            other => panic!("expected parse error for {src}, got {other:?}"),
-        }
+    let check_line = |src: &str, line: u32| match compile(src) {
+        Err(CompileError::Parse { line: l, .. }) => assert_eq!(l, line, "{src}"),
+        other => panic!("expected parse error for {src}, got {other:?}"),
     };
     check_line("def main(x) =\nx +;", 2);
     check_line("def main(x =\nx;", 1);
-    check_line("def main(x) = x;\ndef f(y) = (initial s = 1 do new s = 2 return s);", 2);
+    check_line(
+        "def main(x) = x;\ndef f(y) = (initial s = 1 do new s = 2 return s);",
+        2,
+    );
 }
 
 #[test]

@@ -288,6 +288,8 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_endpoint_panics() {
         let mut cm = ConnectionMachine::new(3).unwrap();
-        let _ = cm.run(&[CmInstr::Route { messages: vec![(0, 99)] }]);
+        let _ = cm.run(&[CmInstr::Route {
+            messages: vec![(0, 99)],
+        }]);
     }
 }

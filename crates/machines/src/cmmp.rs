@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn shared_counter_is_exact() {
-        let cfg = CmmpConfig { procs: 8, ..CmmpConfig::default() };
+        let cfg = CmmpConfig {
+            procs: 8,
+            ..CmmpConfig::default()
+        };
         let cores = vec![Core::new(counter_program(10)); 8];
         let mut m = Cmmp::new(cores, cfg);
         let stats = m.run().unwrap();
@@ -251,7 +254,10 @@ mod tests {
 
     #[test]
     fn cacheless_run_has_no_coherence_stats() {
-        let cfg = CmmpConfig { procs: 2, ..CmmpConfig::default() };
+        let cfg = CmmpConfig {
+            procs: 2,
+            ..CmmpConfig::default()
+        };
         let mut m = Cmmp::new(vec![Core::new(counter_program(2)); 2], cfg);
         m.run().unwrap();
         assert!(m.coherence().is_none());
@@ -259,8 +265,14 @@ mod tests {
 
     #[test]
     fn switch_cost_quadratic() {
-        let cfg4 = CmmpConfig { procs: 4, ..CmmpConfig::default() };
-        let cfg16 = CmmpConfig { procs: 16, ..CmmpConfig::default() };
+        let cfg4 = CmmpConfig {
+            procs: 4,
+            ..CmmpConfig::default()
+        };
+        let cfg16 = CmmpConfig {
+            procs: 16,
+            ..CmmpConfig::default()
+        };
         let m4 = Cmmp::new(vec![Core::new(counter_program(1)); 4], cfg4);
         let m16 = Cmmp::new(vec![Core::new(counter_program(1)); 16], cfg16);
         assert_eq!(m4.switch_cost() * 16, m16.switch_cost());
@@ -270,7 +282,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "one core per processor")]
     fn core_count_mismatch_panics() {
-        let cfg = CmmpConfig { procs: 4, ..CmmpConfig::default() };
+        let cfg = CmmpConfig {
+            procs: 4,
+            ..CmmpConfig::default()
+        };
         let _ = Cmmp::new(vec![Core::new(counter_program(1)); 2], cfg);
     }
 }

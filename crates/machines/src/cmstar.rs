@@ -58,7 +58,11 @@ impl crate::smp::LatencyModel for CmStarModel {
                 self.local_access
             }
             lvl => {
-                self.refs[if lvl == ClusterLevel::IntraCluster { 1 } else { 2 }] += 1;
+                self.refs[if lvl == ClusterLevel::IntraCluster {
+                    1
+                } else {
+                    2
+                }] += 1;
                 // Request travels through the Kmap hierarchy, memory is
                 // accessed, the response mirrors the path. The processor
                 // idles the whole time — "any processor making a nonlocal
@@ -231,7 +235,10 @@ mod tests {
         let u_local = local.run().unwrap().utilization();
         let mut inter = machine_with_target(|p| (((p + 2) % 4) * 64) as i64, 30);
         let u_inter = inter.run().unwrap().utilization();
-        assert!(u_inter < u_local / 2.0, "u_local={u_local} u_inter={u_inter}");
+        assert!(
+            u_inter < u_local / 2.0,
+            "u_local={u_local} u_inter={u_inter}"
+        );
     }
 
     #[test]
@@ -244,7 +251,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "one core per computer module")]
     fn wrong_core_count_panics() {
-        let cfg = CmStarConfig { clusters: 2, per_cluster: 2, ..CmStarConfig::default() };
+        let cfg = CmStarConfig {
+            clusters: 2,
+            per_cluster: 2,
+            ..CmStarConfig::default()
+        };
         let _ = CmStar::new(vec![Core::new(reader(1)); 3], cfg);
     }
 }

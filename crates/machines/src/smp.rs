@@ -168,7 +168,10 @@ impl Smp {
                     stats.mem_refs[p] += 1;
                     stats.busy[p] += self.cfg.instr_time;
                     let mut ready = now + self.cfg.instr_time;
-                    let r = MemRef { addr, op: MemAccess::FeLoad };
+                    let r = MemRef {
+                        addr,
+                        op: MemAccess::FeLoad,
+                    };
                     let l = model.latency(p, &r, ready) + self.cfg.retry_interval;
                     stats.idle[p] += l;
                     ready += l;
@@ -228,7 +231,9 @@ mod tests {
             })
             .collect();
         let mut smp = Smp::new(cores, FlatMemory::new(256), RunConfig::default());
-        let stats = smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3)).unwrap();
+        let stats = smp
+            .run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(3))
+            .unwrap();
         assert!(stats.completed);
         for p in 0..n {
             assert_eq!(smp.core(p).reg(Reg(5)), 1 + 2 + 3, "proc {p} sum");
@@ -245,7 +250,8 @@ mod tests {
             let mut c = Core::new(prog.clone());
             c.set_reg(Reg(1), 0);
             let mut smp = Smp::new(vec![c], FlatMemory::new(256), RunConfig::default());
-            smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(l)).unwrap()
+            smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(l))
+                .unwrap()
         };
         let u1 = run_at(1).utilization();
         let u50 = run_at(50).utilization();
@@ -256,9 +262,14 @@ mod tests {
     fn horizon_stops_spinners() {
         let mut b = ProgramBuilder::new();
         b.label("spin").jump("spin");
-        let cfg = RunConfig { max_cycles: Cycle(500), ..RunConfig::default() };
+        let cfg = RunConfig {
+            max_cycles: Cycle(500),
+            ..RunConfig::default()
+        };
         let mut smp = Smp::new(vec![Core::new(b.build().unwrap())], FlatMemory::new(4), cfg);
-        let stats = smp.run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(0)).unwrap();
+        let stats = smp
+            .run(&mut |_: usize, _: &MemRef, _: Cycle| Cycle(0))
+            .unwrap();
         assert!(!stats.completed);
     }
 

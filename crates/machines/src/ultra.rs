@@ -264,8 +264,8 @@ impl Ultra {
         }
 
         let completion = latencies.iter().copied().max().unwrap_or(Cycle::ZERO);
-        let mean_latency =
-            latencies.iter().map(|c| c.as_u64()).sum::<u64>() as f64 / latencies.len().max(1) as f64;
+        let mean_latency = latencies.iter().map(|c| c.as_u64()).sum::<u64>() as f64
+            / latencies.len().max(1) as f64;
         UltraStats {
             completion,
             mean_latency,
@@ -304,7 +304,10 @@ mod tests {
     #[test]
     fn combining_beats_serialization_on_hot_spot() {
         let t = |n: usize, c: bool| {
-            Ultra::new(cfg(n, c)).unwrap().hot_spot(&vec![1; n]).completion
+            Ultra::new(cfg(n, c))
+                .unwrap()
+                .hot_spot(&vec![1; n])
+                .completion
         };
         for n in [8, 32, 128] {
             let with = t(n, true);

@@ -243,7 +243,11 @@ pub fn branchy_kernel(length: usize) -> DepGraph {
     let mut g = DepGraph::new();
     let mut prev = None;
     for i in 0..length {
-        let kind = if i % 2 == 0 { OpKind::Alu } else { OpKind::Branch };
+        let kind = if i % 2 == 0 {
+            OpKind::Alu
+        } else {
+            OpKind::Branch
+        };
         let deps: Vec<usize> = prev.into_iter().collect();
         prev = Some(g.op(kind, &deps));
     }
@@ -273,7 +277,10 @@ mod tests {
     #[test]
     fn regular_code_achieves_high_ilp() {
         let g = regular_kernel(16, 8);
-        let m = Vliw { width: 16, ..Vliw::default() };
+        let m = Vliw {
+            width: 16,
+            ..Vliw::default()
+        };
         let s = m.schedule(&g);
         assert!(s.ilp() > 8.0, "ilp = {}", s.ilp());
     }
@@ -281,7 +288,10 @@ mod tests {
     #[test]
     fn branchy_code_achieves_no_ilp() {
         let g = branchy_kernel(40);
-        let m = Vliw { width: 16, ..Vliw::default() };
+        let m = Vliw {
+            width: 16,
+            ..Vliw::default()
+        };
         let s = m.schedule(&g);
         assert!(s.ilp() < 1.5, "ilp = {}", s.ilp());
     }
@@ -294,9 +304,17 @@ mod tests {
         for _ in 0..8 {
             g.op(OpKind::Branch, &[]);
         }
-        let m = Vliw { width: 16, max_branches: 1, ..Vliw::default() };
+        let m = Vliw {
+            width: 16,
+            max_branches: 1,
+            ..Vliw::default()
+        };
         assert_eq!(m.schedule(&g).words.len(), 8);
-        let m2 = Vliw { width: 16, max_branches: 4, ..Vliw::default() };
+        let m2 = Vliw {
+            width: 16,
+            max_branches: 4,
+            ..Vliw::default()
+        };
         assert_eq!(m2.schedule(&g).words.len(), 2);
     }
 

@@ -10,8 +10,12 @@ fn faa_preserves_the_total_for_any_increments() {
         let n = 8;
         let incs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50i64..50)).collect();
         let combining = rng.chance(0.5);
-        let mut u = Ultra::new(UltraConfig { procs: n, combining, ..UltraConfig::default() })
-            .expect("power of two");
+        let mut u = Ultra::new(UltraConfig {
+            procs: n,
+            combining,
+            ..UltraConfig::default()
+        })
+        .expect("power of two");
         let stats = u.hot_spot(&incs);
         assert_eq!(stats.finals[&0], incs.iter().sum::<i64>());
     });
@@ -26,8 +30,12 @@ fn faa_is_serializable_for_positive_increments() {
         let n = 8;
         let incs: Vec<i64> = (0..n).map(|_| rng.gen_range(1i64..50)).collect();
         let combining = rng.chance(0.5);
-        let mut u = Ultra::new(UltraConfig { procs: n, combining, ..UltraConfig::default() })
-            .expect("power of two");
+        let mut u = Ultra::new(UltraConfig {
+            procs: n,
+            combining,
+            ..UltraConfig::default()
+        })
+        .expect("power of two");
         let stats = u.hot_spot(&incs);
         assert_eq!(stats.finals[&0], incs.iter().sum::<i64>());
         let mut pairs: Vec<(i64, usize)> = stats.returned.iter().copied().zip(0..n).collect();
@@ -78,7 +86,10 @@ fn vliw_schedule_is_a_permutation_respecting_deps() {
             let kind = kinds[d.len() % 3];
             g.op(kind, d);
         }
-        let m = Vliw { width, ..Vliw::default() };
+        let m = Vliw {
+            width,
+            ..Vliw::default()
+        };
         let s = m.schedule(&g);
         // Every op appears exactly once.
         let mut seen = vec![false; g.len()];

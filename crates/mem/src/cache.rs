@@ -196,7 +196,11 @@ impl CacheArray {
         // Empty way?
         let base = range.start;
         if let Some(i) = self.lines[range.clone()].iter().position(|l| l.is_none()) {
-            self.lines[base + i] = Some(Line { tag: addr.0, state, lru: tick });
+            self.lines[base + i] = Some(Line {
+                tag: addr.0,
+                state,
+                lru: tick,
+            });
             return None;
         }
         // Evict LRU.
@@ -207,7 +211,11 @@ impl CacheArray {
             .map(|(i, _)| i)
             .expect("ways > 0");
         let victim = self.lines[base + victim_off];
-        self.lines[base + victim_off] = Some(Line { tag: addr.0, state, lru: tick });
+        self.lines[base + victim_off] = Some(Line {
+            tag: addr.0,
+            state,
+            lru: tick,
+        });
         victim
     }
 
@@ -274,9 +282,14 @@ impl CoherentSystem {
     /// Panics if `procs == 0` or the config has zero sets/ways.
     pub fn new(procs: usize, config: CacheConfig) -> Self {
         assert!(procs > 0, "need at least one processor");
-        assert!(config.sets > 0 && config.ways > 0, "cache geometry must be nonzero");
+        assert!(
+            config.sets > 0 && config.ways > 0,
+            "cache geometry must be nonzero"
+        );
         CoherentSystem {
-            caches: (0..procs).map(|_| CacheArray::new(config.sets, config.ways)).collect(),
+            caches: (0..procs)
+                .map(|_| CacheArray::new(config.sets, config.ways))
+                .collect(),
             config,
             stats: CoherenceStats::default(),
         }
@@ -480,7 +493,11 @@ mod tests {
         let before = sys.stats().misses;
         sys.write(0, Addr(3));
         sys.read(1, Addr(3));
-        assert_eq!(sys.stats().misses, before + 2, "p0 write-miss + p1 re-fetch");
+        assert_eq!(
+            sys.stats().misses,
+            before + 2,
+            "p0 write-miss + p1 re-fetch"
+        );
     }
 
     #[test]

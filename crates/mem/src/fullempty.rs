@@ -198,7 +198,10 @@ mod tests {
         assert!(m.try_read(Addr(9)).is_err());
         assert!(m.try_take(Addr(9)).is_err());
         assert!(m.try_write(Addr(9), 0).is_err());
-        let e = FullEmptyError::OutOfRange { addr: Addr(9), size: 1 };
+        let e = FullEmptyError::OutOfRange {
+            addr: Addr(9),
+            size: 1,
+        };
         assert!(e.to_string().contains("out of range"));
     }
 }

@@ -8,6 +8,7 @@ use ttda_sim::Cycle;
 use ttda_trace::{PresenceState, SharedSink, TraceEvent};
 
 use crate::module::Addr;
+use crate::packed::PackedIStructure;
 
 /// The presence bits associated with every I-structure cell.
 ///
@@ -70,7 +71,10 @@ impl fmt::Display for IStructureError {
                 write!(f, "i-structure address {addr} out of range (size {size})")
             }
             IStructureError::AlreadyWritten { addr } => {
-                write!(f, "write-write race: i-structure cell {addr} already written")
+                write!(
+                    f,
+                    "write-write race: i-structure cell {addr} already written"
+                )
             }
         }
     }
@@ -85,8 +89,16 @@ enum Cell<T, R> {
     Deferred(Vec<R>),
 }
 
-/// An I-structure store: write-once cells with presence bits and
-/// deferred read lists.
+/// The enum-cell I-structure store: write-once cells with presence bits
+/// and deferred read lists, one Rust enum per cell and one heap `Vec`
+/// per deferred list.
+///
+/// This is the direct transcription of Fig 2-1 and serves as the
+/// *reference model*: the packed engine
+/// ([`PackedIStructure`](crate::PackedIStructure), re-exported as
+/// `IStructure`, which the engines actually run on) is checked against
+/// it operation-for-operation by the model-equivalence property in the
+/// test suite. Keep its semantics boring and obvious.
 ///
 /// `T` is the stored value type; `R` identifies a pending reader (in the
 /// TTDA it is the tag of the instruction waiting for the datum — "the
@@ -100,14 +112,14 @@ enum Cell<T, R> {
 ///
 /// This functional core is untimed; [`IStructureController`] adds the
 /// paper's service-time accounting (reads cost one memory cycle, writes
-/// two).
+/// two) on top of the packed engine.
 ///
 /// # Example
 ///
 /// ```
-/// use ttda_mem::{Addr, IStructure, IStructureError, ReadOutcome};
+/// use ttda_mem::{Addr, EnumIStructure, IStructureError, ReadOutcome};
 ///
-/// let mut m: IStructure<f64, u32> = IStructure::new(4);
+/// let mut m: EnumIStructure<f64, u32> = EnumIStructure::new(4);
 /// assert_eq!(m.read(Addr(0), 11).unwrap(), ReadOutcome::Deferred);
 /// assert_eq!(m.read(Addr(0), 22).unwrap(), ReadOutcome::Deferred);
 /// assert_eq!(m.write(Addr(0), 2.5).unwrap(), vec![11, 22]);
@@ -118,17 +130,17 @@ enum Cell<T, R> {
 /// );
 /// ```
 #[derive(Debug, Clone)]
-pub struct IStructure<T, R = u64> {
+pub struct EnumIStructure<T, R = u64> {
     cells: Vec<Cell<T, R>>,
     /// Running total of parked readers across all cells, maintained
     /// incrementally so per-wave diagnostics don't rescan every cell.
     deferred: usize,
 }
 
-impl<T, R> IStructure<T, R> {
+impl<T, R> EnumIStructure<T, R> {
     /// Allocates a structure of `size` empty cells.
     pub fn new(size: usize) -> Self {
-        IStructure {
+        EnumIStructure {
             cells: std::iter::repeat_with(|| Cell::Empty).take(size).collect(),
             deferred: 0,
         }
@@ -141,9 +153,9 @@ impl<T, R> IStructure<T, R> {
 
     /// Total readers currently parked across every cell's deferred list.
     ///
-    /// O(1): the count is maintained by [`read`](IStructure::read),
-    /// [`write`](IStructure::write) and
-    /// [`reclaim`](IStructure::reclaim), mirroring
+    /// O(1): the count is maintained by [`read`](EnumIStructure::read),
+    /// [`write`](EnumIStructure::write) and
+    /// [`reclaim`](EnumIStructure::reclaim), mirroring
     /// [`IStructureShard::deferred_outstanding`](crate::IStructureShard::deferred_outstanding).
     pub fn deferred_outstanding(&self) -> usize {
         self.deferred
@@ -189,7 +201,7 @@ impl<T, R> IStructure<T, R> {
     }
 }
 
-impl<T: Clone, R> IStructure<T, R> {
+impl<T: Clone, R> EnumIStructure<T, R> {
     /// Processes a read request from `reader`.
     ///
     /// # Errors
@@ -236,6 +248,30 @@ impl<T: Clone, R> IStructure<T, R> {
                 Ok(readers)
             }
         }
+    }
+
+    /// Streaming variant of [`write`](Self::write): invokes `release`
+    /// once per deferred reader in arrival order and returns how many
+    /// were released. Mirrors
+    /// [`PackedIStructure::write_with`](crate::PackedIStructure::write_with)
+    /// so benches and the model-equivalence property can drive both
+    /// stores through the identical interface.
+    ///
+    /// # Errors
+    ///
+    /// See [`write`](Self::write).
+    pub fn write_with(
+        &mut self,
+        addr: Addr,
+        value: T,
+        mut release: impl FnMut(R),
+    ) -> Result<usize, IStructureError> {
+        let released = self.write(addr, value)?;
+        let n = released.len();
+        for r in released {
+            release(r);
+        }
+        Ok(n)
     }
 
     /// Visits every deferred reader currently parked in the structure.
@@ -299,7 +335,7 @@ pub struct IStructureStats {
 /// traditional memory. Write operations take twice as long, however, due
 /// to the prefetching of presence bits." The controller owns a single
 /// service port (one request at a time), a base access time, and the
-/// untimed [`IStructure`] core.
+/// untimed packed store ([`PackedIStructure`](crate::PackedIStructure)).
 ///
 /// # Example
 ///
@@ -316,7 +352,7 @@ pub struct IStructureStats {
 /// ```
 #[derive(Clone)]
 pub struct IStructureController<T, R = u64> {
-    store: IStructure<T, R>,
+    store: PackedIStructure<T, R>,
     access: Cycle,
     port_free: Cycle,
     stats: IStructureStats,
@@ -343,7 +379,7 @@ impl<T: Clone, R> IStructureController<T, R> {
     /// `access`.
     pub fn new(size: usize, access: Cycle) -> Self {
         IStructureController {
-            store: IStructure::new(size),
+            store: PackedIStructure::new(size),
             access,
             port_free: Cycle::ZERO,
             stats: IStructureStats::default(),
@@ -354,15 +390,27 @@ impl<T: Clone, R> IStructureController<T, R> {
     }
 
     /// Attaches a trace sink; `module` labels this controller's events.
-    /// Reads, writes, presence-bit transitions and deferred-list traffic
-    /// are reported at their completion times.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the builder-style `with_sink`, uniform across engines"
+    )]
     pub fn set_sink(&mut self, sink: Option<SharedSink>, module: u32) {
         self.sink = sink;
         self.module = module;
     }
 
+    /// Builder-style sink attachment, matching `Fabric::with_sink` and
+    /// the engine `Machine::with_sink`; `module` labels this
+    /// controller's events. Reads, writes, presence-bit transitions and
+    /// deferred-list traffic are reported at their completion times.
+    pub fn with_sink(mut self, sink: SharedSink, module: u32) -> Self {
+        self.sink = Some(sink);
+        self.module = module;
+        self
+    }
+
     /// The untimed store (for inspection).
-    pub fn store(&self) -> &IStructure<T, R> {
+    pub fn store(&self) -> &PackedIStructure<T, R> {
         &self.store
     }
 
@@ -415,7 +463,10 @@ impl<T: Clone, R> IStructureController<T, R> {
             let immediate = matches!(outcome, ReadOutcome::Value(_));
             sink.record(
                 done,
-                &TraceEvent::IStoreRead { module: self.module, immediate },
+                &TraceEvent::IStoreRead {
+                    module: self.module,
+                    immediate,
+                },
             );
             if !immediate {
                 sink.record(
@@ -447,7 +498,12 @@ impl<T: Clone, R> IStructureController<T, R> {
     ///
     /// Propagates [`IStructureError`] from the store — including the
     /// write-write race.
-    pub fn write(&mut self, now: Cycle, addr: Addr, value: T) -> Result<(Cycle, Vec<R>), IStructureError> {
+    pub fn write(
+        &mut self,
+        now: Cycle,
+        addr: Addr,
+        value: T,
+    ) -> Result<(Cycle, Vec<R>), IStructureError> {
         let before = self.store.presence(addr)?;
         let released = self.store.write(addr, value)?;
         self.stats.writes += 1;
@@ -455,7 +511,12 @@ impl<T: Clone, R> IStructureController<T, R> {
         let done = self.serve(now, self.access.saturating_mul(2));
         if let Some(sink) = &self.sink {
             let mut sink = sink.borrow_mut();
-            sink.record(done, &TraceEvent::IStoreWrite { module: self.module });
+            sink.record(
+                done,
+                &TraceEvent::IStoreWrite {
+                    module: self.module,
+                },
+            );
             sink.record(
                 done,
                 &TraceEvent::Presence {
@@ -484,7 +545,7 @@ mod tests {
 
     #[test]
     fn read_after_write_is_immediate() {
-        let mut m: IStructure<i64> = IStructure::new(2);
+        let mut m: EnumIStructure<i64> = EnumIStructure::new(2);
         m.write(Addr(0), 7).unwrap();
         assert_eq!(m.read(Addr(0), 1).unwrap(), ReadOutcome::Value(7));
         assert_eq!(m.presence(Addr(0)).unwrap(), Presence::Present);
@@ -493,7 +554,7 @@ mod tests {
 
     #[test]
     fn multiple_deferred_readers_released_in_order() {
-        let mut m: IStructure<i64, &str> = IStructure::new(1);
+        let mut m: EnumIStructure<i64, &str> = EnumIStructure::new(1);
         for r in ["a", "b", "c"] {
             assert_eq!(m.read(Addr(0), r).unwrap(), ReadOutcome::Deferred);
         }
@@ -505,7 +566,7 @@ mod tests {
 
     #[test]
     fn write_write_race_detected_even_after_deferral() {
-        let mut m: IStructure<i64> = IStructure::new(1);
+        let mut m: EnumIStructure<i64> = EnumIStructure::new(1);
         m.read(Addr(0), 9).unwrap();
         m.write(Addr(0), 1).unwrap();
         let err = m.write(Addr(0), 2).unwrap_err();
@@ -516,20 +577,23 @@ mod tests {
 
     #[test]
     fn out_of_range_errors() {
-        let mut m: IStructure<i64> = IStructure::new(1);
+        let mut m: EnumIStructure<i64> = EnumIStructure::new(1);
         assert!(matches!(
             m.read(Addr(5), 0),
             Err(IStructureError::OutOfRange { .. })
         ));
         assert!(m.write(Addr(5), 0).is_err());
         assert!(m.presence(Addr(5)).is_err());
-        let e = IStructureError::OutOfRange { addr: Addr(5), size: 1 };
+        let e = IStructureError::OutOfRange {
+            addr: Addr(5),
+            size: 1,
+        };
         assert!(e.to_string().contains("out of range"));
     }
 
     #[test]
     fn deferred_outstanding_tracks_incrementally() {
-        let mut m: IStructure<i64> = IStructure::new(3);
+        let mut m: EnumIStructure<i64> = EnumIStructure::new(3);
         assert_eq!(m.deferred_outstanding(), 0);
         m.read(Addr(0), 1).unwrap();
         m.read(Addr(0), 2).unwrap();
@@ -545,7 +609,7 @@ mod tests {
 
     #[test]
     fn reclaim_reports_dropped_readers() {
-        let mut m: IStructure<i64> = IStructure::new(3);
+        let mut m: EnumIStructure<i64> = EnumIStructure::new(3);
         m.read(Addr(0), 1).unwrap();
         m.read(Addr(0), 2).unwrap();
         m.write(Addr(1), 5).unwrap();
@@ -588,12 +652,26 @@ mod tests {
     }
 
     #[test]
-    fn controller_sink_sees_lifecycle() {
+    #[allow(deprecated)]
+    fn deprecated_set_sink_still_attaches() {
         use ttda_trace::{shared, CountingSink};
 
         let sink = shared(CountingSink::new());
         let mut c: IStructureController<i64> = IStructureController::new(4, Cycle(1));
-        c.set_sink(Some(sink.clone()), 7);
+        c.set_sink(Some(sink.clone()), 3);
+        c.write(Cycle(0), Addr(0), 1).unwrap();
+        let s = sink.borrow();
+        let cs = s.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert_eq!(cs.metrics().counter_value("istore_write"), 1);
+    }
+
+    #[test]
+    fn controller_sink_sees_lifecycle() {
+        use ttda_trace::{shared, CountingSink};
+
+        let sink = shared(CountingSink::new());
+        let mut c: IStructureController<i64> =
+            IStructureController::new(4, Cycle(1)).with_sink(sink.clone(), 7);
         c.read(Cycle(0), Addr(0), 10).unwrap(); // deferred
         c.read(Cycle(0), Addr(0), 11).unwrap(); // deferred, depth 2
         {

@@ -34,11 +34,21 @@ pub mod cache;
 mod fullempty;
 mod istore;
 mod module;
+mod packed;
 mod shard;
 
 pub use fullempty::{FullEmptyError, FullEmptyMemory, TryReadOutcome};
 pub use istore::{
-    IStructure, IStructureController, IStructureError, IStructureStats, Presence, ReadOutcome,
+    EnumIStructure, IStructureController, IStructureError, IStructureStats, Presence, ReadOutcome,
 };
 pub use module::{Addr, MemOp, MemoryModule};
+pub use packed::PackedIStructure;
 pub use shard::{shard_of, IStructureShard};
+
+/// The I-structure store the engines run on.
+///
+/// Since the packed-engine rework this is the bitmap/arena
+/// implementation ([`PackedIStructure`]); the original enum-cell store
+/// survives as [`EnumIStructure`], the reference model the packed
+/// engine is property-checked against.
+pub type IStructure<T, R = u64> = PackedIStructure<T, R>;

@@ -17,8 +17,9 @@
 
 use std::collections::HashMap;
 
-use crate::istore::{IStructure, IStructureError, ReadOutcome};
+use crate::istore::{IStructureError, ReadOutcome};
 use crate::module::Addr;
+use crate::IStructure;
 
 /// The shard that owns structure `id` when the table is split `shards`
 /// ways. Allocation ids are dense (0, 1, 2, …), so plain round-robin
@@ -36,10 +37,18 @@ pub fn shard_of(id: u32, shards: usize) -> usize {
 /// live in this shard (either never allocated, or a routing bug in the
 /// caller); the inner `Result` carries the per-cell errors of
 /// [`IStructure`] itself.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IStructureShard<T, R = u64> {
     stores: HashMap<u32, IStructure<T, R>>,
     deferred_outstanding: usize,
+}
+
+// Manual impl: the derive would demand `T: Default, R: Default`, which
+// an empty shard does not need.
+impl<T, R> Default for IStructureShard<T, R> {
+    fn default() -> Self {
+        IStructureShard::new()
+    }
 }
 
 impl<T, R> IStructureShard<T, R> {
@@ -60,6 +69,16 @@ impl<T, R> IStructureShard<T, R> {
     pub fn create(&mut self, id: u32, size: usize) {
         let prev = self.stores.insert(id, IStructure::new(size));
         assert!(prev.is_none(), "duplicate i-structure allocation id {id}");
+    }
+
+    /// Adds a structure of `size` cells under `id` if it is not already
+    /// present. Used by engines that materialize a module's slice of a
+    /// structure lazily on first access (the timed machine's memory
+    /// modules), where "already created" is the common case, not a bug.
+    pub fn ensure(&mut self, id: u32, size: usize) {
+        self.stores
+            .entry(id)
+            .or_insert_with(|| IStructure::new(size));
     }
 
     /// Shared access to a structure, if this shard owns it.
@@ -116,6 +135,23 @@ impl<T: Clone, R> IStructureShard<T, R> {
         }
         Some(r)
     }
+
+    /// Streaming variant of [`write`](Self::write): released readers go
+    /// straight to `release` in arrival order (the engines' hot path —
+    /// no `Vec` is allocated). Returns the release count on success.
+    pub fn write_with(
+        &mut self,
+        id: u32,
+        addr: Addr,
+        value: T,
+        release: impl FnMut(R),
+    ) -> Option<Result<usize, IStructureError>> {
+        let r = self.stores.get_mut(&id)?.write_with(addr, value, release);
+        if let Ok(released) = &r {
+            self.deferred_outstanding -= released;
+        }
+        Some(r)
+    }
 }
 
 #[cfg(test)]
@@ -134,13 +170,22 @@ mod tests {
         let mut sh: IStructureShard<i64, &str> = IStructureShard::new();
         sh.create(2, 4);
         assert_eq!(sh.deferred_outstanding(), 0);
-        assert_eq!(sh.read(2, Addr(0), "a").unwrap().unwrap(), ReadOutcome::Deferred);
-        assert_eq!(sh.read(2, Addr(0), "b").unwrap().unwrap(), ReadOutcome::Deferred);
+        assert_eq!(
+            sh.read(2, Addr(0), "a").unwrap().unwrap(),
+            ReadOutcome::Deferred
+        );
+        assert_eq!(
+            sh.read(2, Addr(0), "b").unwrap().unwrap(),
+            ReadOutcome::Deferred
+        );
         assert_eq!(sh.deferred_outstanding(), 2);
         let released = sh.write(2, Addr(0), 9).unwrap().unwrap();
         assert_eq!(released, vec!["a", "b"]);
         assert_eq!(sh.deferred_outstanding(), 0);
-        assert_eq!(sh.read(2, Addr(0), "c").unwrap().unwrap(), ReadOutcome::Value(9));
+        assert_eq!(
+            sh.read(2, Addr(0), "c").unwrap().unwrap(),
+            ReadOutcome::Value(9)
+        );
         assert_eq!(sh.deferred_outstanding(), 0);
     }
 

@@ -18,13 +18,21 @@ fn every_cache_access_is_hit_or_miss() {
         } else {
             Protocol::Directory
         };
-        let cfg = CacheConfig { write_policy: policy, protocol, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            write_policy: policy,
+            protocol,
+            ..CacheConfig::default()
+        };
         let mut sys = CoherentSystem::new(4, cfg);
         let ops = rng.gen_range(1usize..300);
         for _ in 0..ops {
             let p = rng.gen_range(0usize..4);
             let addr = Addr(rng.gen_range(0usize..64));
-            let c = if rng.chance(0.5) { sys.write(p, addr) } else { sys.read(p, addr) };
+            let c = if rng.chance(0.5) {
+                sys.write(p, addr)
+            } else {
+                sys.read(p, addr)
+            };
             assert!(c > Cycle::ZERO);
         }
         let s = sys.stats();
@@ -72,7 +80,11 @@ fn memory_module_bank_times_never_decrease() {
         let accesses = rng.gen_range(1usize..100);
         for _ in 0..accesses {
             let addr = Addr(rng.gen_range(0usize..64));
-            let op = if rng.chance(0.5) { MemOp::Write } else { MemOp::Read };
+            let op = if rng.chance(0.5) {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
             let done = m.access_time(Cycle::ZERO, addr, op);
             let bank = m.bank_of(addr);
             assert!(done > per_bank[bank]);

@@ -186,7 +186,12 @@ impl<T: Topology> Fabric<T> {
     ///
     /// Propagates routing errors from the topology (bad endpoints, or
     /// unreachable destinations after faults / partitioning).
-    pub fn try_send(&mut self, now: Cycle, from: NodeId, to: NodeId) -> Result<Cycle, TopologyError> {
+    pub fn try_send(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Cycle, TopologyError> {
         self.scratch.clear();
         self.topology.route(from, to, &mut self.scratch)?;
 
@@ -201,7 +206,8 @@ impl<T: Topology> Fabric<T> {
             // Occupy the link, then propagate.
             self.link_free[link.0] = t + self.config.link_service;
             self.link_load[link.0] += 1;
-            t = t + self.config.link_service
+            t = t
+                + self.config.link_service
                 + self.topology.link_latency(link)
                 + self.config.switch_delay;
         }
@@ -304,8 +310,8 @@ mod tests {
         use ttda_trace::{shared, CountingSink};
 
         let sink = shared(CountingSink::new());
-        let mut f = Fabric::new(Ideal::new(4, Cycle(3)), FabricConfig::default())
-            .with_sink(sink.clone());
+        let mut f =
+            Fabric::new(Ideal::new(4, Cycle(3)), FabricConfig::default()).with_sink(sink.clone());
         f.send(Cycle(0), NodeId(0), NodeId(1));
         f.send(Cycle(0), NodeId(2), NodeId(3));
         let s = sink.borrow();

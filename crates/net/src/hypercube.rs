@@ -283,10 +283,14 @@ mod tests {
         // node 0's links and it must still reach everyone.
         let mut cube = Hypercube::new(4).unwrap();
         for d in 0..3 {
-            cube.fail_link(NodeId(0), cube.neighbor(NodeId(0), d)).unwrap();
+            cube.fail_link(NodeId(0), cube.neighbor(NodeId(0), d))
+                .unwrap();
         }
         for b in 1..16 {
-            assert!(cube.hops(NodeId(0), NodeId(b)).is_ok(), "node {b} unreachable");
+            assert!(
+                cube.hops(NodeId(0), NodeId(b)).is_ok(),
+                "node {b} unreachable"
+            );
         }
     }
 

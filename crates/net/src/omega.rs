@@ -84,7 +84,11 @@ impl Omega {
     /// # Errors
     ///
     /// Returns [`TopologyError::NodeOutOfRange`] for bad endpoints.
-    pub fn switch_path(&self, from: NodeId, to: NodeId) -> Result<Vec<(usize, usize)>, TopologyError> {
+    pub fn switch_path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Vec<(usize, usize)>, TopologyError> {
         check_node(from, self.n)?;
         check_node(to, self.n)?;
         Ok((0..self.k)

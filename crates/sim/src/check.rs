@@ -144,14 +144,20 @@ mod tests {
     #[test]
     fn seeds_are_deterministic_per_name() {
         let seen = std::cell::RefCell::new(Vec::new());
-        forall_cases("stable seeds", 5, |rng| seen.borrow_mut().push(rng.next_u64()));
+        forall_cases("stable seeds", 5, |rng| {
+            seen.borrow_mut().push(rng.next_u64())
+        });
         let first = seen.borrow().clone();
         seen.borrow_mut().clear();
-        forall_cases("stable seeds", 5, |rng| seen.borrow_mut().push(rng.next_u64()));
+        forall_cases("stable seeds", 5, |rng| {
+            seen.borrow_mut().push(rng.next_u64())
+        });
         assert_eq!(*seen.borrow(), first);
 
         seen.borrow_mut().clear();
-        forall_cases("different name", 5, |rng| seen.borrow_mut().push(rng.next_u64()));
+        forall_cases("different name", 5, |rng| {
+            seen.borrow_mut().push(rng.next_u64())
+        });
         assert_ne!(*seen.borrow(), first);
     }
 
@@ -170,7 +176,11 @@ mod tests {
             });
         }));
         assert!(result.is_err());
-        assert_eq!(order.borrow().len(), 2, "both pins ran, derived cases never started");
+        assert_eq!(
+            order.borrow().len(),
+            2,
+            "both pins ran, derived cases never started"
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ impl fmt::Display for Table {
 /// sparkline (8 levels), downsampled to at most `width` columns by
 /// taking the max of each bucket — used to print parallelism profiles.
 pub fn sparkline(values: &[usize], width: usize) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() || width == 0 {
         return String::new();
     }
@@ -133,7 +136,11 @@ pub fn sparkline(values: &[usize], width: usize) -> String {
             .map(|b| {
                 let lo = b * values.len() / width;
                 let hi = ((b + 1) * values.len() / width).max(lo + 1);
-                values[lo..hi.min(values.len())].iter().copied().max().unwrap_or(0)
+                values[lo..hi.min(values.len())]
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0)
             })
             .collect()
     };
@@ -203,7 +210,10 @@ mod tests {
         let chars: Vec<char> = ramp.chars().collect();
         assert!(chars.windows(2).all(|w| w[0] <= w[1]), "{ramp}");
         // Downsampling keeps the peak visible.
-        let spike = vec![1usize; 100].into_iter().chain([100]).collect::<Vec<_>>();
+        let spike = vec![1usize; 100]
+            .into_iter()
+            .chain([100])
+            .collect::<Vec<_>>();
         let line = sparkline(&spike, 10);
         assert!(line.ends_with('\u{2588}'), "{line}");
     }

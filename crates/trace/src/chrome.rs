@@ -106,7 +106,13 @@ impl ChromeTraceSink {
                 TraceEvent::IStoreWrite { module } => {
                     let _ = write!(out, ",\"module\":{module}");
                 }
-                TraceEvent::PacketSend { from, to, hops, queued, latency } => {
+                TraceEvent::PacketSend {
+                    from,
+                    to,
+                    hops,
+                    queued,
+                    latency,
+                } => {
                     let _ = write!(
                         out,
                         ",\"from\":{from},\"to\":{to},\"hops\":{hops},\"queued\":{queued},\"latency\":{latency}"
@@ -201,8 +207,21 @@ mod tests {
     fn sample() -> ChromeTraceSink {
         let mut s = ChromeTraceSink::new();
         s.record(Cycle(0), &TraceEvent::TokenEmit { pe: 1 });
-        s.record(Cycle(1), &TraceEvent::MatchWait { pe: 1, occupancy: 1 });
-        s.record(Cycle(2), &TraceEvent::MatchFire { pe: 1, alu: true, busy: 3 });
+        s.record(
+            Cycle(1),
+            &TraceEvent::MatchWait {
+                pe: 1,
+                occupancy: 1,
+            },
+        );
+        s.record(
+            Cycle(2),
+            &TraceEvent::MatchFire {
+                pe: 1,
+                alu: true,
+                busy: 3,
+            },
+        );
         s.record(
             Cycle(3),
             &TraceEvent::Presence {
@@ -211,7 +230,16 @@ mod tests {
                 to: PresenceState::Deferred,
             },
         );
-        s.record(Cycle(4), &TraceEvent::PacketSend { from: 0, to: 5, hops: 2, queued: 1, latency: 9 });
+        s.record(
+            Cycle(4),
+            &TraceEvent::PacketSend {
+                from: 0,
+                to: 5,
+                hops: 2,
+                queued: 1,
+                latency: 9,
+            },
+        );
         s.record(Cycle(9), &TraceEvent::Halt { in_flight: 0 });
         s
     }
@@ -246,8 +274,15 @@ mod tests {
         let evs = [
             TraceEvent::TokenEmit { pe: 0 },
             TraceEvent::TokenConsume { pe: 0 },
-            TraceEvent::MatchWait { pe: 0, occupancy: 2 },
-            TraceEvent::MatchFire { pe: 0, alu: false, busy: 0 },
+            TraceEvent::MatchWait {
+                pe: 0,
+                occupancy: 2,
+            },
+            TraceEvent::MatchFire {
+                pe: 0,
+                alu: false,
+                busy: 0,
+            },
             TraceEvent::WaveEnd { fired: 4 },
             TraceEvent::Halt { in_flight: 1 },
             TraceEvent::Presence {
@@ -255,11 +290,26 @@ mod tests {
                 from: PresenceState::Deferred,
                 to: PresenceState::Present,
             },
-            TraceEvent::DeferEnqueue { module: 3, depth: 2 },
-            TraceEvent::DeferRelease { module: 3, released: 2 },
-            TraceEvent::IStoreRead { module: 3, immediate: false },
+            TraceEvent::DeferEnqueue {
+                module: 3,
+                depth: 2,
+            },
+            TraceEvent::DeferRelease {
+                module: 3,
+                released: 2,
+            },
+            TraceEvent::IStoreRead {
+                module: 3,
+                immediate: false,
+            },
             TraceEvent::IStoreWrite { module: 3 },
-            TraceEvent::PacketSend { from: 1, to: 2, hops: 1, queued: 0, latency: 3 },
+            TraceEvent::PacketSend {
+                from: 1,
+                to: 2,
+                hops: 1,
+                queued: 0,
+                latency: 3,
+            },
         ];
         let mut s = ChromeTraceSink::new();
         for ev in &evs {

@@ -111,7 +111,9 @@ impl TraceSink for CountingSink {
         match *ev {
             TraceEvent::MatchWait { occupancy, .. } => {
                 self.peak_match_occupancy = self.peak_match_occupancy.max(occupancy);
-                self.metrics.histogram("match_occupancy", 64, 4).record(occupancy);
+                self.metrics
+                    .histogram("match_occupancy", 64, 4)
+                    .record(occupancy);
             }
             TraceEvent::MatchFire { alu, busy, .. } => {
                 if alu {
@@ -132,16 +134,26 @@ impl TraceSink for CountingSink {
             TraceEvent::DeferRelease { released, .. } => {
                 self.metrics.counter("defer_released_readers").add(released);
             }
-            TraceEvent::IStoreRead { immediate, .. }
-                if immediate => {
-                    self.metrics.counter("istore_read_immediate").incr();
-                }
-            TraceEvent::PacketSend { hops, queued, latency, .. } => {
+            TraceEvent::IStoreRead { immediate, .. } if immediate => {
+                self.metrics.counter("istore_read_immediate").incr();
+            }
+            TraceEvent::PacketSend {
+                hops,
+                queued,
+                latency,
+                ..
+            } => {
                 self.total_hops += hops as u64;
                 self.per_packet_hops.push(hops);
-                self.metrics.histogram("packet_hops", 16, 1).record(hops as u64);
-                self.metrics.histogram("packet_queued", 64, 8).record(queued);
-                self.metrics.histogram("packet_latency", 64, 8).record(latency);
+                self.metrics
+                    .histogram("packet_hops", 16, 1)
+                    .record(hops as u64);
+                self.metrics
+                    .histogram("packet_queued", 64, 8)
+                    .record(queued);
+                self.metrics
+                    .histogram("packet_latency", 64, 8)
+                    .record(latency);
             }
             _ => {}
         }
@@ -183,19 +195,55 @@ mod tests {
     #[test]
     fn deferred_ledger_balances() {
         let mut s = CountingSink::new();
-        rec(&mut s, TraceEvent::DeferEnqueue { module: 0, depth: 1 });
-        rec(&mut s, TraceEvent::DeferEnqueue { module: 0, depth: 2 });
+        rec(
+            &mut s,
+            TraceEvent::DeferEnqueue {
+                module: 0,
+                depth: 1,
+            },
+        );
+        rec(
+            &mut s,
+            TraceEvent::DeferEnqueue {
+                module: 0,
+                depth: 2,
+            },
+        );
         assert_eq!(s.deferred_outstanding(), 2);
         assert_eq!(s.peak_defer_depth(), 2);
-        rec(&mut s, TraceEvent::DeferRelease { module: 0, released: 2 });
+        rec(
+            &mut s,
+            TraceEvent::DeferRelease {
+                module: 0,
+                released: 2,
+            },
+        );
         assert_eq!(s.deferred_outstanding(), 0);
     }
 
     #[test]
     fn hop_accounting() {
         let mut s = CountingSink::new();
-        rec(&mut s, TraceEvent::PacketSend { from: 0, to: 3, hops: 2, queued: 0, latency: 6 });
-        rec(&mut s, TraceEvent::PacketSend { from: 1, to: 2, hops: 3, queued: 4, latency: 13 });
+        rec(
+            &mut s,
+            TraceEvent::PacketSend {
+                from: 0,
+                to: 3,
+                hops: 2,
+                queued: 0,
+                latency: 6,
+            },
+        );
+        rec(
+            &mut s,
+            TraceEvent::PacketSend {
+                from: 1,
+                to: 2,
+                hops: 3,
+                queued: 4,
+                latency: 13,
+            },
+        );
         assert_eq!(s.packets(), 2);
         assert_eq!(s.total_hops(), 5);
         assert_eq!(s.per_packet_hops(), &[2, 3]);
@@ -213,8 +261,21 @@ mod tests {
             },
         );
         rec(&mut s, TraceEvent::IStoreWrite { module: 0 });
-        rec(&mut s, TraceEvent::IStoreRead { module: 0, immediate: true });
-        rec(&mut s, TraceEvent::MatchFire { pe: 0, alu: true, busy: 3 });
+        rec(
+            &mut s,
+            TraceEvent::IStoreRead {
+                module: 0,
+                immediate: true,
+            },
+        );
+        rec(
+            &mut s,
+            TraceEvent::MatchFire {
+                pe: 0,
+                alu: true,
+                busy: 3,
+            },
+        );
         assert_eq!(s.metrics().counter_value("presence"), 1);
         assert_eq!(s.metrics().counter_value("istore_write"), 1);
         assert_eq!(s.metrics().counter_value("istore_read_immediate"), 1);

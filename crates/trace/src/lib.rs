@@ -299,8 +299,15 @@ mod tests {
         let evs = [
             TraceEvent::TokenEmit { pe: 0 },
             TraceEvent::TokenConsume { pe: 0 },
-            TraceEvent::MatchWait { pe: 0, occupancy: 0 },
-            TraceEvent::MatchFire { pe: 0, alu: false, busy: 0 },
+            TraceEvent::MatchWait {
+                pe: 0,
+                occupancy: 0,
+            },
+            TraceEvent::MatchFire {
+                pe: 0,
+                alu: false,
+                busy: 0,
+            },
             TraceEvent::WaveEnd { fired: 0 },
             TraceEvent::Halt { in_flight: 0 },
             TraceEvent::Presence {
@@ -308,11 +315,26 @@ mod tests {
                 from: PresenceState::Empty,
                 to: PresenceState::Present,
             },
-            TraceEvent::DeferEnqueue { module: 0, depth: 0 },
-            TraceEvent::DeferRelease { module: 0, released: 0 },
-            TraceEvent::IStoreRead { module: 0, immediate: true },
+            TraceEvent::DeferEnqueue {
+                module: 0,
+                depth: 0,
+            },
+            TraceEvent::DeferRelease {
+                module: 0,
+                released: 0,
+            },
+            TraceEvent::IStoreRead {
+                module: 0,
+                immediate: true,
+            },
             TraceEvent::IStoreWrite { module: 0 },
-            TraceEvent::PacketSend { from: 0, to: 0, hops: 0, queued: 0, latency: 0 },
+            TraceEvent::PacketSend {
+                from: 0,
+                to: 0,
+                hops: 0,
+                queued: 0,
+                latency: 0,
+            },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

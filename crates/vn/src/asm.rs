@@ -34,8 +34,15 @@ impl Error for AsmError {}
 #[derive(Debug, Clone)]
 enum Pending {
     Ready(Instr),
-    Branch { cond: Cond, rs1: Reg, rs2: Reg, label: String },
-    Jump { label: String },
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jump {
+        label: String,
+    },
 }
 
 /// A builder that assembles [`Instr`] sequences with symbolic labels.
@@ -144,7 +151,12 @@ impl ProgramBuilder {
     /// Atomic fetch-and-add.
     pub fn fetch_add(&mut self, rd: Reg, base: Reg, offset: i64, inc: Reg) -> &mut Self {
         self.reg_ok(&[rd, base, inc]);
-        self.push(Instr::FetchAdd { rd, base, offset, inc })
+        self.push(Instr::FetchAdd {
+            rd,
+            base,
+            offset,
+            inc,
+        })
     }
 
     /// Atomic test-and-set.
@@ -209,7 +221,12 @@ impl ProgramBuilder {
         for item in &self.items {
             let i = match item {
                 Pending::Ready(i) => *i,
-                Pending::Branch { cond, rs1, rs2, label } => {
+                Pending::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let target = *self
                         .labels
                         .get(label)

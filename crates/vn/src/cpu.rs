@@ -181,29 +181,49 @@ impl Core {
             Instr::Load { rd, base, offset } => {
                 let a = self.ea(base, offset)?;
                 self.regs[rd.0 as usize] = mem.load(a)?;
-                memref = Some(MemRef { addr: a, op: MemAccess::Load });
+                memref = Some(MemRef {
+                    addr: a,
+                    op: MemAccess::Load,
+                });
             }
             Instr::Store { rs, base, offset } => {
                 let a = self.ea(base, offset)?;
                 mem.store(a, self.reg(rs))?;
-                memref = Some(MemRef { addr: a, op: MemAccess::Store });
+                memref = Some(MemRef {
+                    addr: a,
+                    op: MemAccess::Store,
+                });
             }
-            Instr::FetchAdd { rd, base, offset, inc } => {
+            Instr::FetchAdd {
+                rd,
+                base,
+                offset,
+                inc,
+            } => {
                 let a = self.ea(base, offset)?;
                 self.regs[rd.0 as usize] = mem.fetch_add(a, self.reg(inc))?;
-                memref = Some(MemRef { addr: a, op: MemAccess::Atomic });
+                memref = Some(MemRef {
+                    addr: a,
+                    op: MemAccess::Atomic,
+                });
             }
             Instr::TestSet { rd, base, offset } => {
                 let a = self.ea(base, offset)?;
                 self.regs[rd.0 as usize] = mem.test_set(a)?;
-                memref = Some(MemRef { addr: a, op: MemAccess::Atomic });
+                memref = Some(MemRef {
+                    addr: a,
+                    op: MemAccess::Atomic,
+                });
             }
             Instr::FeLoad { rd, base, offset } => {
                 let a = self.ea(base, offset)?;
                 match mem.fe_load(a)? {
                     Some(v) => {
                         self.regs[rd.0 as usize] = v;
-                        memref = Some(MemRef { addr: a, op: MemAccess::FeLoad });
+                        memref = Some(MemRef {
+                            addr: a,
+                            op: MemAccess::FeLoad,
+                        });
                     }
                     None => return Ok(Step::BusyWait { addr: a }),
                 }
@@ -211,12 +231,20 @@ impl Core {
             Instr::FeStore { rs, base, offset } => {
                 let a = self.ea(base, offset)?;
                 if mem.fe_store(a, self.reg(rs))? {
-                    memref = Some(MemRef { addr: a, op: MemAccess::FeStore });
+                    memref = Some(MemRef {
+                        addr: a,
+                        op: MemAccess::FeStore,
+                    });
                 } else {
                     return Ok(Step::BusyWait { addr: a });
                 }
             }
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.holds(self.reg(rs1), self.reg(rs2)) {
                     next = target;
                 }
@@ -244,7 +272,11 @@ impl Core {
     ///
     /// [`CoreError::OutOfFuel`] after `fuel` steps, plus any execution
     /// error.
-    pub fn run_functional(&mut self, mem: &mut dyn DataMemory, fuel: u64) -> Result<u64, CoreError> {
+    pub fn run_functional(
+        &mut self,
+        mem: &mut dyn DataMemory,
+        fuel: u64,
+    ) -> Result<u64, CoreError> {
         let mut retired = 0;
         for _ in 0..fuel {
             match self.step(mem)? {
@@ -296,7 +328,11 @@ mod tests {
     fn loads_and_stores_roundtrip() {
         let (v, a) = (Reg(1), Reg(2));
         let mut b = ProgramBuilder::new();
-        b.li(v, 77).li(a, 10).store(v, a, 5).load(Reg(3), a, 5).halt();
+        b.li(v, 77)
+            .li(a, 10)
+            .store(v, a, 5)
+            .load(Reg(3), a, 5)
+            .halt();
         let (core, mut mem) = run(&b);
         assert_eq!(core.reg(Reg(3)), 77);
         assert_eq!(mem.load(Addr(15)).unwrap(), 77);
@@ -312,7 +348,10 @@ mod tests {
         assert_eq!(
             core.step(&mut mem).unwrap(),
             Step::Executed {
-                mem: Some(MemRef { addr: Addr(5), op: MemAccess::Load })
+                mem: Some(MemRef {
+                    addr: Addr(5),
+                    op: MemAccess::Load
+                })
             }
         );
         assert_eq!(core.step(&mut mem).unwrap(), Step::Halted);
@@ -326,11 +365,17 @@ mod tests {
         b.fe_load(Reg(1), Reg(0), 3).halt();
         let mut core = Core::new(b.build().unwrap());
         let mut mem = FlatMemory::new(16);
-        assert_eq!(core.step(&mut mem).unwrap(), Step::BusyWait { addr: Addr(3) });
+        assert_eq!(
+            core.step(&mut mem).unwrap(),
+            Step::BusyWait { addr: Addr(3) }
+        );
         assert_eq!(core.pc(), 0);
         // Fill the cell from "another processor"; the retry now succeeds.
         mem.fe_store(Addr(3), 42).unwrap();
-        assert!(matches!(core.step(&mut mem).unwrap(), Step::Executed { .. }));
+        assert!(matches!(
+            core.step(&mut mem).unwrap(),
+            Step::Executed { .. }
+        ));
         assert_eq!(core.reg(Reg(1)), 42);
     }
 
@@ -360,7 +405,10 @@ mod tests {
         b.label("spin").jump("spin");
         let mut core = Core::new(b.build().unwrap());
         let mut mem = FlatMemory::new(4);
-        assert_eq!(core.run_functional(&mut mem, 100), Err(CoreError::OutOfFuel));
+        assert_eq!(
+            core.run_functional(&mut mem, 100),
+            Err(CoreError::OutOfFuel)
+        );
         assert!(CoreError::OutOfFuel.to_string().contains("fuel"));
     }
 

@@ -144,7 +144,10 @@ pub fn run_blocking(
                 s.mem_refs += 1;
                 s.busy += cfg.instr_time;
                 now += cfg.instr_time;
-                let r = MemRef { addr, op: crate::cpu::MemAccess::FeLoad };
+                let r = MemRef {
+                    addr,
+                    op: crate::cpu::MemAccess::FeLoad,
+                };
                 let l = latency(&r, now) + cfg.retry_interval;
                 s.idle += l;
                 now += l;
@@ -284,7 +287,10 @@ impl MultiContext {
                     s.mem_refs += 1;
                     s.busy += self.cfg.instr_time;
                     now += self.cfg.instr_time;
-                    let r = MemRef { addr, op: crate::cpu::MemAccess::FeLoad };
+                    let r = MemRef {
+                        addr,
+                        op: crate::cpu::MemAccess::FeLoad,
+                    };
                     self.ready_at[i] = now + latency(&r, now) + self.cfg.retry_interval;
                 }
             }
@@ -314,8 +320,8 @@ mod tests {
         for l in [0u64, 1, 9, 99] {
             let mut core = Core::new(load_heavy_program(50));
             let mut mem = FlatMemory::new(64);
-            let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(l), RunConfig::default())
-                .unwrap();
+            let s =
+                run_blocking(&mut core, &mut mem, |_, _| Cycle(l), RunConfig::default()).unwrap();
             assert!(s.completed);
             let expected = 1.0 / (1.0 + l as f64);
             assert!(

@@ -24,8 +24,13 @@ fn blocking_run_accounting_is_exact() {
         b.halt();
         let mut core = Core::new(b.build().unwrap());
         let mut mem = FlatMemory::new(512);
-        let s = run_blocking(&mut core, &mut mem, |_, _| Cycle(latency), RunConfig::default())
-            .unwrap();
+        let s = run_blocking(
+            &mut core,
+            &mut mem,
+            |_, _| Cycle(latency),
+            RunConfig::default(),
+        )
+        .unwrap();
         assert!(s.completed);
         assert_eq!(s.mem_refs, refs as u64);
         assert_eq!(s.busy.as_u64(), s.instructions);
@@ -47,7 +52,11 @@ fn alu_ops_match_rust_semantics() {
             (AluOp::Max, a.max(b)),
         ] {
             let mut builder = ProgramBuilder::new();
-            builder.li(Reg(1), a).li(Reg(2), b).alu(op, Reg(3), Reg(1), Reg(2)).halt();
+            builder
+                .li(Reg(1), a)
+                .li(Reg(2), b)
+                .alu(op, Reg(3), Reg(1), Reg(2))
+                .halt();
             let mut core = Core::new(builder.build().unwrap());
             let mut mem = FlatMemory::new(4);
             core.run_functional(&mut mem, 100).unwrap();

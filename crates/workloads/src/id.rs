@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn fib_matches_reference() {
-        assert_eq!(run(fib(), &[Value::Int(14)]), Value::Int(reference::fib(14)));
+        assert_eq!(
+            run(fib(), &[Value::Int(14)]),
+            Value::Int(reference::fib(14))
+        );
     }
 
     #[test]

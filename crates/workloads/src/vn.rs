@@ -54,10 +54,22 @@ pub fn producer_consumer(n: i64, work: i64, strategy: SyncStrategy) -> SyncWorkl
     let expected_sum = total * (total - 1) / 2;
 
     // ---- Producer ----
-    let (idx, val, t, a, one, lim, wk, wn) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
+    let (idx, val, t, a, one, lim, wk, wn) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(8),
+    );
     let mut p = ProgramBuilder::new();
-    p.li(idx, 0).li(a, ARRAY_BASE).li(one, 1).li(lim, total).li(wn, work);
+    p.li(idx, 0)
+        .li(a, ARRAY_BASE)
+        .li(one, 1)
+        .li(lim, total)
+        .li(wn, work);
     p.label("elem");
     // "compute" the element: `work` dependent adds.
     p.li(wk, 0).li(val, 0);
@@ -105,10 +117,13 @@ pub fn producer_consumer(n: i64, work: i64, strategy: SyncStrategy) -> SyncWorkl
     let producer = p.build().expect("producer assembles");
 
     // ---- Consumer ----
-    let (idx, sum, t, a, one, lim, v) =
-        (Reg(1), Reg(5), Reg(3), Reg(4), Reg(6), Reg(7), Reg(2));
+    let (idx, sum, t, a, one, lim, v) = (Reg(1), Reg(5), Reg(3), Reg(4), Reg(6), Reg(7), Reg(2));
     let mut c = ProgramBuilder::new();
-    c.li(idx, 0).li(sum, 0).li(a, ARRAY_BASE).li(one, 1).li(lim, total);
+    c.li(idx, 0)
+        .li(sum, 0)
+        .li(a, ARRAY_BASE)
+        .li(one, 1)
+        .li(lim, total);
     match strategy {
         SyncStrategy::WholeArray => {
             c.li(t, flag_base(n));
@@ -236,7 +251,11 @@ pub fn chaotic_relaxation(
 pub fn hot_spot_counter(k: i64, think: i64) -> Program {
     let (one, i, n, t, w, wn) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
     let mut b = ProgramBuilder::new();
-    b.li(one, 1).li(i, 0).li(n, k).li(Reg(7), ARRAY_BASE).li(wn, think);
+    b.li(one, 1)
+        .li(i, 0)
+        .li(n, k)
+        .li(Reg(7), ARRAY_BASE)
+        .li(wn, think);
     b.label("l");
     b.li(w, 0);
     b.label("think");
@@ -282,7 +301,11 @@ pub fn latency_probe(refs: i64, compute: i64, base: i64, stride: i64) -> Program
 pub fn spin_lock_counter(k: i64, work: i64) -> Program {
     let (i, t, v, one, wn, w) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
     let mut b = ProgramBuilder::new();
-    b.li(i, 0).li(one, 1).li(Reg(7), ARRAY_BASE).li(Reg(8), k).li(wn, work);
+    b.li(i, 0)
+        .li(one, 1)
+        .li(Reg(7), ARRAY_BASE)
+        .li(Reg(8), k)
+        .li(wn, work);
     b.label("txn");
     // Acquire: spin on TEST-AND-SET until it returns 0.
     b.label("acquire");
@@ -363,9 +386,9 @@ pub fn matmul_slice(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ttda_machines::Smp;
     use ttda_sim::Cycle;
     use ttda_vn::{Core, FlatMemory, MemRef, RunConfig};
-    use ttda_machines::Smp;
 
     fn run_pair(w: &SyncWorkload, latency: u64) -> (i64, ttda_machines::SmpStats) {
         let cores = vec![Core::new(w.producer.clone()), Core::new(w.consumer.clone())];
@@ -433,10 +456,7 @@ mod tests {
         // but values must stay bounded by the initial max.
         for p in 0..procs {
             for c in 0..cells {
-                let v = smp
-                    .memory_mut()
-                    .load(ttda_mem::Addr(p * wpm + c))
-                    .unwrap();
+                let v = smp.memory_mut().load(ttda_mem::Addr(p * wpm + c)).unwrap();
                 assert!((0..=1024).contains(&v), "cell ({p},{c}) = {v}");
             }
         }
@@ -455,7 +475,9 @@ mod tests {
         assert!(stats.completed);
         use ttda_vn::DataMemory;
         assert_eq!(
-            smp.memory_mut().load(ttda_mem::Addr(ARRAY_BASE as usize)).unwrap(),
+            smp.memory_mut()
+                .load(ttda_mem::Addr(ARRAY_BASE as usize))
+                .unwrap(),
             procs as i64 * 5
         );
     }
@@ -465,13 +487,9 @@ mod tests {
         let prog = latency_probe(10, 3, 100, 2);
         let mut core = Core::new(prog);
         let mut mem = FlatMemory::new(1024);
-        let stats = ttda_vn::run_blocking(
-            &mut core,
-            &mut mem,
-            |_, _| Cycle(7),
-            RunConfig::default(),
-        )
-        .unwrap();
+        let stats =
+            ttda_vn::run_blocking(&mut core, &mut mem, |_, _| Cycle(7), RunConfig::default())
+                .unwrap();
         assert!(stats.completed);
         assert_eq!(stats.mem_refs, 10);
     }

@@ -60,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.instr_count()
     );
     for (i, b) in program.blocks.iter().enumerate() {
-        eprintln!("  block c{i} `{}`: {} instrs, {} params", b.name, b.instrs.len(), b.params.len());
+        eprintln!(
+            "  block c{i} `{}`: {} instrs, {} params",
+            b.name,
+            b.instrs.len(),
+            b.params.len()
+        );
     }
 
     if want_dot {

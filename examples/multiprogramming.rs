@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let jobs = vec![
         (mains[0], vec![Value::Int(13)]),
-        (mains[1], vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)]),
+        (
+            mains[1],
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
+        ),
         (mains[2], vec![Value::Int(4)]),
     ];
 

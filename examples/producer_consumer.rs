@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let work = 25; // production cost per element
 
     println!("producer fills an {n}x{n} array; consumer sums it.\n");
-    println!("{:<28} {:>10} {:>12} {:>14}", "synchronization", "cycles", "consumer idle", "sum");
+    println!(
+        "{:<28} {:>10} {:>12} {:>14}",
+        "synchronization", "cycles", "consumer idle", "sum"
+    );
     for (name, strategy) in [
         ("whole-array barrier", SyncStrategy::WholeArray),
         ("per-row flags", SyncStrategy::PerRow),
@@ -70,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // backend — here four worker threads sharing the sharded matching
     // store and I-structure shards — reports a bit-identical result.
     let seq = Emulator::new(&program).run(&[Value::Int(total)])?;
-    let par = Emulator::new(&program).with_threads(4).run(&[Value::Int(total)])?;
+    let par = Emulator::new(&program)
+        .with_threads(4)
+        .run(&[Value::Int(total)])?;
     assert_eq!(seq, par);
     println!(
         "\nemulator: peak deferred reads {} — identical result at 1 and 4 host threads.",

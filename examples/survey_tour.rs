@@ -20,9 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // caches never shipped.
     println!("C.mmp — crossbar cost and the coherence problem");
     for procs in [4usize, 16, 64] {
-        let cfg = CmmpConfig { procs, ..CmmpConfig::default() };
+        let cfg = CmmpConfig {
+            procs,
+            ..CmmpConfig::default()
+        };
         let m = Cmmp::new(vec![Core::new(hot_spot_counter(1, 0)); procs], cfg);
-        println!("  {procs:>3} processors -> {:>5} crosspoints", m.switch_cost());
+        println!(
+            "  {procs:>3} processors -> {:>5} crosspoints",
+            m.switch_cost()
+        );
     }
     let cfg = CmmpConfig {
         procs: 8,
@@ -45,8 +51,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let clusters = procs / per_cluster;
         let n = clusters * per_cluster;
         let cells = (128 / n).max(2);
-        let cfg = CmStarConfig { clusters, per_cluster, words_per_module: 256, ..CmStarConfig::default() };
-        let cores = (0..n).map(|p| Core::new(chaotic_relaxation(p, n, cells, 6, 256))).collect();
+        let cfg = CmStarConfig {
+            clusters,
+            per_cluster,
+            words_per_module: 256,
+            ..CmStarConfig::default()
+        };
+        let cores = (0..n)
+            .map(|p| Core::new(chaotic_relaxation(p, n, cells, 6, 256)))
+            .collect();
         let mut m = CmStar::new(cores, cfg);
         let stats = m.run()?;
         println!(
@@ -60,10 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ultracomputer — FETCH-AND-ADD combining");
     for n in [16usize, 64, 256] {
         let t = |c| {
-            Ultra::new(UltraConfig { procs: n, combining: c, ..UltraConfig::default() })
-                .expect("size")
-                .hot_spot(&vec![1; n])
-                .completion
+            Ultra::new(UltraConfig {
+                procs: n,
+                combining: c,
+                ..UltraConfig::default()
+            })
+            .expect("size")
+            .hot_spot(&vec![1; n])
+            .completion
         };
         println!(
             "  {n:>3} procs on one counter: serial {:>6}, combining {:>4}",
@@ -81,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SimRng::seed(1);
     let hit = machine.execute(&regular, 0.0, &mut rng);
     let miss = machine.execute(&regular, 0.3, &mut rng);
-    println!("  regular kernel: {:.1} ops/word;  branchy: {:.1} ops/word", regular.ilp(), branchy.ilp());
+    println!(
+        "  regular kernel: {:.1} ops/word;  branchy: {:.1} ops/word",
+        regular.ilp(),
+        branchy.ilp()
+    );
     println!(
         "  30% miss rate stalls the whole lockstep machine: {} -> {}\n",
         hit.cycles, miss.cycles
@@ -95,7 +116,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .flat_map(|r| {
             vec![
                 CmInstr::Compute { bit_ops: 32 },
-                CmInstr::Route { messages: (0..n).map(|p| (p, (p * 31 + 1 + r) % n)).collect() },
+                CmInstr::Route {
+                    messages: (0..n).map(|p| (p, (p * 31 + 1 + r) % n)).collect(),
+                },
             ]
         })
         .collect();

@@ -66,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the same idea on host threads, and its deterministic merge keeps
     // the emulated machine's behaviour independent of the host's size.
     let seq = Emulator::new(&program).run(&[Value::Int(15)])?;
-    let par = Emulator::new(&program).with_threads(8).run(&[Value::Int(15)])?;
+    let par = Emulator::new(&program)
+        .with_threads(8)
+        .run(&[Value::Int(15)])?;
     assert_eq!(seq, par);
     println!(
         "\nparallel emulation: 8 host workers reproduce the 1-worker run exactly\n\

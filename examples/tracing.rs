@@ -37,7 +37,10 @@ fn main() {
     // The Id producer/consumer program on an 8-PE hypercube machine.
     let program = ttda::idc::compile(ttda::workloads::id::producer_consumer())
         .expect("producer_consumer compiles");
-    let sink = shared(Tee { counts: CountingSink::new(), chrome: ChromeTraceSink::new() });
+    let sink = shared(Tee {
+        counts: CountingSink::new(),
+        chrome: ChromeTraceSink::new(),
+    });
 
     let mut machine = TimedMachine::new(
         program,
@@ -56,12 +59,19 @@ fn main() {
         tee.counts.tokens_emitted(),
         tee.counts.tokens_consumed(),
         tee.counts.in_flight_at_halt(),
-        if tee.counts.token_conservation_holds() { "HOLDS" } else { "VIOLATED" }
+        if tee.counts.token_conservation_holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     std::fs::create_dir_all("target/traces").expect("mkdir");
-    std::fs::write("target/traces/example.chrome.json", tee.chrome.to_chrome_json())
-        .expect("write trace");
+    std::fs::write(
+        "target/traces/example.chrome.json",
+        tee.chrome.to_chrome_json(),
+    )
+    .expect("write trace");
     println!(
         "\nwrote target/traces/example.chrome.json ({} events) — open it at https://ui.perfetto.dev",
         tee.chrome.len()
@@ -84,7 +94,11 @@ fn main() {
     let counts = s.as_any().downcast_ref::<CountingSink>().expect("counting");
     println!(
         "\n[emulator, 4 worker threads] token conservation: {} ({} emitted, {} consumed)",
-        if counts.token_conservation_holds() { "HOLDS" } else { "VIOLATED" },
+        if counts.token_conservation_holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
         counts.tokens_emitted(),
         counts.tokens_consumed(),
     );

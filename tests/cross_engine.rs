@@ -91,9 +91,16 @@ fn every_mapping_policy_agrees() {
         MappingPolicy::ByContext,
         MappingPolicy::Spread,
     ] {
-        let cfg = TimedConfig { mapping, ..TimedConfig::default() };
+        let cfg = TimedConfig {
+            mapping,
+            ..TimedConfig::default()
+        };
         let mut m = TimedMachine::ideal(p.clone(), 6, Cycle(5), cfg);
-        assert_eq!(m.run(&[Value::Int(11)]).expect("runs").outputs[&0], want, "{mapping:?}");
+        assert_eq!(
+            m.run(&[Value::Int(11)]).expect("runs").outputs[&0],
+            want,
+            "{mapping:?}"
+        );
     }
 }
 
@@ -110,7 +117,10 @@ fn every_topology_runs_the_machine() {
     assert_eq!(xbar.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
 
     let mut omega = TimedMachine::new(p.clone(), Omega::new(8).expect("omega"), cfg);
-    assert_eq!(omega.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
+    assert_eq!(
+        omega.run(&[Value::Int(16)]).expect("runs").outputs[&0],
+        want
+    );
 
     let mut grid = TimedMachine::new(p.clone(), Grid2d::new(3, 3).expect("grid"), cfg);
     assert_eq!(grid.run(&[Value::Int(16)]).expect("runs").outputs[&0], want);
@@ -126,9 +136,12 @@ fn faulty_and_partitioned_cube_still_computes() {
 
     let mut cube = Hypercube::new(4).expect("cube");
     // Take down three links; routing tables heal around them.
-    cube.fail_link(ttda::net::NodeId(0), ttda::net::NodeId(1)).expect("fault");
-    cube.fail_link(ttda::net::NodeId(2), ttda::net::NodeId(6)).expect("fault");
-    cube.fail_link(ttda::net::NodeId(8), ttda::net::NodeId(12)).expect("fault");
+    cube.fail_link(ttda::net::NodeId(0), ttda::net::NodeId(1))
+        .expect("fault");
+    cube.fail_link(ttda::net::NodeId(2), ttda::net::NodeId(6))
+        .expect("fault");
+    cube.fail_link(ttda::net::NodeId(8), ttda::net::NodeId(12))
+        .expect("fault");
     let mut m = TimedMachine::new(p, cube, TimedConfig::default());
     assert_eq!(m.run(&[Value::Int(10)]).expect("runs").outputs[&0], want);
 }
@@ -159,7 +172,10 @@ fn machine_trait_drives_both_engines() {
     let p = ttda::idc::compile(id::fib()).expect("compiles");
     let want = Value::Int(reference::fib(12));
     assert_eq!(slot0(Emulator::new(&p), &[Value::Int(12)]), want);
-    assert_eq!(slot0(Emulator::new(&p).with_threads(4), &[Value::Int(12)]), want);
+    assert_eq!(
+        slot0(Emulator::new(&p).with_threads(4), &[Value::Int(12)]),
+        want
+    );
     assert_eq!(
         slot0(
             TimedMachine::ideal(p, 4, Cycle(5), TimedConfig::default()),
@@ -202,9 +218,7 @@ fn compiled_trapezoid_has_fig22_shape() {
     use ttda::core::OpCode;
     let p = ttda::idc::compile(ttda::workloads::id::trapezoid()).expect("compiles");
     let main = p.block(p.main).expect("main exists");
-    let count = |pred: &dyn Fn(&OpCode) -> bool| {
-        main.instrs.iter().filter(|i| pred(&i.op)).count()
-    };
+    let count = |pred: &dyn Fn(&OpCode) -> bool| main.instrs.iter().filter(|i| pred(&i.op)).count();
     // Fig 2-2's operator inventory: one D / Switch / L / D⁻¹ per
     // circulating variable. The loop circulates s, x, the induction var
     // i, its bound and step, and the invariants (h and the f-triggering
@@ -245,12 +259,18 @@ fn optimizer_preserves_every_workload() {
         (id::relaxation(), vec![Value::Int(10)]),
         (id::matmul(), vec![Value::Int(3)]),
         (id::wavefront(), vec![Value::Int(6)]),
-        (id::trapezoid(), vec![Value::Float(0.0), Value::Float(1.0), Value::Int(32)]),
+        (
+            id::trapezoid(),
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Int(32)],
+        ),
     ];
     for (src, inputs) in cases {
         let p = ttda::idc::compile(src).expect("compiles");
         let (opt, stats) = optimize(&p);
-        assert!(stats.identities_collapsed > 0, "every Id program has junctions");
+        assert!(
+            stats.identities_collapsed > 0,
+            "every Id program has junctions"
+        );
         let a = Emulator::new(&p).run(&inputs).expect("runs");
         let b = Emulator::new(&opt).run(&inputs).expect("runs optimized");
         assert_eq!(a.outputs, b.outputs);

@@ -152,7 +152,11 @@ fn dot_product_of_two_streams() {
            return s) };";
     let reference = |n: i64| (0..n).map(|i| (i + 1) * (n - i)).sum::<i64>();
     for n in [1i64, 4, 12] {
-        assert_eq!(run(src, &[Value::Int(n)]), Value::Int(reference(n)), "n={n}");
+        assert_eq!(
+            run(src, &[Value::Int(n)]),
+            Value::Int(reference(n)),
+            "n={n}"
+        );
     }
 }
 

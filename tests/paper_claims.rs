@@ -27,10 +27,17 @@ fn claim_latency_tolerance() {
     let p = ttda::idc::compile(id::producer_consumer()).expect("compiles");
     let cycles = |l: u64| {
         let mut m = TimedMachine::ideal(p.clone(), 4, Cycle(l), TimedConfig::default());
-        m.run(&[Value::Int(32)]).expect("runs").stats.cycles.as_u64() as f64
+        m.run(&[Value::Int(32)])
+            .expect("runs")
+            .stats
+            .cycles
+            .as_u64() as f64
     };
     let ratio = cycles(20) / cycles(1);
-    assert!(ratio < 2.0, "TTDA slowed {ratio}x over a 20x latency increase");
+    assert!(
+        ratio < 2.0,
+        "TTDA slowed {ratio}x over a 20x latency increase"
+    );
 }
 
 /// Issue 2: producers and consumers share an array element-wise with no
@@ -103,6 +110,8 @@ fn claim_write_write_race_detected() {
           a[0] <- n + 1;
           a[0] };";
     let p = ttda::idc::compile(src).expect("compiles");
-    let err = Emulator::new(&p).run(&[Value::Int(1)]).expect_err("must fail");
+    let err = Emulator::new(&p)
+        .run(&[Value::Int(1)])
+        .expect_err("must fail");
     assert!(err.to_string().contains("already written"), "{err}");
 }

@@ -183,7 +183,10 @@ fn timed_machine_agrees_with_emulator_on_random_exprs() {
             .expect("runs")
             .outputs[&0];
         let mut m = TimedMachine::ideal(p, pes, Cycle(3), TimedConfig::default());
-        let got = m.run(&[Value::Int(x), Value::Int(y)]).expect("runs").outputs[&0];
+        let got = m
+            .run(&[Value::Int(x), Value::Int(y)])
+            .expect("runs")
+            .outputs[&0];
         assert_eq!(got, want);
     });
 }
@@ -246,8 +249,12 @@ fn matching_store_agrees_with_hashmap_model() {
                 });
                 slots[port.0 as usize] = Some(value);
                 if slots.iter().all(Option::is_some) {
-                    let operands: Vec<Value> =
-                        model.remove(&tag).unwrap().into_iter().map(Option::unwrap).collect();
+                    let operands: Vec<Value> = model
+                        .remove(&tag)
+                        .unwrap()
+                        .into_iter()
+                        .map(Option::unwrap)
+                        .collect();
                     Ok(Some(operands))
                 } else {
                     Ok(None)
@@ -259,7 +266,11 @@ fn matching_store_agrees_with_hashmap_model() {
                 (Err(_), Err(())) => {}
                 (Ok(Absorbed::Parked), Ok(None)) => {}
                 (Ok(Absorbed::Enabled(ops)), Ok(Some(want_ops))) => {
-                    assert_eq!(&ops[..], &want_ops[..], "operand order diverged for {tag:?}");
+                    assert_eq!(
+                        &ops[..],
+                        &want_ops[..],
+                        "operand order diverged for {tag:?}"
+                    );
                 }
                 (got, want) => panic!("outcome diverged for {tag:?}: {got:?} vs {want:?}"),
             }
@@ -268,8 +279,7 @@ fn matching_store_agrees_with_hashmap_model() {
         let mut store_keys = Vec::new();
         store.for_each_key(|k| store_keys.push((k.u.0, k.c.0, k.s.0, k.i.0)));
         store_keys.sort_unstable();
-        let mut model_keys: Vec<_> =
-            model.keys().map(|k| (k.u.0, k.c.0, k.s.0, k.i.0)).collect();
+        let mut model_keys: Vec<_> = model.keys().map(|k| (k.u.0, k.c.0, k.s.0, k.i.0)).collect();
         model_keys.sort_unstable();
         assert_eq!(store_keys, model_keys, "resident key sets diverged");
     });
@@ -318,6 +328,88 @@ fn istructure_semantics_hold() {
                 }
             }
         }
+    });
+}
+
+/// The packed bitmap/arena store and the enum-cell reference model are
+/// observationally identical: same outcomes, same errors, same
+/// deferred-release *order* (the release order is part of the engines'
+/// determinism contract — the parallel backend replays releases in store
+/// order, so a divergence here would change `EmuResult` between
+/// engines), same presence/peek/counter views, and the same dropped
+/// count on reclaim.
+#[test]
+fn packed_istructure_matches_enum_reference() {
+    use ttda::mem::{EnumIStructure, Presence};
+
+    check::forall("packed istructure matches enum reference", |rng| {
+        let size = rng.gen_range(1usize..70);
+        let mut packed: IStructure<i64, usize> = IStructure::new(size);
+        let mut model: EnumIStructure<i64, usize> = EnumIStructure::new(size);
+        let ops = rng.gen_range(1usize..120);
+        for seq in 0..ops {
+            // Mostly in-range; occasionally out of range to compare the
+            // error paths too.
+            let addr = if rng.chance(0.05) {
+                Addr(size + rng.gen_range(0usize..4))
+            } else {
+                Addr(rng.gen_range(0usize..size))
+            };
+            match rng.gen_range(0u64..10) {
+                // Write (racing sometimes, since addresses repeat).
+                0..=3 => {
+                    let val = rng.gen_range(-100i64..100);
+                    let mut got = Vec::new();
+                    let mut want = Vec::new();
+                    let a = packed.write_with(addr, val, |r| got.push(r));
+                    let b = model.write_with(addr, val, |r| want.push(r));
+                    assert_eq!(a, b, "write outcome diverged at op {seq}");
+                    assert_eq!(got, want, "release order diverged at op {seq}");
+                }
+                // Read.
+                4..=8 => {
+                    assert_eq!(
+                        packed.read(addr, seq),
+                        model.read(addr, seq),
+                        "read outcome diverged at op {seq}"
+                    );
+                }
+                // Occasional wholesale reclaim.
+                _ => {
+                    if rng.chance(0.25) {
+                        assert_eq!(
+                            packed.reclaim(),
+                            model.reclaim(),
+                            "reclaim dropped-count diverged"
+                        );
+                    }
+                }
+            }
+            // Observational views agree after every operation. An
+            // errored packed cell must still *look* Present (the race
+            // keeps the first value).
+            assert_eq!(packed.presence(addr), model.presence(addr));
+            assert_eq!(packed.deferred_count(addr), model.deferred_count(addr));
+            assert_eq!(packed.deferred_outstanding(), model.deferred_outstanding());
+            if addr.0 < size {
+                assert_eq!(packed.peek(addr), model.peek(addr));
+            }
+        }
+        // Global walk order: cell order, then arrival order.
+        let mut got = Vec::new();
+        packed.for_each_deferred(|r| got.push(*r));
+        let mut want = Vec::new();
+        model.for_each_deferred(|r| want.push(*r));
+        assert_eq!(got, want, "for_each_deferred order diverged");
+        // The word-at-a-time bitmap audit agrees with the enum cells.
+        let deferred_cells = (0..size)
+            .filter(|&c| model.presence(Addr(c)) == Ok(Presence::Deferred))
+            .count();
+        assert_eq!(packed.deferred_cells(), deferred_cells);
+        // Final teardown drops the same number of parked readers.
+        assert_eq!(packed.reclaim(), model.reclaim());
+        assert_eq!(packed.deferred_outstanding(), 0);
+        assert_eq!(packed.error_cells(), 0);
     });
 }
 
@@ -431,7 +523,10 @@ fn gen_value(rng: &mut SimRng) -> ttda::core::Value {
                 }
             }
         }
-        _ => V::Ptr(StructRef { id: rng.next_u32(), len: rng.next_u32() }),
+        _ => V::Ptr(StructRef {
+            id: rng.next_u32(),
+            len: rng.next_u32(),
+        }),
     }
 }
 
@@ -458,4 +553,3 @@ fn wire_tokens_roundtrip() {
         assert_eq!(bnt, nt);
     });
 }
-

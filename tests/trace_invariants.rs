@@ -14,7 +14,9 @@ use ttda::trace::{shared, CountingSink};
 
 fn counting(sink: &ttda::trace::SharedSink) -> std::cell::Ref<'_, CountingSink> {
     std::cell::Ref::map(sink.borrow(), |s| {
-        s.as_any().downcast_ref::<CountingSink>().expect("counting sink")
+        s.as_any()
+            .downcast_ref::<CountingSink>()
+            .expect("counting sink")
     })
 }
 
@@ -76,7 +78,11 @@ fn parallel_backend_preserves_the_trace_ledger() {
         assert_eq!(c.deferred_outstanding(), 0, "threads={threads}");
         let s = counting(&seq_sink);
         assert_eq!(c.tokens_emitted(), s.tokens_emitted(), "threads={threads}");
-        assert_eq!(c.tokens_consumed(), s.tokens_consumed(), "threads={threads}");
+        assert_eq!(
+            c.tokens_consumed(),
+            s.tokens_consumed(),
+            "threads={threads}"
+        );
         assert_eq!(
             c.metrics().counter_value("match_fire"),
             s.metrics().counter_value("match_fire"),
@@ -110,7 +116,10 @@ fn producer_consumer_conserves_tokens_on_the_timed_machine() {
     assert!(c.token_conservation_holds());
     assert!(c.quiescent());
     assert_eq!(c.tokens_emitted(), r.stats.tokens_delivered);
-    assert_eq!(c.metrics().counter_value("match_fire"), r.stats.instructions);
+    assert_eq!(
+        c.metrics().counter_value("match_fire"),
+        r.stats.instructions
+    );
     assert_eq!(c.packets(), r.stats.net_packets);
 }
 
@@ -121,8 +130,7 @@ fn traced_hop_counts_match_the_topology_distance() {
     // packet must take a shortest path.
     let cube = Hypercube::new(4).unwrap();
     let sink = shared(CountingSink::new());
-    let mut fabric =
-        Fabric::new(cube, FabricConfig::default()).with_sink(sink.clone());
+    let mut fabric = Fabric::new(cube, FabricConfig::default()).with_sink(sink.clone());
 
     let mut rng = SimRng::seed(0x1983);
     let pairs: Vec<(NodeId, NodeId)> = (0..300)
@@ -156,11 +164,17 @@ fn hop_counts_stay_consistent_across_a_link_failure() {
     // topology reports.
     let cube = Hypercube::new(3).unwrap();
     let sink = shared(CountingSink::new());
-    let mut fabric =
-        Fabric::new(cube, FabricConfig::default()).with_sink(sink.clone());
+    let mut fabric = Fabric::new(cube, FabricConfig::default()).with_sink(sink.clone());
 
-    fabric.topology_mut().fail_link(NodeId(0), NodeId(1)).unwrap();
-    let pairs = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0)), (NodeId(0), NodeId(7))];
+    fabric
+        .topology_mut()
+        .fail_link(NodeId(0), NodeId(1))
+        .unwrap();
+    let pairs = [
+        (NodeId(0), NodeId(1)),
+        (NodeId(1), NodeId(0)),
+        (NodeId(0), NodeId(7)),
+    ];
     for (i, &(a, b)) in pairs.iter().enumerate() {
         fabric.send(Cycle(i as u64), a, b);
     }
