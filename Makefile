@@ -1,6 +1,6 @@
 # Convenience targets for the ttda suite.
 
-.PHONY: all test bench experiments experiments-output quickbench doc examples clean
+.PHONY: all test bench experiments experiments-output quickbench fuzz fuzz-corpus doc examples clean
 
 all: test
 
@@ -23,6 +23,19 @@ experiments-output:
 quickbench:
 	cargo run --release -p ttda-bench --bin experiments -- quickbench \
 		--out BENCH_matching.json --istore-out BENCH_istore.json
+
+# A short local differential-fuzz hunt (deterministic per seed; see
+# DESIGN.md §11). Override: make fuzz FUZZ_SEED=42 FUZZ_ITERS=5000
+FUZZ_SEED ?= 1
+FUZZ_ITERS ?= 1000
+fuzz:
+	cargo run --release -p ttda-bench --bin experiments -- \
+		fuzz --seed $(FUZZ_SEED) --iters $(FUZZ_ITERS) --out target/fuzz-divergence.txt
+
+# Replays the pinned regression corpus (tests/fuzz_regressions.txt)
+# through the cross-engine oracle, same as CI's fuzz-smoke job.
+fuzz-corpus:
+	cargo test --release --test fuzz_corpus
 
 doc:
 	cargo doc --workspace --no-deps

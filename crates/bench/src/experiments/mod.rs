@@ -3,6 +3,7 @@
 mod ablations;
 mod dataflow;
 mod endtoend;
+mod fuzzcov;
 mod issue1;
 mod istoreperf;
 mod matchperf;
@@ -15,6 +16,7 @@ mod testbed;
 pub use ablations::{a1, a2, a3, a4, a5};
 pub use dataflow::{e10, e11, e13};
 pub use endtoend::e14;
+pub use fuzzcov::e19;
 pub use issue1::{e1, e4};
 pub use istoreperf::e18;
 pub use matchperf::e17;
@@ -26,9 +28,9 @@ pub use testbed::e12;
 
 /// All experiment ids, in order (e* reproduce paper claims, a* are
 /// design ablations).
-pub const EXPERIMENT_IDS: [&str; 23] = [
+pub const EXPERIMENT_IDS: [&str; 24] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "a1", "a2", "a3", "a4", "a5",
+    "e16", "e17", "e18", "e19", "a1", "a2", "a3", "a4", "a5",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -56,6 +58,7 @@ pub fn run_experiment(id: &str) -> Result<String, String> {
         "e16" => e16(),
         "e17" => e17(),
         "e18" => e18(),
+        "e19" => e19(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),

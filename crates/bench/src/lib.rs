@@ -32,11 +32,13 @@
 //! | e16 | host-thread scaling of the parallel emulation backend (§3) |
 //! | e17 | waiting–matching store throughput: packed tags vs stock HashMap (§2.2.2) |
 //! | e18 | I-structure storage throughput: packed presence bitmap vs enum cells (§2.1) |
+//! | e19 | differential-fuzz corpus coverage: generator family × oracle outcome (§2.2) |
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod experiments;
+pub mod fuzzcmd;
 pub mod quickbench;
 pub mod report;
 pub mod suites;

@@ -10,6 +10,8 @@
 //! cargo run --release -p ttda-bench --bin experiments -- all --normalize
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json
+//! cargo run --release -p ttda-bench --bin experiments -- fuzz --seed 1 --iters 500
+//! cargo run --release -p ttda-bench --bin experiments -- fuzz --budget-ms 60000 --out target/fuzz-divergence.txt
 //! ```
 //!
 //! `--threads N` selects how many host worker threads every emulator run
@@ -32,6 +34,7 @@ fn usage() -> ExitCode {
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
          \n       experiments quickbench [--suites matching,istore,endtoend] [--out FILE] [--check BASELINE]\n\
          \n                              [--istore-out FILE] [--istore-check BASELINE]\n\
+         \n       experiments fuzz [--seed S] [--iters N] [--budget-ms MS] [--families F,G] [--out FILE]\n\
          \n       --threads N: emulator host worker threads (0 = one per core)\n\
          \n       --normalize: replace host-dependent numbers with placeholders (stable output)",
         EXPERIMENT_IDS.join(", "),
@@ -292,6 +295,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "quickbench" {
         return quickbench_main(&args[1..]);
+    }
+    if args[0] == "fuzz" {
+        return ttda_bench::fuzzcmd::fuzz_main(&args[1..]);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()

@@ -627,3 +627,70 @@ mod tests {
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
     }
 }
+
+#[cfg(test)]
+mod hot_key_tests {
+    use super::*;
+    use ttda_sim::{SimRng, Zipf};
+
+    /// Hot-key contention drill for the deferred arena: a Zipf-hot cell
+    /// cycles through park → release-all → re-park many times, with cold
+    /// cells parking in between, so the free list keeps recycling nodes
+    /// into the hot cell's list. The FIFO contract must hold every
+    /// round: releases stream in arrival order, and the recycled arena
+    /// never grows past the peak concurrent parking demand.
+    #[test]
+    fn hot_cell_fifo_survives_arena_recycling() {
+        let size = 32;
+        let mut m: PackedIStructure<i64, u64> = PackedIStructure::new(size);
+        let zipf = Zipf::new(size, 1.5);
+        let mut rng = SimRng::seed(0x5eed);
+        let mut next_reader: u64 = 0;
+        let mut parked: Vec<Vec<u64>> = vec![Vec::new(); size];
+        let mut peak_parked = 0usize;
+        for round in 0..40 {
+            // Park a Zipf-skewed batch of readers.
+            for _ in 0..rng.gen_range(3usize..12) {
+                let cell = zipf.sample(&mut rng);
+                assert_eq!(
+                    m.read(Addr(cell), next_reader).unwrap(),
+                    ReadOutcome::Deferred,
+                    "round {round}: unwritten cell must defer"
+                );
+                parked[cell].push(next_reader);
+                next_reader += 1;
+            }
+            peak_parked = peak_parked.max(m.deferred_outstanding());
+            // Release the hottest currently-parked cell; arrival order
+            // is the contract.
+            let hot = (0..size)
+                .max_by_key(|&c| parked[c].len())
+                .expect("some cell parked");
+            let mut released = Vec::new();
+            m.write_with(Addr(hot), hot as i64, |r| released.push(r))
+                .unwrap();
+            assert_eq!(
+                released,
+                std::mem::take(&mut parked[hot]),
+                "round {round}: release order must be arrival order"
+            );
+            // Reclaim resets everything, pushing all nodes through the
+            // free list so the next round re-parks on recycled storage.
+            let dropped = m.reclaim();
+            assert_eq!(
+                dropped,
+                parked.iter().map(Vec::len).sum::<usize>(),
+                "round {round}: reclaim must drop exactly the still-parked readers"
+            );
+            parked.iter_mut().for_each(Vec::clear);
+            assert_eq!(m.deferred_outstanding(), 0);
+        }
+        // Steady state: the arena holds no more nodes than the worst
+        // round needed at once — recycling, not leaking.
+        assert!(
+            m.node_arena_len() <= peak_parked,
+            "arena grew to {} nodes for a peak demand of {peak_parked}",
+            m.node_arena_len()
+        );
+    }
+}

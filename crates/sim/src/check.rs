@@ -101,6 +101,121 @@ where
     run_one(name, seed, &prop);
 }
 
+/// Default number of shrink candidates a failing [`forall_shrink`] case
+/// may evaluate while minimizing.
+pub const SHRINK_BUDGET: usize = 1_000;
+
+/// Greedy delta-debugging: starting from a failing `input`, repeatedly
+/// adopts the first `shrink` candidate on which `still_fails` holds,
+/// until no candidate fails or `budget` candidate evaluations have been
+/// spent. Returns the minimized input and the number of successful
+/// shrink steps.
+///
+/// `shrink` should propose *strictly smaller* inputs (fewer nodes,
+/// smaller constants, shorter sequences); since every adopted candidate
+/// is smaller than its parent, the loop terminates even without the
+/// budget. This is the engine under [`forall_shrink`], and it is public
+/// because the differential fuzzer uses it directly to minimize
+/// divergent program specs.
+pub fn minimize<T>(
+    mut input: T,
+    shrink: impl Fn(&T) -> Vec<T>,
+    still_fails: impl Fn(&T) -> bool,
+    budget: usize,
+) -> (T, usize) {
+    let mut steps = 0usize;
+    let mut spent = 0usize;
+    'progress: loop {
+        for candidate in shrink(&input) {
+            if spent >= budget {
+                break 'progress;
+            }
+            spent += 1;
+            if still_fails(&candidate) {
+                input = candidate;
+                steps += 1;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (input, steps)
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .unwrap_or("<non-string panic>")
+}
+
+/// Like [`forall`], but with generation split from checking so failures
+/// can be **shrunk**: `gen` draws a structured input from the rng,
+/// `prop` asserts over it, and when a case fails the harness
+/// delta-debugs the input through `shrink` (see [`minimize`]) before
+/// re-panicking with the seed *and* the minimized counterexample —
+/// usually a handful of nodes instead of a random thicket.
+pub fn forall_shrink<T, G, S, P>(name: &str, gen: G, shrink: S, prop: P)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut SimRng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T),
+{
+    forall_shrink_cases(name, DEFAULT_CASES, &gen, &shrink, &prop);
+}
+
+/// Like [`forall_shrink`] with an explicit case count.
+pub fn forall_shrink_cases<T, G, S, P>(name: &str, cases: u64, gen: &G, shrink: &S, prop: &P)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut SimRng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T),
+{
+    let base = base_seed(name);
+    let mut deriver = SimRng::seed(base);
+    for _ in 0..cases {
+        let seed = deriver.next_u64();
+        let input = gen(&mut SimRng::seed(seed));
+        let failed = catch_unwind(AssertUnwindSafe(|| prop(&input))).is_err();
+        if !failed {
+            continue;
+        }
+        let (min, steps) = minimize(
+            input,
+            shrink,
+            |t| catch_unwind(AssertUnwindSafe(|| prop(t))).is_err(),
+            SHRINK_BUDGET,
+        );
+        // Re-run the minimized case to capture its (possibly different)
+        // panic message as the reported cause.
+        let payload = catch_unwind(AssertUnwindSafe(|| prop(&min)))
+            .expect_err("minimized case must still fail");
+        panic!(
+            "property `{name}` failed with seed {seed:#018x}\n  cause: {detail}\n  minimized after {steps} shrink steps:\n  {min:?}\n  replay: check::replay_shrunk(\"{name}\", {seed:#x}, gen, prop)",
+            detail = panic_detail(&*payload),
+        );
+    }
+}
+
+/// Replays one exact seed of a [`forall_shrink`] property (no
+/// shrinking: regenerates the input and asserts).
+pub fn replay_shrunk<T, G, P>(name: &str, seed: u64, gen: G, prop: P)
+where
+    G: Fn(&mut SimRng) -> T,
+    P: Fn(&T),
+{
+    let input = gen(&mut SimRng::seed(seed));
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| prop(&input))) {
+        panic!(
+            "property `{name}` failed replaying seed {seed:#018x}\n  cause: {}",
+            panic_detail(&*payload)
+        );
+    }
+}
+
 /// Parses a regressions file: one seed per line, decimal or `0x` hex,
 /// blank lines and `#` comments ignored.
 pub fn seeds_from_str(text: &str) -> Vec<u64> {
@@ -181,6 +296,94 @@ mod tests {
             2,
             "both pins ran, derived cases never started"
         );
+    }
+
+    #[test]
+    fn minimize_reaches_a_local_minimum() {
+        // Failing inputs: any v >= 10. Shrink: decrement and halve.
+        let (min, steps) = minimize(
+            97u64,
+            |&v| vec![v / 2, v.saturating_sub(1)],
+            |&v| v >= 10,
+            10_000,
+        );
+        assert_eq!(min, 10, "smallest still-failing value");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn minimize_respects_budget() {
+        let evals = std::cell::Cell::new(0usize);
+        let (_, _) = minimize(
+            1_000_000u64,
+            |&v| vec![v - 1],
+            |&v| {
+                evals.set(evals.get() + 1);
+                v >= 10
+            },
+            7,
+        );
+        assert_eq!(evals.get(), 7, "stopped at the candidate budget");
+    }
+
+    #[test]
+    fn forall_shrink_reports_minimized_case() {
+        // The property rejects any vector containing a value >= 50; the
+        // minimized counterexample must be the single offending element.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall_shrink(
+                "shrinks to one element",
+                |rng| {
+                    (0..rng.gen_range(5usize..20))
+                        .map(|_| rng.gen_range(0u64..100))
+                        .collect::<Vec<u64>>()
+                },
+                |v| {
+                    let mut out = Vec::new();
+                    for i in 0..v.len() {
+                        let mut w = v.clone();
+                        w.remove(i);
+                        out.push(w);
+                    }
+                    out
+                },
+                |v| assert!(v.iter().all(|&x| x < 50), "element >= 50"),
+            );
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("minimized after"), "{msg}");
+        // One element survives shrinking: the debug form is a
+        // single-element vec.
+        let min = msg
+            .split("shrink steps:\n")
+            .nth(1)
+            .and_then(|rest| rest.lines().next())
+            .unwrap();
+        assert!(min.contains('[') && !min.contains(','), "{msg}");
+    }
+
+    #[test]
+    fn forall_shrink_passes_clean_properties() {
+        forall_shrink(
+            "sorted stays sorted",
+            |rng| {
+                let mut v: Vec<u64> = (0..rng.gen_range(0usize..10))
+                    .map(|_| rng.next_u64())
+                    .collect();
+                v.sort_unstable();
+                v
+            },
+            |_| Vec::new(),
+            |v| assert!(v.windows(2).all(|w| w[0] <= w[1])),
+        );
+    }
+
+    #[test]
+    fn replay_shrunk_regenerates_the_same_input() {
+        let gen = |rng: &mut SimRng| rng.next_u64();
+        let first = gen(&mut SimRng::seed(99));
+        replay_shrunk("replay shrunk", 99, gen, |&v| assert_eq!(v, first));
     }
 
     #[test]

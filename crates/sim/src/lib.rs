@@ -52,5 +52,5 @@ mod time;
 
 pub use engine::{Engine, StepOutcome};
 pub use event::EventQueue;
-pub use rng::SimRng;
+pub use rng::{SimRng, Zipf};
 pub use time::Cycle;

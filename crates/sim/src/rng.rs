@@ -131,6 +131,72 @@ impl SimRng {
     }
 }
 
+/// A Zipf(s) sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)^s`.
+///
+/// This is the suite's hot-key generator: with `s` around 1, a few
+/// low-numbered ranks absorb most of the draws while the tail stays
+/// reachable — exactly the skew that concentrates I-structure traffic
+/// (and deferral chains) onto a handful of addresses. The inverse-CDF
+/// table is precomputed at construction so sampling is one uniform draw
+/// plus a binary search, and — like everything drawn from [`SimRng`] —
+/// the stream is bit-reproducible per seed.
+///
+/// # Example
+///
+/// ```
+/// use ttda_sim::{SimRng, Zipf};
+///
+/// let z = Zipf::new(64, 1.1);
+/// let mut rng = SimRng::seed(7);
+/// let hot = (0..1000).filter(|_| z.sample(&mut rng) == 0).count();
+/// assert!(hot > 100, "rank 0 must dominate, got {hot}/1000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[k]` = P(rank <= k); the last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard the top against rounding so sample() can never fall off
+        // the end of the table.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 /// Integer types drawable by [`SimRng::gen_range`].
 ///
 /// Values round-trip through a `u64` in sign-offset encoding so one
@@ -284,5 +350,53 @@ mod tests {
         let mut r = SimRng::seed(17);
         let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "got {hits} hits at p=0.25");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(32, 1.2);
+        let mut r = SimRng::seed(19);
+        let mut counts = [0usize; 32];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Rank frequencies are monotone-ish: rank 0 beats rank 1 beats
+        // the whole tail's mean, and every draw landed in range.
+        assert!(counts[0] > counts[1]);
+        let tail_mean = counts[8..].iter().sum::<usize>() / 24;
+        assert!(counts[1] > tail_mean);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut r = SimRng::seed(23);
+        let mut counts = [0usize; 8];
+        for _ in 0..16_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!((1_600..2_400).contains(&c), "rank {k} got {c}/16000");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut r = SimRng::seed(29);
+        for _ in 0..50 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_same_seed_same_stream() {
+        let z = Zipf::new(100, 0.9);
+        let mut a = SimRng::seed(31);
+        let mut b = SimRng::seed(31);
+        for _ in 0..200 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
     }
 }

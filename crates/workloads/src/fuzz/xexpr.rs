@@ -1,0 +1,241 @@
+//! The closed random-expression AST shared by the property tests and
+//! the `expr` fuzz family.
+//!
+//! This is the suite's original random-Id-program generator (it used to
+//! live inline in `tests/properties.rs`): a little expression tree over
+//! two inputs `x`/`y` that can be printed as Id source *and* evaluated
+//! by a direct recursive interpreter, so compiled results have an
+//! independent reference. Promoted here so the differential fuzzer and
+//! the property tests draw from one generator — and extended with
+//! [`shrink`], the subtree-substitution shrinker `check::forall_shrink`
+//! and the fuzz minimizer both use.
+
+use ttda_sim::SimRng;
+
+/// A random integer expression over inputs `x`, `y` and an innermost
+/// let-bound `t0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XExpr {
+    /// The first program input.
+    X,
+    /// The second program input.
+    Y,
+    /// A small integer constant.
+    K(i8),
+    /// Addition (wrapping in the reference).
+    Add(Box<XExpr>, Box<XExpr>),
+    /// Subtraction.
+    Sub(Box<XExpr>, Box<XExpr>),
+    /// Multiplication.
+    Mul(Box<XExpr>, Box<XExpr>),
+    /// `if c > 0 then a else b`.
+    If(Box<XExpr>, Box<XExpr>, Box<XExpr>),
+    /// `{ t0 = e1; e2 }` where `e2` may use `t0`.
+    Let(Box<XExpr>, Box<XExpr>),
+    /// The innermost bound `t0` (evaluates as `x` when unbound).
+    T,
+}
+
+/// Renders the expression as Id source text.
+pub fn to_src(e: &XExpr) -> String {
+    match e {
+        XExpr::X => "x".into(),
+        XExpr::Y => "y".into(),
+        XExpr::T => "t0".into(),
+        XExpr::K(k) => {
+            if *k < 0 {
+                format!("(0 - {})", -(*k as i64))
+            } else {
+                k.to_string()
+            }
+        }
+        XExpr::Add(a, b) => format!("({} + {})", to_src(a), to_src(b)),
+        XExpr::Sub(a, b) => format!("({} - {})", to_src(a), to_src(b)),
+        XExpr::Mul(a, b) => format!("({} * {})", to_src(a), to_src(b)),
+        XExpr::If(c, a, b) => format!(
+            "(if {} > 0 then {} else {})",
+            to_src(c),
+            to_src(a),
+            to_src(b)
+        ),
+        XExpr::Let(v, body) => format!("{{ t0 = {}; {} }}", to_src(v), to_src(body)),
+    }
+}
+
+/// The reference interpreter (`t` is the innermost bound `t0`).
+pub fn eval(e: &XExpr, x: i64, y: i64, t: i64) -> i64 {
+    match e {
+        XExpr::X => x,
+        XExpr::Y => y,
+        XExpr::T => t,
+        XExpr::K(k) => *k as i64,
+        XExpr::Add(a, b) => eval(a, x, y, t).wrapping_add(eval(b, x, y, t)),
+        XExpr::Sub(a, b) => eval(a, x, y, t).wrapping_sub(eval(b, x, y, t)),
+        XExpr::Mul(a, b) => eval(a, x, y, t).wrapping_mul(eval(b, x, y, t)),
+        XExpr::If(c, a, b) => {
+            if eval(c, x, y, t) > 0 {
+                eval(a, x, y, t)
+            } else {
+                eval(b, x, y, t)
+            }
+        }
+        XExpr::Let(v, body) => {
+            let tv = eval(v, x, y, t);
+            eval(body, x, y, tv)
+        }
+    }
+}
+
+/// Generates a random expression of bounded depth. Let-bodies may
+/// reference the bound `t0` via the [`XExpr::T`] leaf.
+pub fn gen_expr(rng: &mut SimRng, depth: usize, in_let: bool) -> XExpr {
+    if depth == 0 || rng.chance(0.3) {
+        return match rng.gen_range(0u32..4) {
+            0 => XExpr::X,
+            1 => XExpr::Y,
+            2 if in_let => XExpr::T,
+            _ => XExpr::K(rng.gen_range(i8::MIN..=i8::MAX)),
+        };
+    }
+    match rng.gen_range(0u32..5) {
+        0 => XExpr::Add(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        1 => XExpr::Sub(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        2 => XExpr::Mul(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        3 => XExpr::If(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+        ),
+        _ => XExpr::Let(
+            Box::new(gen_expr(rng, depth - 1, in_let)),
+            Box::new(gen_expr(rng, depth - 1, true)),
+        ),
+    }
+}
+
+/// Number of nodes (shrink candidates must strictly reduce this).
+pub fn size(e: &XExpr) -> usize {
+    match e {
+        XExpr::X | XExpr::Y | XExpr::T | XExpr::K(_) => 1,
+        XExpr::Add(a, b) | XExpr::Sub(a, b) | XExpr::Mul(a, b) | XExpr::Let(a, b) => {
+            1 + size(a) + size(b)
+        }
+        XExpr::If(c, a, b) => 1 + size(c) + size(a) + size(b),
+    }
+}
+
+/// Shrink candidates: every direct subtree (hoisted into the parent's
+/// place), the whole node replaced by trivial leaves, and constants
+/// pulled toward zero. Every candidate is strictly smaller by [`size`]
+/// or (for `K`) closer to zero, so greedy shrinking terminates.
+///
+/// Caveat: hoisting a subtree out of a [`XExpr::Let`] body can expose a
+/// free `t0`, which [`eval`] reads as `x` while the compiled program
+/// would reject the unknown name — so `Let` bodies are hoisted only
+/// when they don't reference `t0`.
+pub fn shrink(e: &XExpr) -> Vec<XExpr> {
+    let mut out: Vec<XExpr> = Vec::new();
+    let mut sub = |parts: &[&XExpr]| {
+        for p in parts {
+            out.push((*p).clone());
+        }
+    };
+    match e {
+        XExpr::X | XExpr::Y | XExpr::T => return Vec::new(),
+        XExpr::K(0) => return Vec::new(),
+        XExpr::K(k) => return vec![XExpr::K(0), XExpr::K(k / 2)],
+        XExpr::Add(a, b) | XExpr::Sub(a, b) | XExpr::Mul(a, b) => sub(&[a, b]),
+        XExpr::If(c, a, b) => sub(&[c, a, b]),
+        XExpr::Let(v, body) => {
+            if !uses_t(body) {
+                sub(&[body]);
+            }
+            sub(&[v]);
+        }
+    }
+    out.push(XExpr::K(0));
+    out.push(XExpr::X);
+    out
+}
+
+fn uses_t(e: &XExpr) -> bool {
+    match e {
+        XExpr::T => true,
+        XExpr::X | XExpr::Y | XExpr::K(_) => false,
+        XExpr::Add(a, b) | XExpr::Sub(a, b) | XExpr::Mul(a, b) => uses_t(a) || uses_t(b),
+        XExpr::If(c, a, b) => uses_t(c) || uses_t(a) || uses_t(b),
+        // A nested Let rebinds t0 for its body; its init may still see
+        // the outer t0.
+        XExpr::Let(v, _) => uses_t(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn src_and_eval_agree_on_a_known_tree() {
+        // { t0 = x * 3; if y > 0 then t0 + 1 else t0 - 1 }
+        let e = XExpr::Let(
+            Box::new(XExpr::Mul(Box::new(XExpr::X), Box::new(XExpr::K(3)))),
+            Box::new(XExpr::If(
+                Box::new(XExpr::Y),
+                Box::new(XExpr::Add(Box::new(XExpr::T), Box::new(XExpr::K(1)))),
+                Box::new(XExpr::Sub(Box::new(XExpr::T), Box::new(XExpr::K(1)))),
+            )),
+        );
+        assert_eq!(eval(&e, 5, 1, 0), 16);
+        assert_eq!(eval(&e, 5, -1, 0), 14);
+        assert_eq!(
+            to_src(&e),
+            "{ t0 = (x * 3); (if y > 0 then (t0 + 1) else (t0 - 1)) }"
+        );
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler() {
+        let mut rng = SimRng::seed(41);
+        for _ in 0..200 {
+            let e = gen_expr(&mut rng, 4, false);
+            for c in shrink(&e) {
+                let smaller = size(&c) < size(&e);
+                let const_step =
+                    matches!((&e, &c), (XExpr::K(a), XExpr::K(b)) if b.abs() < a.abs());
+                assert!(smaller || const_step, "{e:?} -> {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_terminates_from_any_tree() {
+        let mut rng = SimRng::seed(43);
+        for _ in 0..20 {
+            let mut e = gen_expr(&mut rng, 5, false);
+            let mut steps = 0;
+            while let Some(next) = shrink(&e).into_iter().next() {
+                e = next;
+                steps += 1;
+                assert!(steps < 10_000, "shrink loop did not terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn shrunk_let_bodies_stay_closed() {
+        // shrink must never hoist a t0-using body out of its Let.
+        let e = XExpr::Let(Box::new(XExpr::X), Box::new(XExpr::T));
+        for c in shrink(&e) {
+            assert!(!matches!(c, XExpr::T), "t0 escaped its binder");
+        }
+    }
+}

@@ -13,10 +13,14 @@
 //!   per-element full/empty) plus chaotic relaxation and hot-spot
 //!   counters;
 //! - [`reference`](mod@crate::reference): sequential Rust implementations that define the
-//!   correct answers.
+//!   correct answers;
+//! - [`fuzz`]: the differential fuzzer — adversarial scenario
+//!   generators, the cross-engine oracle, and the pinned regression
+//!   corpus format.
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod id;
 pub mod reference;
 pub mod vn;

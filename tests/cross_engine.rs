@@ -285,3 +285,70 @@ fn optimizer_preserves_every_workload() {
         assert_eq!(m.run(&inputs).expect("runs").outputs, a.outputs);
     }
 }
+
+#[test]
+fn loop_bound_forces_the_sequential_backend() {
+    // Pins a deliberate (previously undocumented) fallback: `run_jobs`
+    // dispatches to the parallel wave backend only when `threads > 1`
+    // AND no k-bound is set — the parallel backend does not implement
+    // iteration throttling, so `with_loop_bound(k)` must silently run
+    // sequential no matter how many workers were requested. Two halves
+    // to the pin:
+    //
+    //  1. the k-bound actually engages (the parallelism profile differs
+    //     from the unbounded run — throttling is visible), and
+    //  2. worker count is a no-op under a k-bound: the full `EmuResult`
+    //     at 2 and 8 threads is bit-identical to 1 thread, *including*
+    //     schedule-sensitive counters like `peak_matching`, which the
+    //     sharded backend could not reproduce if it were engaged.
+    // The runaway-consumer shape from ablation A4: a slow producer loop
+    // against a fast consumer loop, where unbounded execution lets
+    // iterations run far ahead — so a k-bound visibly stretches the
+    // critical path and shrinks matching-store occupancy.
+    let src = r#"
+        def slow(x) = if x < 1 then 0 else slow(x - 1);
+        def main(n) =
+          { a = array(n);
+            done = (initial j = 0 for i from 0 to n - 1 do
+                      a[i] <- i + slow(6);
+                      new j = j + slow(6)
+                    return j);
+            (initial s = 0 for i from 0 to n - 1 do
+               new s = s + a[i]
+             return s) };
+    "#;
+    let p = ttda::idc::compile(src).expect("compiles");
+    let inputs = [Value::Int(24)];
+    let want = Value::Int(23 * 24 / 2);
+
+    let unbounded = Emulator::new(&p).run(&inputs).expect("runs");
+    let bounded = Emulator::new(&p)
+        .with_loop_bound(2)
+        .run(&inputs)
+        .expect("runs");
+    assert_eq!(
+        bounded.outputs[&0], want,
+        "k-bounding must not change answers"
+    );
+    assert!(
+        bounded.waves > unbounded.waves && bounded.peak_matching < unbounded.peak_matching,
+        "k=2 should visibly throttle (waves {} -> {}, peak matching {} -> {}); if this \
+         starts failing the workload no longer exercises the bound",
+        unbounded.waves,
+        bounded.waves,
+        unbounded.peak_matching,
+        bounded.peak_matching
+    );
+
+    for threads in [2usize, 8] {
+        let threaded = Emulator::new(&p)
+            .with_loop_bound(2)
+            .with_threads(threads)
+            .run(&inputs)
+            .expect("runs");
+        assert_eq!(
+            threaded, bounded,
+            "threads={threads} with a loop bound must be the sequential result exactly"
+        );
+    }
+}

@@ -4,145 +4,101 @@
 use ttda::core::{Emulator, TimedConfig, TimedMachine, Value};
 use ttda::mem::{Addr, IStructure, IStructureError, ReadOutcome};
 use ttda::net::{Grid2d, Hypercube, NodeId, Omega, Topology};
-use ttda::sim::{check, Cycle, EventQueue, SimRng};
+use ttda::sim::{check, Cycle, EventQueue, SimRng, Zipf};
+use ttda::workloads::fuzz::xexpr::{self, XExpr};
 
 // ---------------------------------------------------------------------
 // Compiler correctness: random integer expressions evaluate identically
-// on the TTDA and on a direct recursive evaluator.
+// on the TTDA and on a direct recursive evaluator. The expression AST,
+// generator and evaluator live in `ttda::workloads::fuzz::xexpr` (shared
+// with the differential fuzzer); failures here shrink to a minimal tree
+// via `check::forall_shrink`.
 // ---------------------------------------------------------------------
 
-/// A little expression tree we can both print as Id source and evaluate.
+/// One expression-property case: the tree plus its inputs (and a PE
+/// count for the timed-machine property).
 #[derive(Debug, Clone)]
-enum E {
-    X,
-    Y,
-    K(i8),
-    Add(Box<E>, Box<E>),
-    Sub(Box<E>, Box<E>),
-    Mul(Box<E>, Box<E>),
-    If(Box<E>, Box<E>, Box<E>), // if c > 0 then a else b
-    Let(Box<E>, Box<E>),        // { t = e1; e2[t] } where e2 may use `t`
-    T,                          // the innermost bound `t` (X if none)
+struct ExprCase {
+    e: XExpr,
+    x: i64,
+    y: i64,
+    pes: usize,
 }
 
-fn to_src(e: &E) -> String {
-    match e {
-        E::X => "x".into(),
-        E::Y => "y".into(),
-        E::T => "t0".into(),
-        E::K(k) => {
-            if *k < 0 {
-                format!("(0 - {})", -(*k as i64))
-            } else {
-                k.to_string()
-            }
-        }
-        E::Add(a, b) => format!("({} + {})", to_src(a), to_src(b)),
-        E::Sub(a, b) => format!("({} - {})", to_src(a), to_src(b)),
-        E::Mul(a, b) => format!("({} * {})", to_src(a), to_src(b)),
-        E::If(c, a, b) => format!(
-            "(if {} > 0 then {} else {})",
-            to_src(c),
-            to_src(a),
-            to_src(b)
-        ),
-        E::Let(v, body) => format!("{{ t0 = {}; {} }}", to_src(v), to_src(body)),
+fn gen_case(rng: &mut SimRng) -> ExprCase {
+    ExprCase {
+        e: xexpr::gen_expr(rng, 4, false),
+        x: rng.gen_range(-50i64..50),
+        y: rng.gen_range(-50i64..50),
+        pes: rng.gen_range(1usize..5),
     }
 }
 
-fn eval(e: &E, x: i64, y: i64, t: i64) -> i64 {
-    match e {
-        E::X => x,
-        E::Y => y,
-        E::T => t,
-        E::K(k) => *k as i64,
-        E::Add(a, b) => eval(a, x, y, t).wrapping_add(eval(b, x, y, t)),
-        E::Sub(a, b) => eval(a, x, y, t).wrapping_sub(eval(b, x, y, t)),
-        E::Mul(a, b) => eval(a, x, y, t).wrapping_mul(eval(b, x, y, t)),
-        E::If(c, a, b) => {
-            if eval(c, x, y, t) > 0 {
-                eval(a, x, y, t)
-            } else {
-                eval(b, x, y, t)
-            }
-        }
-        E::Let(v, body) => {
-            let tv = eval(v, x, y, t);
-            eval(body, x, y, tv)
+/// Shrink the tree structurally (subtree substitution), then the inputs
+/// and PE count toward their simplest values.
+fn shrink_case(c: &ExprCase) -> Vec<ExprCase> {
+    let mut out: Vec<ExprCase> = xexpr::shrink(&c.e)
+        .into_iter()
+        .map(|e| ExprCase { e, ..c.clone() })
+        .collect();
+    for (field, zeroed) in [
+        (c.x, ExprCase { x: 0, ..c.clone() }),
+        (c.y, ExprCase { y: 0, ..c.clone() }),
+    ] {
+        if field != 0 {
+            out.push(zeroed);
         }
     }
-}
-
-/// Generates a random expression of bounded depth. Let-bodies may
-/// reference the bound `t0` via the `E::T` leaf.
-fn gen_expr(rng: &mut SimRng, depth: usize, in_let: bool) -> E {
-    if depth == 0 || rng.chance(0.3) {
-        return match rng.gen_range(0u32..4) {
-            0 => E::X,
-            1 => E::Y,
-            2 if in_let => E::T,
-            _ => E::K(rng.gen_range(i8::MIN..=i8::MAX)),
-        };
+    if c.pes > 1 {
+        out.push(ExprCase {
+            pes: 1,
+            ..c.clone()
+        });
     }
-    match rng.gen_range(0u32..5) {
-        0 => E::Add(
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-        ),
-        1 => E::Sub(
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-        ),
-        2 => E::Mul(
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-        ),
-        3 => E::If(
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-        ),
-        _ => E::Let(
-            Box::new(gen_expr(rng, depth - 1, in_let)),
-            Box::new(gen_expr(rng, depth - 1, true)),
-        ),
-    }
+    out
 }
 
 #[test]
 fn compiled_expressions_match_reference() {
-    check::forall("compiled expressions match reference", |rng| {
-        let e = gen_expr(rng, 4, false);
-        let x = rng.gen_range(-50i64..50);
-        let y = rng.gen_range(-50i64..50);
-        let src = format!("def main(x, y) = {};", to_src(&e));
-        let p = ttda::idc::compile(&src).expect("generated programs compile");
-        let r = Emulator::new(&p)
-            .run(&[Value::Int(x), Value::Int(y)])
-            .expect("generated programs run");
-        assert_eq!(r.outputs[&0], Value::Int(eval(&e, x, y, x)));
-    });
+    check::forall_shrink(
+        "compiled expressions match reference",
+        gen_case,
+        shrink_case,
+        |c| {
+            let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
+            let p = ttda::idc::compile(&src).expect("generated programs compile");
+            let r = Emulator::new(&p)
+                .run(&[Value::Int(c.x), Value::Int(c.y)])
+                .expect("generated programs run");
+            // An unbound `t0` cannot appear in generated trees, but the
+            // evaluator's convention (t = x at top level) is part of the
+            // shared module's contract, so mirror it here.
+            assert_eq!(r.outputs[&0], Value::Int(xexpr::eval(&c.e, c.x, c.y, c.x)));
+        },
+    );
 }
 
 #[test]
 fn optimizer_preserves_random_expressions() {
-    check::forall("optimizer preserves random expressions", |rng| {
-        let e = gen_expr(rng, 4, false);
-        let x = rng.gen_range(-30i64..30);
-        let y = rng.gen_range(-30i64..30);
-        let src = format!("def main(x, y) = {};", to_src(&e));
-        let p = ttda::idc::compile(&src).expect("compiles");
-        let (opt, _) = ttda::core::opt::optimize(&p);
-        let want = Emulator::new(&p)
-            .run(&[Value::Int(x), Value::Int(y)])
-            .expect("runs")
-            .outputs[&0];
-        let got = Emulator::new(&opt)
-            .run(&[Value::Int(x), Value::Int(y)])
-            .expect("runs")
-            .outputs[&0];
-        assert_eq!(got, want);
-    });
+    check::forall_shrink(
+        "optimizer preserves random expressions",
+        gen_case,
+        shrink_case,
+        |c| {
+            let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
+            let p = ttda::idc::compile(&src).expect("compiles");
+            let (opt, _) = ttda::core::opt::optimize(&p);
+            let want = Emulator::new(&p)
+                .run(&[Value::Int(c.x), Value::Int(c.y)])
+                .expect("runs")
+                .outputs[&0];
+            let got = Emulator::new(&opt)
+                .run(&[Value::Int(c.x), Value::Int(c.y)])
+                .expect("runs")
+                .outputs[&0];
+            assert_eq!(got, want);
+        },
+    );
 }
 
 #[test]
@@ -151,44 +107,47 @@ fn parallel_backend_matches_sequential_on_random_programs() {
     // program, the full `EmuResult` — outputs, instruction and ALU
     // counts, wave profile, peak matching-store occupancy, contexts — is
     // bit-identical to the sequential emulator's, at every worker count.
-    check::forall("parallel backend matches sequential", |rng| {
-        let e = gen_expr(rng, 4, false);
-        let x = rng.gen_range(-30i64..30);
-        let y = rng.gen_range(-30i64..30);
-        let src = format!("def main(x, y) = {};", to_src(&e));
-        let p = ttda::idc::compile(&src).expect("compiles");
-        let inputs = [Value::Int(x), Value::Int(y)];
-        let seq = Emulator::new(&p).run(&inputs).expect("runs");
-        for threads in [2usize, 4, 8] {
-            let par = Emulator::new(&p)
-                .with_threads(threads)
-                .run(&inputs)
-                .expect("parallel backend runs");
-            assert_eq!(par, seq, "threads={threads} diverged from sequential");
-        }
-    });
+    check::forall_shrink(
+        "parallel backend matches sequential",
+        gen_case,
+        shrink_case,
+        |c| {
+            let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
+            let p = ttda::idc::compile(&src).expect("compiles");
+            let inputs = [Value::Int(c.x), Value::Int(c.y)];
+            let seq = Emulator::new(&p).run(&inputs).expect("runs");
+            for threads in [2usize, 4, 8] {
+                let par = Emulator::new(&p)
+                    .with_threads(threads)
+                    .run(&inputs)
+                    .expect("parallel backend runs");
+                assert_eq!(par, seq, "threads={threads} diverged from sequential");
+            }
+        },
+    );
 }
 
 #[test]
 fn timed_machine_agrees_with_emulator_on_random_exprs() {
-    check::forall("timed machine agrees with emulator", |rng| {
-        let e = gen_expr(rng, 4, false);
-        let x = rng.gen_range(-20i64..20);
-        let y = rng.gen_range(-20i64..20);
-        let pes = rng.gen_range(1usize..5);
-        let src = format!("def main(x, y) = {};", to_src(&e));
-        let p = ttda::idc::compile(&src).expect("compiles");
-        let want = Emulator::new(&p)
-            .run(&[Value::Int(x), Value::Int(y)])
-            .expect("runs")
-            .outputs[&0];
-        let mut m = TimedMachine::ideal(p, pes, Cycle(3), TimedConfig::default());
-        let got = m
-            .run(&[Value::Int(x), Value::Int(y)])
-            .expect("runs")
-            .outputs[&0];
-        assert_eq!(got, want);
-    });
+    check::forall_shrink(
+        "timed machine agrees with emulator",
+        gen_case,
+        shrink_case,
+        |c| {
+            let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
+            let p = ttda::idc::compile(&src).expect("compiles");
+            let want = Emulator::new(&p)
+                .run(&[Value::Int(c.x), Value::Int(c.y)])
+                .expect("runs")
+                .outputs[&0];
+            let mut m = TimedMachine::ideal(p, c.pes, Cycle(3), TimedConfig::default());
+            let got = m
+                .run(&[Value::Int(c.x), Value::Int(c.y)])
+                .expect("runs")
+                .outputs[&0];
+            assert_eq!(got, want);
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -410,6 +369,64 @@ fn packed_istructure_matches_enum_reference() {
         assert_eq!(packed.reclaim(), model.reclaim());
         assert_eq!(packed.deferred_outstanding(), 0);
         assert_eq!(packed.error_cells(), 0);
+    });
+}
+
+/// The same lockstep contract under *hot-key skew*: addresses come from
+/// a Zipf distribution, so one cell accumulates long deferred-reader
+/// lists while most cells stay cold. This is the regime where the packed
+/// store's shared node arena is under real contention — many readers
+/// parked on one cell, interleaved with releases and re-parks — and the
+/// deferred-arena FIFO contract (release in arrival order; global walk
+/// in cell order, then arrival order) is most likely to crack. Reads are
+/// weighted above writes so the hot cell's list grows long before its
+/// write releases the whole cohort at once.
+#[test]
+fn packed_istructure_matches_enum_reference_under_zipf_skew() {
+    check::forall("packed istructure matches enum under zipf skew", |rng| {
+        let size = rng.gen_range(4usize..70);
+        let zipf = Zipf::new(size, 1.0 + rng.f64() * 1.5);
+        let mut packed: IStructure<i64, usize> = IStructure::new(size);
+        let mut model: ttda::mem::EnumIStructure<i64, usize> = ttda::mem::EnumIStructure::new(size);
+        let ops = rng.gen_range(40usize..250);
+        for seq in 0..ops {
+            let addr = Addr(zipf.sample(rng));
+            match rng.gen_range(0u64..10) {
+                // Read-heavy: pile readers onto the hot head cells.
+                0..=6 => {
+                    assert_eq!(
+                        packed.read(addr, seq),
+                        model.read(addr, seq),
+                        "read outcome diverged at op {seq}"
+                    );
+                }
+                // Writes release whole cohorts; the release *order* must
+                // be the arrival order, identically in both stores.
+                7..=8 => {
+                    let val = rng.gen_range(-100i64..100);
+                    let mut got = Vec::new();
+                    let mut want = Vec::new();
+                    let a = packed.write_with(addr, val, |r| got.push(r));
+                    let b = model.write_with(addr, val, |r| want.push(r));
+                    assert_eq!(a, b, "write outcome diverged at op {seq}");
+                    assert_eq!(got, want, "release order diverged at op {seq}");
+                }
+                // Occasional reclaim churns the node arena's free list,
+                // so freshly recycled nodes carry hot-cell traffic.
+                _ => {
+                    if rng.chance(0.3) {
+                        assert_eq!(packed.reclaim(), model.reclaim());
+                    }
+                }
+            }
+            assert_eq!(packed.deferred_count(addr), model.deferred_count(addr));
+            assert_eq!(packed.deferred_outstanding(), model.deferred_outstanding());
+        }
+        let mut got = Vec::new();
+        packed.for_each_deferred(|r| got.push(*r));
+        let mut want = Vec::new();
+        model.for_each_deferred(|r| want.push(*r));
+        assert_eq!(got, want, "for_each_deferred order diverged under skew");
     });
 }
 
