@@ -1,6 +1,6 @@
 # Convenience targets for the ttda suite.
 
-.PHONY: all test bench experiments experiments-output quickbench fuzz fuzz-corpus doc examples clean
+.PHONY: all test bench experiments experiments-output quickbench serve fuzz fuzz-corpus doc examples clean
 
 all: test
 
@@ -19,10 +19,19 @@ experiments:
 experiments-output:
 	cargo run --release -p ttda-bench --bin experiments -- all --normalize > experiments_output.txt
 
-# Regenerates both tracked benchmark baselines at the repo root.
+# Regenerates all three tracked benchmark baselines at the repo root.
 quickbench:
 	cargo run --release -p ttda-bench --bin experiments -- quickbench \
-		--out BENCH_matching.json --istore-out BENCH_istore.json
+		--out BENCH_matching.json --istore-out BENCH_istore.json \
+		--service-out BENCH_service.json
+
+# One sustained open-loop service run past the saturation knee.
+# Override: make serve SERVE_LOAD=0.8 SERVE_REQUESTS=128
+SERVE_LOAD ?= 1.2
+SERVE_REQUESTS ?= 64
+serve:
+	cargo run --release -p ttda-bench --bin experiments -- \
+		serve --load $(SERVE_LOAD) --requests $(SERVE_REQUESTS)
 
 # A short local differential-fuzz hunt (deterministic per seed; see
 # DESIGN.md §11). Override: make fuzz FUZZ_SEED=42 FUZZ_ITERS=5000

@@ -1,0 +1,13 @@
+//! Criterion bench behind Experiment E20: the sustained-traffic service
+//! scheduler. The bodies live in `ttda_bench::suites` so the
+//! `experiments quickbench` subcommand can run the same targets.
+
+use ttda_bench::quickbench::{criterion_group, criterion_main, Criterion};
+use ttda_bench::suites;
+
+fn bench_service(c: &mut Criterion) {
+    suites::service(c);
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -9,6 +9,7 @@ mod istoreperf;
 mod matchperf;
 mod multiprog;
 mod scaling;
+mod service_exp;
 mod survey;
 mod sync;
 mod testbed;
@@ -22,15 +23,16 @@ pub use istoreperf::e18;
 pub use matchperf::e17;
 pub use multiprog::e15;
 pub use scaling::e16;
+pub use service_exp::e20;
 pub use survey::{e2, e3, e7, e8, e9};
 pub use sync::{e5, e6};
 pub use testbed::e12;
 
 /// All experiment ids, in order (e* reproduce paper claims, a* are
 /// design ablations).
-pub const EXPERIMENT_IDS: [&str; 24] = [
+pub const EXPERIMENT_IDS: [&str; 25] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "a1", "a2", "a3", "a4", "a5",
+    "e16", "e17", "e18", "e19", "e20", "a1", "a2", "a3", "a4", "a5",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -59,6 +61,7 @@ pub fn run_experiment(id: &str) -> Result<String, String> {
         "e17" => e17(),
         "e18" => e18(),
         "e19" => e19(),
+        "e20" => e20(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),

@@ -1,6 +1,6 @@
 //! E15: multiprogramming on tagged tokens.
 
-use ttda_core::{Program, TimedConfig, TimedMachine, Value};
+use ttda_core::{Job, Program, TimedConfig, TimedMachine, Value};
 use ttda_machines::{memory_chain_kernel, regular_kernel, Vliw};
 use ttda_sim::table::{pct, Table};
 use ttda_sim::{Cycle, SimRng};
@@ -33,12 +33,13 @@ pub fn e15() -> String {
     merged.validate().expect("merged program is well-formed");
 
     let jobs = vec![
-        (mains[0], vec![Value::Int(13)]),
-        (
+        Job::new(mains[0], vec![Value::Int(13)]),
+        Job::new(
             mains[1],
             vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
-        ),
-        (mains[2], vec![Value::Int(4)]),
+        )
+        .for_tenant(1),
+        Job::new(mains[2], vec![Value::Int(4)]).for_tenant(2),
     ];
 
     let cfg = TimedConfig::default();
@@ -49,13 +50,13 @@ pub fn e15() -> String {
     let mut serial_total = 0u64;
     for job in &jobs {
         let mut m = TimedMachine::ideal(merged.clone(), pes, lat, cfg);
-        let r = m.run_jobs(std::slice::from_ref(job)).expect("runs");
+        let r = m.submit(std::slice::from_ref(job)).expect("runs");
         serial_total += r.stats.cycles.as_u64();
     }
 
     // Interleaved.
     let mut m = TimedMachine::ideal(merged.clone(), pes, lat, cfg);
-    let r = m.run_jobs(&jobs).expect("runs");
+    let r = m.submit(&jobs).expect("runs");
     assert_eq!(r.outputs[&0], Value::Int(reference::fib(13)));
     let Value::Float(pi) = r.outputs[&16] else {
         panic!("trapezoid output")
@@ -122,24 +123,24 @@ mod tests {
         let (merged, mains) = Program::merge(&[fib, pc], 8);
         merged.validate().unwrap();
         let jobs = vec![
-            (mains[0], vec![Value::Int(12)]),
-            (mains[1], vec![Value::Int(20)]),
+            Job::new(mains[0], vec![Value::Int(12)]),
+            Job::new(mains[1], vec![Value::Int(20)]),
         ];
         // Emulator.
-        let r = Emulator::new(&merged).run_jobs(&jobs).unwrap();
+        let r = Emulator::new(&merged).submit(&jobs).unwrap();
         assert_eq!(r.outputs[&0], Value::Int(reference::fib(12)));
         assert_eq!(r.outputs[&8], Value::Int(reference::square_sum(20)));
         // Timed, and faster than serial.
         let cfg = TimedConfig::default();
         let mut m = TimedMachine::ideal(merged.clone(), 4, Cycle(5), cfg);
-        let both = m.run_jobs(&jobs).unwrap();
+        let both = m.submit(&jobs).unwrap();
         assert_eq!(both.outputs[&0], Value::Int(reference::fib(12)));
         assert_eq!(both.outputs[&8], Value::Int(reference::square_sum(20)));
         let mut serial = 0;
         for j in &jobs {
             let mut m = TimedMachine::ideal(merged.clone(), 4, Cycle(5), cfg);
             serial += m
-                .run_jobs(std::slice::from_ref(j))
+                .submit(std::slice::from_ref(j))
                 .unwrap()
                 .stats
                 .cycles
@@ -155,10 +156,10 @@ mod tests {
         let fib = ttda_idc::compile(id::fib()).unwrap();
         let (merged, mains) = Program::merge(&[fib.clone(), fib], 4);
         let jobs = vec![
-            (mains[0], vec![Value::Int(10)]),
-            (mains[1], vec![Value::Int(15)]),
+            Job::new(mains[0], vec![Value::Int(10)]),
+            Job::new(mains[1], vec![Value::Int(15)]),
         ];
-        let r = Emulator::new(&merged).run_jobs(&jobs).unwrap();
+        let r = Emulator::new(&merged).submit(&jobs).unwrap();
         assert_eq!(r.outputs[&0], Value::Int(reference::fib(10)));
         assert_eq!(r.outputs[&4], Value::Int(reference::fib(15)));
     }

@@ -154,16 +154,16 @@ mod tests {
         let pc = ttda_idc::compile(id::producer_consumer()).unwrap();
         let (merged, mains) = ttda_core::Program::merge(&[fib, pc], 8);
         let jobs = vec![
-            (mains[0], vec![Value::Int(12)]),
-            (mains[1], vec![Value::Int(20)]),
+            ttda_core::Job::new(mains[0], vec![Value::Int(12)]),
+            ttda_core::Job::new(mains[1], vec![Value::Int(20)]),
         ];
-        let seq = Emulator::new(&merged).run_jobs(&jobs).unwrap();
+        let seq = Emulator::new(&merged).submit(&jobs).unwrap();
         assert_eq!(seq.outputs[&0], Value::Int(reference::fib(12)));
         assert_eq!(seq.outputs[&8], Value::Int(reference::square_sum(20)));
         for threads in [2usize, 4] {
             let par = Emulator::new(&merged)
                 .with_threads(threads)
-                .run_jobs(&jobs)
+                .submit(&jobs)
                 .unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }

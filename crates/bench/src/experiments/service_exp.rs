@@ -1,0 +1,84 @@
+//! E20: sustained-traffic service mode.
+
+use ttda_sim::table::Table;
+use ttda_workloads::service::{percentiles, serve, EmulatorRunner, ServiceConfig};
+
+use super::section;
+use crate::suites::loaded_service_scenario;
+
+/// E20: offered load vs sojourn latency through the service scheduler.
+///
+/// The batch experiments end when their one program drains; a service
+/// never ends, and the question becomes *how long a request waits* as a
+/// function of how hard the open-loop stream pushes. Below the service
+/// rate the tagged-token machine absorbs arrivals as they come and the
+/// sojourn percentiles sit at a few burst times; past it, queueing
+/// theory takes over and latency grows with the backlog — the knee this
+/// experiment sweeps across. Offered load is calibrated against the
+/// measured per-request cost, so `1.0x` means arrivals exactly match
+/// the single-machine service rate.
+pub fn e20() -> String {
+    let mut out = section(
+        "e20",
+        "Service mode: open-loop offered load vs sojourn latency",
+        "\"by having each datum carry context-identifying information with it, no \
+         time-ordering ambiguities can arise\" (§2.3) — so one TTDA can serve an open \
+         multi-tenant request stream directly; queueing then dictates a latency knee \
+         where offered load crosses the service rate",
+    );
+    let requests = 40u64;
+    let mut t = Table::new(&[
+        "offered load",
+        "p50 (ticks)",
+        "p99",
+        "p999",
+        "makespan/busy",
+    ]);
+    let mut knee = Vec::new();
+    for load in [0.2, 0.5, 0.8, 1.1, 1.6, 2.5] {
+        let (program, tenants, cost) = loaded_service_scenario(load, requests);
+        let cfg = ServiceConfig {
+            seed: 20,
+            latency_bins: 128,
+            latency_bin_width: cost,
+            ..ServiceConfig::default()
+        };
+        let s = serve(&tenants, &cfg, &mut EmulatorRunner::new(&program)).expect("serves");
+        for tr in &s.tenants {
+            assert_eq!(tr.offered, tr.completed, "{}: requests dropped", tr.name);
+        }
+        let (p50, p99, p999) = percentiles(&s.latency);
+        let slack = s.makespan as f64 / s.instructions as f64;
+        t.row_owned(vec![
+            format!("{load:.1}x"),
+            p50.to_string(),
+            p99.to_string(),
+            p999.to_string(),
+            format!("{slack:.2}"),
+        ]);
+        knee.push((p99, slack));
+    }
+    // The knee: light load leaves the machine mostly idle (makespan far
+    // above busy time) with flat latency; overload pins makespan to
+    // busy time while tail latency grows with the backlog.
+    let (light_p99, light_slack) = knee[0];
+    let (over_p99, over_slack) = *knee.last().expect("sweep ran");
+    assert!(
+        light_slack > 2.0 && over_slack < 1.5,
+        "saturation did not bind makespan to busy time: {light_slack:.2} -> {over_slack:.2}"
+    );
+    assert!(
+        over_p99 >= 3 * light_p99.max(1),
+        "no latency knee: p99 {light_p99} -> {over_p99}"
+    );
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nShape check: percentiles are sojourn times (arrival to end of the admitting\n\
+         burst) in virtual ticks, where each burst costs the instructions it fired.\n\
+         Below 1.0x the machine idles between arrivals (makespan/busy >> 1) and the\n\
+         tail sits at a few burst times; past 1.0x the machine is saturated\n\
+         (makespan/busy -> 1) and the open-loop backlog drives p99 through the knee.\n\
+         Every run drains every request — overload shows up as latency, never loss.\n",
+    );
+    out
+}

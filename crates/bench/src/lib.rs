@@ -33,6 +33,7 @@
 //! | e17 | waiting–matching store throughput: packed tags vs stock HashMap (§2.2.2) |
 //! | e18 | I-structure storage throughput: packed presence bitmap vs enum cells (§2.1) |
 //! | e19 | differential-fuzz corpus coverage: generator family × oracle outcome (§2.2) |
+//! | e20 | service mode: open-loop offered load vs sojourn latency knee (§2.3) |
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,6 +42,7 @@ pub mod experiments;
 pub mod fuzzcmd;
 pub mod quickbench;
 pub mod report;
+pub mod servecmd;
 pub mod suites;
 pub mod tracecmd;
 

@@ -9,7 +9,8 @@
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
 //! cargo run --release -p ttda-bench --bin experiments -- all --normalize
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
-//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json
+//! cargo run --release -p ttda-bench --bin experiments -- serve --load 1.5 --requests 64
 //! cargo run --release -p ttda-bench --bin experiments -- fuzz --seed 1 --iters 500
 //! cargo run --release -p ttda-bench --bin experiments -- fuzz --budget-ms 60000 --out target/fuzz-divergence.txt
 //! ```
@@ -24,7 +25,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ttda_bench::quickbench::Criterion;
-use ttda_bench::report::{check_istore_regression, check_regression, BenchReport, IStoreReport};
+use ttda_bench::report::{
+    check_istore_regression, check_regression, check_service_regression, BenchReport, IStoreReport,
+    ServiceReport,
+};
 use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
 use ttda_bench::{run_experiment, suites, EXPERIMENT_IDS};
 
@@ -32,8 +36,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... | all [--threads N] [--normalize]\n       ids: {}\n\
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
-         \n       experiments quickbench [--suites matching,istore,endtoend] [--out FILE] [--check BASELINE]\n\
+         \n       experiments quickbench [--suites matching,istore,service,endtoend] [--out FILE] [--check BASELINE]\n\
          \n                              [--istore-out FILE] [--istore-check BASELINE]\n\
+         \n                              [--service-out FILE] [--service-check BASELINE]\n\
+         \n       experiments serve [--load L] [--requests N] [--seed S] [--quota Q] [--high-water H]\n\
          \n       experiments fuzz [--seed S] [--iters N] [--budget-ms MS] [--families F,G] [--out FILE]\n\
          \n       --threads N: emulator host worker threads (0 = one per core)\n\
          \n       --normalize: replace host-dependent numbers with placeholders (stable output)",
@@ -61,18 +67,22 @@ fn load_baseline<P>(
 
 /// `quickbench`: runs the named suites through the quickbench harness,
 /// writes the machine-readable `BENCH_matching.json` and (when the
-/// `istore` suite runs) `BENCH_istore.json` reports, and — with
-/// `--check` / `--istore-check` — gates against baseline reports (>25%
-/// median ns/op growth on any shared target, or a headline throughput
-/// drop beyond the same factor, fails the run).
+/// `istore` / `service` suites run) `BENCH_istore.json` /
+/// `BENCH_service.json` reports, and — with `--check` /
+/// `--istore-check` / `--service-check` — gates against baseline
+/// reports (>25% median ns/op growth on any shared target, or a
+/// headline throughput drop beyond the same factor, fails the run).
 fn quickbench_main(args: &[String]) -> ExitCode {
     let mut out = PathBuf::from("BENCH_matching.json");
     let mut istore_out = PathBuf::from("BENCH_istore.json");
+    let mut service_out = PathBuf::from("BENCH_service.json");
     let mut check: Option<PathBuf> = None;
     let mut istore_check: Option<PathBuf> = None;
+    let mut service_check: Option<PathBuf> = None;
     let mut which = vec![
         "matching".to_string(),
         "istore".to_string(),
+        "service".to_string(),
         "endtoend".to_string(),
     ];
     let mut it = args.iter();
@@ -86,12 +96,20 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 Some(p) => istore_out = PathBuf::from(p),
                 None => return usage(),
             },
+            "--service-out" => match it.next() {
+                Some(p) => service_out = PathBuf::from(p),
+                None => return usage(),
+            },
             "--check" => match it.next() {
                 Some(p) => check = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             "--istore-check" => match it.next() {
                 Some(p) => istore_check = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--service-check" => match it.next() {
+                Some(p) => service_check = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             "--suites" => match it.next() {
@@ -102,6 +120,7 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         }
     }
     let run_istore = which.iter().any(|s| s == "istore");
+    let run_service = which.iter().any(|s| s == "service");
     // The throughput comparisons run first, in a still-cold process —
     // the state every real emulator run starts from. Window 32768: a
     // saturated matching section holds tens of thousands of parked
@@ -131,16 +150,33 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         );
         t
     });
+    // The service comparison: one offered load drained one-request-per-
+    // burst vs quota-batched. 32 requests per tenant keeps the cold-
+    // process measurement in whole milliseconds without dominating the
+    // quickbench run.
+    let service_throughput = run_service.then(|| {
+        println!("-- serial-vs-batched service throughput (E20 scheduler)");
+        let t = suites::service_throughput(32, 5);
+        println!(
+            "serial  {:>12.0} reqs/s     batched {:>11.0} reqs/s     speedup {:.2}x",
+            t.serial_requests_per_sec,
+            t.batched_requests_per_sec,
+            t.speedup()
+        );
+        t
+    });
     let mut c = Criterion::default();
     let mut ic = Criterion::default();
+    let mut sc = Criterion::default();
     for suite in &which {
         println!("-- suite: {suite}");
         match suite.as_str() {
             "matching" => suites::matching(&mut c),
             "istore" => suites::istore(&mut ic),
+            "service" => suites::service(&mut sc),
             "endtoend" => suites::endtoend(&mut c),
             other => {
-                eprintln!("error: unknown suite `{other}` (matching, istore, endtoend)");
+                eprintln!("error: unknown suite `{other}` (matching, istore, service, endtoend)");
                 return ExitCode::FAILURE;
             }
         }
@@ -187,6 +223,29 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         }
         None => None,
     };
+    let service_current = match service_throughput {
+        Some(throughput) => {
+            let report = ServiceReport {
+                targets: sc.into_stats(),
+                throughput,
+            };
+            let json = report.to_json();
+            let parsed = match ServiceReport::parse(&json) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: generated service report is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&service_out, &json) {
+                eprintln!("error: cannot write {}: {e}", service_out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", service_out.display());
+            Some(parsed)
+        }
+        None => None,
+    };
     if let Some(base_path) = check {
         let baseline = match load_baseline(&base_path, BenchReport::parse) {
             Ok(b) => b,
@@ -223,6 +282,28 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: istore benchmark regression\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(base_path) = service_check {
+        let Some(current) = service_current else {
+            eprintln!("error: --service-check given but the service suite was not selected");
+            return ExitCode::FAILURE;
+        };
+        let baseline = match load_baseline(&base_path, ServiceReport::parse) {
+            Ok(b) => b,
+            Err(code) => return code,
+        };
+        match check_service_regression(&current, &baseline, 0.25) {
+            Ok(lines) => {
+                println!("-- vs baseline {}", base_path.display());
+                for l in lines {
+                    println!("   {l}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: service benchmark regression\n{e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -295,6 +376,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "quickbench" {
         return quickbench_main(&args[1..]);
+    }
+    if args[0] == "serve" {
+        return ttda_bench::servecmd::serve_main(&args[1..]);
     }
     if args[0] == "fuzz" {
         return ttda_bench::fuzzcmd::fuzz_main(&args[1..]);

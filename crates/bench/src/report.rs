@@ -1,24 +1,28 @@
 //! Machine-readable benchmark reports (`BENCH_matching.json`,
-//! `BENCH_istore.json`).
+//! `BENCH_istore.json`, `BENCH_service.json`).
 //!
 //! The container has no serde, so this module hand-writes and
-//! hand-parses the two JSON shapes the repo tracks: per-target median
-//! ns/op from the quickbench suites plus a reference-vs-packed
-//! throughput comparison — tokens/sec through the waiting–matching
-//! store for the matching report, ops/sec through the I-structure store
-//! for the istore report. The checked-in files at the repository root
-//! are the baselines every later perf PR is judged against;
-//! [`check_regression`] / [`check_istore_regression`] are the gates
-//! CI's bench-smoke job runs.
+//! hand-parses the three JSON shapes the repo tracks: per-target median
+//! ns/op from the quickbench suites plus a headline throughput
+//! comparison — tokens/sec through the waiting–matching store for the
+//! matching report, ops/sec through the I-structure store for the
+//! istore report, requests/sec through the service scheduler for the
+//! service report. The checked-in files at the repository root are the
+//! baselines every later perf PR is judged against; [`check_regression`]
+//! / [`check_istore_regression`] / [`check_service_regression`] are the
+//! gates CI's bench-smoke job runs.
 
 use crate::quickbench::BenchStat;
-use crate::suites::{IStoreThroughput, MatchingThroughput};
+use crate::suites::{IStoreThroughput, MatchingThroughput, ServiceThroughput};
 
 /// Identifies the matching-report shape; bumped if fields change meaning.
 pub const SCHEMA: &str = "ttda-bench/matching/v1";
 
 /// Identifies the istore-report shape.
 pub const ISTORE_SCHEMA: &str = "ttda-bench/istore/v1";
+
+/// Identifies the service-report shape.
+pub const SERVICE_SCHEMA: &str = "ttda-bench/service/v1";
 
 /// Everything one `experiments quickbench` run measures for the
 /// matching/endtoend suites.
@@ -38,6 +42,16 @@ pub struct IStoreReport {
     pub targets: Vec<BenchStat>,
     /// The heavy-defer enum-vs-packed store comparison.
     pub throughput: IStoreThroughput,
+}
+
+/// Everything one `experiments quickbench` run measures for the service
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Per-target timing summaries, in run order.
+    pub targets: Vec<BenchStat>,
+    /// The serial-vs-batched scheduler comparison.
+    pub throughput: ServiceThroughput,
 }
 
 fn json_escape(s: &str) -> String {
@@ -194,6 +208,56 @@ impl IStoreReport {
     }
 }
 
+impl ServiceReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SERVICE_SCHEMA}\",\n"));
+        render_targets(&mut out, &self.targets);
+        let th = &self.throughput;
+        out.push_str("  \"service_throughput\": {\n");
+        out.push_str(&format!("    \"requests\": {},\n", th.requests));
+        out.push_str(&format!("    \"tenants\": {},\n", th.tenants));
+        out.push_str(&format!(
+            "    \"serial_requests_per_sec\": {:.0},\n",
+            th.serial_requests_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"batched_requests_per_sec\": {:.0},\n",
+            th.batched_requests_per_sec
+        ));
+        out.push_str(&format!("    \"speedup\": {:.2}\n", th.speedup()));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`ServiceReport::to_json`];
+    /// same shape-checking reader as [`BenchReport::parse`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn parse(json: &str) -> Result<ParsedServiceReport, String> {
+        if !json.contains(&format!("\"schema\": \"{SERVICE_SCHEMA}\"")) {
+            return Err(format!(
+                "missing or wrong schema tag (want {SERVICE_SCHEMA})"
+            ));
+        }
+        let targets = parse_targets(json)?;
+        let serial_rps = field(json, "\"serial_requests_per_sec\": ")?;
+        let batched_rps = field(json, "\"batched_requests_per_sec\": ")?;
+        if serial_rps <= 0.0 || batched_rps <= 0.0 {
+            return Err("non-positive requests/sec in service_throughput".into());
+        }
+        Ok(ParsedServiceReport {
+            targets,
+            serial_requests_per_sec: serial_rps,
+            batched_requests_per_sec: batched_rps,
+        })
+    }
+}
+
 fn field(json: &str, key: &str) -> Result<f64, String> {
     let pos = json.find(key).ok_or_else(|| format!("missing {key}"))?;
     number_at(&json[pos + key.len()..]).ok_or_else(|| format!("unparsable value for {key}"))
@@ -229,6 +293,17 @@ pub struct ParsedIStoreReport {
     pub enum_ops_per_sec: f64,
     /// Packed store throughput.
     pub packed_ops_per_sec: f64,
+}
+
+/// The comparison-relevant subset of a parsed service report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedServiceReport {
+    /// `(target label, median ns/op)` pairs.
+    pub targets: Vec<(String, f64)>,
+    /// One-request-per-burst scheduler throughput.
+    pub serial_requests_per_sec: f64,
+    /// Quota-batched scheduler throughput (the gated headline).
+    pub batched_requests_per_sec: f64,
 }
 
 /// Shared gate body: per-target median growth beyond `tolerance` fails,
@@ -328,6 +403,29 @@ pub fn check_istore_regression(
     )
 }
 
+/// The service twin of [`check_regression`]: gates the service suite's
+/// medians and the batched scheduler's requests/sec against
+/// `BENCH_service.json`.
+///
+/// # Errors
+///
+/// A description of every regression found.
+pub fn check_service_regression(
+    current: &ParsedServiceReport,
+    baseline: &ParsedServiceReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    gate(
+        &current.targets,
+        &baseline.targets,
+        current.batched_requests_per_sec,
+        baseline.batched_requests_per_sec,
+        "batched_requests_per_sec",
+        "requests/sec",
+        tolerance,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +475,24 @@ mod tests {
         }
     }
 
+    fn service_report() -> ServiceReport {
+        ServiceReport {
+            targets: vec![BenchStat {
+                label: "service/serve_2tenant_32req_q8".into(),
+                mean_ns: 2.1e6,
+                median_ns: 2.0e6,
+                min_ns: 1.8e6,
+                samples: 30,
+            }],
+            throughput: ServiceThroughput {
+                requests: 64,
+                tenants: 2,
+                serial_requests_per_sec: 4.0e3,
+                batched_requests_per_sec: 9.0e3,
+            },
+        }
+    }
+
     #[test]
     fn roundtrip() {
         let json = report().to_json();
@@ -402,12 +518,28 @@ mod tests {
     }
 
     #[test]
+    fn service_roundtrip() {
+        let json = service_report().to_json();
+        let parsed = ServiceReport::parse(&json).expect("well-formed");
+        assert_eq!(parsed.targets.len(), 1);
+        assert_eq!(parsed.targets[0].0, "service/serve_2tenant_32req_q8");
+        assert_eq!(parsed.serial_requests_per_sec, 4.0e3);
+        assert_eq!(parsed.batched_requests_per_sec, 9.0e3);
+        // No schema cross-parses into the service reader or out of it.
+        assert!(BenchReport::parse(&json).is_err());
+        assert!(IStoreReport::parse(&json).is_err());
+        assert!(ServiceReport::parse(&report().to_json()).is_err());
+        assert!(ServiceReport::parse(&istore_report().to_json()).is_err());
+    }
+
+    #[test]
     fn malformed_reports_are_rejected() {
         assert!(BenchReport::parse("{}").is_err());
         assert!(BenchReport::parse("{\"schema\": \"ttda-bench/matching/v1\"}").is_err());
         let json = report().to_json().replace("median_ns", "nedian_ms");
         assert!(BenchReport::parse(&json).is_err());
         assert!(IStoreReport::parse("{}").is_err());
+        assert!(ServiceReport::parse("{}").is_err());
     }
 
     #[test]
@@ -450,5 +582,24 @@ mod tests {
         fewer.targets.clear();
         fewer.targets.push(("istore/new_target".into(), 100.0));
         assert!(check_istore_regression(&fewer, &base, 0.25).is_ok());
+    }
+
+    #[test]
+    fn service_gate_trips_on_slowdown_only() {
+        let base = ServiceReport::parse(&service_report().to_json()).unwrap();
+        let mut cur = base.clone();
+        cur.targets[0].1 *= 1.10;
+        assert!(check_service_regression(&cur, &base, 0.25).is_ok());
+        cur.targets[0].1 = base.targets[0].1 * 1.30;
+        assert!(check_service_regression(&cur, &base, 0.25).is_err());
+        // The headline is the batched throughput; a serial-side drop
+        // alone does not trip the gate, a batched drop does.
+        let mut slow_serial = base.clone();
+        slow_serial.serial_requests_per_sec = base.serial_requests_per_sec * 0.5;
+        assert!(check_service_regression(&slow_serial, &base, 0.25).is_ok());
+        let mut slow = base.clone();
+        slow.batched_requests_per_sec = base.batched_requests_per_sec * 0.5;
+        let err = check_service_regression(&slow, &base, 0.25).unwrap_err();
+        assert!(err.contains("batched_requests_per_sec"), "{err}");
     }
 }

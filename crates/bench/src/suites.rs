@@ -10,13 +10,14 @@ use std::time::Instant;
 use ttda_core::matching::{Absorbed, MatchingStore};
 use ttda_core::CodeBlockId;
 use ttda_core::{
-    ActivityName, Ctx, Emulator, InstrId, Iter, Port, TimedConfig, TimedMachine, Value,
+    ActivityName, Ctx, Emulator, InstrId, Iter, Port, Program, TimedConfig, TimedMachine, Value,
 };
 use ttda_machines::{CmStar, CmStarConfig};
 use ttda_mem::{Addr, EnumIStructure, FullEmptyMemory, IStructure, TryReadOutcome};
-use ttda_sim::{Cycle, SimRng};
+use ttda_sim::{Arrivals, Cycle, SimRng};
 use ttda_vn::Core;
 use ttda_workloads::id;
+use ttda_workloads::service::{serve, EmulatorRunner, ServiceConfig, TenantSpec};
 use ttda_workloads::vn::chaotic_relaxation;
 
 use crate::quickbench::{BenchmarkId, Criterion};
@@ -438,6 +439,196 @@ pub fn istore(c: &mut Criterion) {
     });
 }
 
+/// The standard two-tenant service scenario the `service` suite, the
+/// throughput comparison and the smoke runs all share: an "api" tenant
+/// (wide, shallow request DAG, weight 3, Poisson arrivals) and a
+/// "batch" tenant (narrow, deep DAG, weight 1, uniform arrivals), both
+/// arriving almost immediately so the run is throughput-bound rather
+/// than idle-waiting.
+pub fn service_scenario(requests_per_tenant: u64) -> (Program, Vec<TenantSpec>) {
+    let api = ttda_idc::compile(&id::request_dag(4, 3)).expect("api DAG compiles");
+    let batch = ttda_idc::compile(&id::request_dag(2, 8)).expect("batch DAG compiles");
+    let (program, mains) = Program::merge(&[api, batch], 8);
+    let tenants = vec![
+        TenantSpec {
+            name: "api".into(),
+            block: mains[0],
+            inputs: vec![Value::Int(3)],
+            weight: 3,
+            arrivals: Arrivals::Exp { mean: 1.0 },
+            requests: requests_per_tenant,
+        },
+        TenantSpec {
+            name: "batch".into(),
+            block: mains[1],
+            inputs: vec![Value::Int(7)],
+            weight: 1,
+            arrivals: Arrivals::Uniform { lo: 0.5, hi: 1.5 },
+            requests: requests_per_tenant,
+        },
+    ];
+    (program, tenants)
+}
+
+/// Measures the mean per-request cost of `tenants` — one solo burst
+/// each on a fresh emulator — in instructions, the unit virtual service
+/// time is counted in. This is the calibration constant the open-loop
+/// experiments express offered load against.
+pub fn per_request_cost(program: &Program, tenants: &[TenantSpec]) -> u64 {
+    let total: u64 = tenants
+        .iter()
+        .map(|t| {
+            Emulator::new(program)
+                .submit(&[ttda_core::Job::new(t.block, t.inputs.clone())])
+                .expect("calibration burst runs")
+                .instructions
+        })
+        .sum();
+    (total / tenants.len() as u64).max(1)
+}
+
+/// The standard scenario re-paced to a target offered load: `load` is
+/// the ratio of aggregate arrival rate to the single-server service
+/// rate, so `load < 1` leaves the machine idling between requests and
+/// `load > 1` builds unbounded queues. Each tenant keeps its arrival
+/// *shape* (Poisson vs uniform) but gets the calibrated mean. Returns
+/// the merged program, the paced tenants, and the per-request cost in
+/// ticks (a sensible latency-histogram bin width).
+pub fn loaded_service_scenario(
+    load: f64,
+    requests_per_tenant: u64,
+) -> (Program, Vec<TenantSpec>, u64) {
+    assert!(load > 0.0, "offered load must be positive");
+    let (program, mut tenants) = service_scenario(requests_per_tenant);
+    let cost = per_request_cost(&program, &tenants);
+    let mean = cost as f64 * tenants.len() as f64 / load;
+    for t in &mut tenants {
+        t.arrivals = match t.arrivals {
+            Arrivals::Exp { .. } => Arrivals::Exp { mean },
+            Arrivals::Normal { .. } => Arrivals::Normal {
+                mean,
+                std: mean / 4.0,
+            },
+            Arrivals::Uniform { .. } => Arrivals::Uniform {
+                lo: mean * 0.5,
+                hi: mean * 1.5,
+            },
+        };
+    }
+    (program, tenants, cost)
+}
+
+/// The service-scheduler throughput comparison behind the
+/// `service_throughput` block of `BENCH_service.json`: the same offered
+/// load drained one request per burst vs. batched up to the default
+/// quota. On the untimed emulator both arms execute the same
+/// instructions, so the ratio sits near 1.0 — the pair exists to pin
+/// the scheduler's own overhead (admission, queueing, histogram upkeep,
+/// per-burst machine construction), and the gated headline is the
+/// batched (default-configuration) rate. Batching's *latency* win is
+/// E20's story, in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceThroughput {
+    /// Requests drained per measured run (all tenants together).
+    pub requests: u64,
+    /// Tenants in the scenario.
+    pub tenants: usize,
+    /// One-request-per-burst scheduling, requests/second.
+    pub serial_requests_per_sec: f64,
+    /// Quota-batched scheduling (the headline), requests/second.
+    pub batched_requests_per_sec: f64,
+}
+
+impl ServiceThroughput {
+    /// Batched-admission speedup over one-request bursts.
+    pub fn speedup(&self) -> f64 {
+        self.batched_requests_per_sec / self.serial_requests_per_sec
+    }
+}
+
+/// Measures the service scheduler draining one identical offered load
+/// serially (quota 1) and batched (the default quota), with the same
+/// protocol as [`matching_throughput`]: one untimed warmup pass each
+/// (which also checks both configurations drain every request), then
+/// `reps` interleaved rounds reporting the *best* round per
+/// configuration.
+pub fn service_throughput(requests_per_tenant: u64, reps: usize) -> ServiceThroughput {
+    let (program, tenants) = service_scenario(requests_per_tenant);
+    let serial = ServiceConfig {
+        seed: 42,
+        burst_quota: 1,
+        ..ServiceConfig::default()
+    };
+    let batched = ServiceConfig {
+        seed: 42,
+        ..ServiceConfig::default()
+    };
+    let requests = requests_per_tenant * tenants.len() as u64;
+    let drain = |cfg: &ServiceConfig| {
+        let s = serve(&tenants, cfg, &mut EmulatorRunner::new(&program)).expect("serves");
+        for t in &s.tenants {
+            assert_eq!(t.offered, t.completed, "{}: requests dropped", t.name);
+        }
+        s.admission_log.len()
+    };
+    assert_eq!(drain(&serial), requests as usize);
+    assert_eq!(drain(&batched), requests as usize);
+    let mut best_serial = std::time::Duration::MAX;
+    let mut best_batched = std::time::Duration::MAX;
+    for _ in 0..reps {
+        best_serial = best_serial.min(timed(|| drain(&serial)));
+        best_batched = best_batched.min(timed(|| drain(&batched)));
+    }
+    let rps = |d: std::time::Duration| requests as f64 / d.as_secs_f64();
+    ServiceThroughput {
+        requests,
+        tenants: tenants.len(),
+        serial_requests_per_sec: rps(best_serial),
+        batched_requests_per_sec: rps(best_batched),
+    }
+}
+
+/// The `service` suite: full open-loop multi-tenant serve runs (E20) —
+/// batched, serial, and with backpressure engaged.
+pub fn service(c: &mut Criterion) {
+    let (program, tenants) = service_scenario(16);
+    let batched = ServiceConfig {
+        seed: 42,
+        ..ServiceConfig::default()
+    };
+    c.bench_function("service/serve_2tenant_32req_q8", |b| {
+        b.iter(|| {
+            serve(&tenants, &batched, &mut EmulatorRunner::new(&program))
+                .expect("serves")
+                .bursts
+        })
+    });
+    let serial = ServiceConfig {
+        burst_quota: 1,
+        ..batched
+    };
+    c.bench_function("service/serve_2tenant_32req_q1", |b| {
+        b.iter(|| {
+            serve(&tenants, &serial, &mut EmulatorRunner::new(&program))
+                .expect("serves")
+                .bursts
+        })
+    });
+    // Backpressure engaged: the high-water mark sits well under what a
+    // full burst of these DAGs drives the matching window to.
+    let throttling = ServiceConfig {
+        high_water: 48,
+        ..batched
+    };
+    c.bench_function("service/serve_2tenant_32req_hw48", |b| {
+        b.iter(|| {
+            serve(&tenants, &throttling, &mut EmulatorRunner::new(&program))
+                .expect("serves")
+                .throttled
+        })
+    });
+}
+
 /// The `endtoend` suite: whole-machine Cm* relaxation runs (E2/E14).
 pub fn endtoend(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_cmstar_relaxation");
@@ -509,5 +700,14 @@ mod tests {
         assert_eq!(t.ops, 256 * 5);
         assert!(t.enum_ops_per_sec > 0.0);
         assert!(t.packed_ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn service_throughput_is_measurable() {
+        let t = service_throughput(4, 1);
+        assert_eq!(t.requests, 8);
+        assert_eq!(t.tenants, 2);
+        assert!(t.serial_requests_per_sec > 0.0);
+        assert!(t.batched_requests_per_sec > 0.0);
     }
 }

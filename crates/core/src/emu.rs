@@ -238,29 +238,52 @@ impl<'p> Emulator<'p> {
     ///   unmatched or reads still deferred;
     /// - [`ExecError::OutOfFuel`] past the firing budget.
     pub fn run(&mut self, inputs: &[Value]) -> Result<EmuResult, ExecError> {
-        self.run_jobs(&[(self.program.main, inputs.to_vec())])
+        self.submit(&[crate::machine::Job::new(self.program.main, inputs.to_vec())])
     }
 
-    /// Multiprogramming: launches several independent jobs — each a code
-    /// block (typically a former `main` from [`Program::merge`]) with its
-    /// own inputs — under fresh root contexts, and runs them to joint
-    /// completion. Tagged tokens guarantee the jobs cannot interfere:
-    /// their activity names differ in `u` from the first wave on.
+    /// Multiprogramming over positional `(block, inputs)` tuples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Emulator::submit`].
+    #[deprecated(since = "0.2.0", note = "use `submit` with `Job` values")]
+    pub fn run_jobs(
+        &mut self,
+        jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
+    ) -> Result<EmuResult, ExecError> {
+        let jobs: Vec<crate::machine::Job> = jobs
+            .iter()
+            .cloned()
+            .map(crate::machine::Job::from)
+            .collect();
+        self.submit(&jobs)
+    }
+
+    /// Multiprogramming: launches a batch of independent [`Job`]s — each
+    /// a code block (typically a former `main` from [`Program::merge`])
+    /// with its own inputs — under fresh root contexts, and runs them to
+    /// joint completion. Tagged tokens guarantee the jobs cannot
+    /// interfere: their activity names differ in `u` from the first wave
+    /// on. A job's `tenant` label is accounting metadata for schedulers
+    /// and is ignored here; fuel shares pool into a joint batch budget
+    /// (see [`Job::fuel`]).
     ///
     /// # Errors
     ///
     /// Same conditions as [`Emulator::run`]; `InputArity` refers to the
     /// offending job's block.
-    pub fn run_jobs(
-        &mut self,
-        jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
-    ) -> Result<EmuResult, ExecError> {
+    ///
+    /// [`Job`]: crate::machine::Job
+    /// [`Job::fuel`]: crate::machine::Job::fuel
+    pub fn submit(&mut self, jobs: &[crate::machine::Job]) -> Result<EmuResult, ExecError> {
         let threads = self.effective_threads();
+        let fuel = crate::machine::batch_fuel(self.fuel, jobs);
         if threads > 1 && self.loop_bound.is_none() {
-            return crate::par::run_jobs(self.program, jobs, threads, self.fuel, self.sink.clone());
+            return crate::par::submit(self.program, jobs, threads, fuel, self.sink.clone());
         }
         let mut wave: Vec<Token> = Vec::new();
-        for (block_id, inputs) in jobs {
+        for job in jobs {
+            let (block_id, inputs) = (&job.block, &job.inputs);
             let block = self.program.block(*block_id).ok_or(ExecError::BadTarget {
                 activity: block_id.to_string(),
             })?;
@@ -359,7 +382,7 @@ impl<'p> Emulator<'p> {
                 if let Some(operands) = self.absorb(token)? {
                     fired += 1;
                     self.fire(operands.0, operands.1, &mut next)?;
-                    if self.instructions > self.fuel {
+                    if self.instructions > fuel {
                         return Err(ExecError::OutOfFuel);
                     }
                 }

@@ -323,7 +323,7 @@ impl Program {
     /// slots never collide. The merged program's main is a trivial
     /// launcher — callers start each job themselves via
     /// [`Emulator`](crate::Emulator)/[`TimedMachine`](crate::TimedMachine)
-    /// `run_jobs`, which injects each job's inputs into its own main
+    /// `submit`, which injects each job's inputs into its own main
     /// block under a fresh context.
     ///
     /// This is the §1.2.4 counterpoint made executable: a lockstep VLIW

@@ -64,7 +64,7 @@ pub use emu::{EmuResult, Emulator};
 pub use graph::{
     CodeBlock, CodeBlockId, Dest, DestBranch, GraphError, InstrId, Instruction, OpCode, Program,
 };
-pub use machine::Machine;
+pub use machine::{Job, Machine};
 pub use matching::MatchingStore;
 pub use tag::{ActivityName, Ctx, Iter, Port, Token};
 pub use timed::{

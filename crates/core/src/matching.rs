@@ -185,6 +185,9 @@ pub struct MatchingStore {
     free: Vec<u32>,
     /// Live (parked) activity count — the occupancy the traces report.
     len: usize,
+    /// Highest `len` ever reached (since the last
+    /// [`MatchingStore::reset_high_water`]).
+    high_water: usize,
 }
 
 impl Default for MatchingStore {
@@ -205,6 +208,7 @@ impl MatchingStore {
             entries: Vec::new(),
             free: Vec::new(),
             len: 0,
+            high_water: 0,
         }
     }
 
@@ -220,6 +224,26 @@ impl MatchingStore {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Highest occupancy the store has reached since construction (or
+    /// the last [`MatchingStore::reset_high_water`]) — an O(1) counter
+    /// maintained at the single insertion site, so backpressure policies
+    /// (the `ttda-workloads` service scheduler) can poll it instead of
+    /// scanning. Under the parallel wave backend each shard keeps its
+    /// own store; the coordinator's delta replay aggregates the shards
+    /// into the exact sequential occupancy, which is what
+    /// `EmuResult::peak_matching` reports.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Restarts high-water tracking from the current occupancy, so a
+    /// long-lived store can be observed per burst.
+    #[inline]
+    pub fn reset_high_water(&mut self) {
+        self.high_water = self.len;
     }
 
     /// Visits every parked activity name. Replaces the `HashMap::keys`
@@ -300,6 +324,7 @@ impl MatchingStore {
         }
         self.table[pos] = word(hash, idx);
         self.len += 1;
+        self.high_water = self.high_water.max(self.len);
         if self.len * 8 >= self.table.len() * 7 {
             self.grow();
         }
@@ -591,6 +616,64 @@ mod tests {
             }
         }
         assert_eq!(m.len(), 0);
+    }
+
+    /// The O(1) `high_water` counter must agree with a `HashMap`
+    /// reference model of the store (park on first token, recycle on
+    /// completion) whose running-size maximum is recomputed from scratch
+    /// after every absorb, across a randomized stream of arities,
+    /// literals, repeats and completions.
+    #[test]
+    fn high_water_matches_reference_model() {
+        use std::collections::{HashMap, HashSet};
+        let mut rng = ttda_sim::SimRng::seed(0x5eed_5e44);
+        let mut m = MatchingStore::new();
+        let mut model: HashMap<ActivityName, (u8, HashSet<u8>)> = HashMap::new();
+        let mut model_high = 0usize;
+        for _ in 0..5000 {
+            let t = tag(rng.gen_range(0u32..96), 1, rng.gen_range(0u32..4), 1);
+            // Arity and literal are properties of the target instruction,
+            // so derive them from the tag, never at random per token.
+            let arity = 1 + ((t.u.0 + t.s.0) % 5) as u8;
+            let literal = if arity > 1 && t.s.0.is_multiple_of(2) {
+                Some((Port(arity - 1), Value::Int(-7)))
+            } else {
+                None
+            };
+            let port = if rng.chance(1.0 / 16.0) {
+                Port(arity) // deliberately out of range
+            } else {
+                Port(rng.gen_range(0u8..arity))
+            };
+            let got = m.absorb(t, arity, literal, port, Value::Int(1));
+            if port.0 >= arity {
+                // Rejected before parking: the model is untouched.
+                assert_eq!(got, Err(PortOutOfRange));
+            } else {
+                let parked = model.entry(t).or_insert_with(|| {
+                    let mut f = HashSet::new();
+                    if let Some((p, _)) = literal {
+                        f.insert(p.0);
+                    }
+                    (arity, f)
+                });
+                parked.1.insert(port.0);
+                if parked.1.len() == parked.0 as usize {
+                    model.remove(&t);
+                    assert!(matches!(got, Ok(Absorbed::Enabled(_))));
+                } else {
+                    assert_eq!(got, Ok(Absorbed::Parked));
+                }
+            }
+            model_high = model_high.max(model.len());
+            assert_eq!(m.len(), model.len());
+            assert_eq!(m.high_water(), model_high);
+        }
+        assert!(m.high_water() > 0, "stream never parked anything");
+        // Reset restarts tracking from the *current* occupancy.
+        m.reset_high_water();
+        assert_eq!(m.high_water(), m.len());
+        assert!(m.high_water() < model_high || m.len() == model_high);
     }
 
     /// Keys confined to a single `par.rs` shard must still spread across

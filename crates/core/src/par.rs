@@ -60,7 +60,7 @@ use ttda_trace::{EventBuffer, PresenceState, SharedSink, TraceEvent};
 use crate::context::ContextManager;
 use crate::emu::EmuResult;
 use crate::exec::{absorb, allocates_context, execute, execute_ro, StructAction};
-use crate::graph::{CodeBlockId, Program};
+use crate::graph::Program;
 use crate::matching::{MatchingStore, Operands};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
@@ -168,10 +168,12 @@ enum Reply {
     Struct(StructReply),
 }
 
-/// Entry point: the parallel equivalent of `Emulator::run_jobs`.
-pub(crate) fn run_jobs(
+/// Entry point: the parallel equivalent of `Emulator::submit`. `fuel`
+/// is the already-resolved batch budget (machine fuel merged with the
+/// jobs' fuel shares by the caller).
+pub(crate) fn submit(
     program: &Program,
-    jobs: &[(CodeBlockId, Vec<Value>)],
+    jobs: &[crate::machine::Job],
     threads: usize,
     fuel: u64,
     sink: Option<SharedSink>,
@@ -179,7 +181,8 @@ pub(crate) fn run_jobs(
     debug_assert!(threads >= 2, "parallel backend needs at least two workers");
     let mut ctx = ContextManager::new(program.main);
     let mut wave: Vec<Token> = Vec::new();
-    for (block_id, inputs) in jobs {
+    for job in jobs {
+        let (block_id, inputs) = (&job.block, &job.inputs);
         let block = program.block(*block_id).ok_or(ExecError::BadTarget {
             activity: block_id.to_string(),
         })?;

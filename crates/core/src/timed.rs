@@ -373,25 +373,48 @@ impl<T: Topology> TimedMachine<T> {
     /// plus [`ExecError::OutOfFuel`] when the cycle horizon is exceeded.
     pub fn run(&mut self, inputs: &[Value]) -> Result<TimedResult, ExecError> {
         let main = self.program.main;
-        self.run_jobs(&[(main, inputs.to_vec())])
+        self.submit(&[crate::machine::Job::new(main, inputs.to_vec())])
     }
 
-    /// Multiprogramming: launches several independent jobs (block +
-    /// inputs, typically former mains from [`Program::merge`]) under
-    /// fresh root contexts and runs the machine to joint quiescence —
-    /// tokens of different jobs interleave freely through the same PEs,
-    /// matching stores and network, and can never collide.
+    /// Multiprogramming over positional `(block, inputs)` tuples.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`TimedMachine::run`].
+    /// Same conditions as [`TimedMachine::submit`].
+    #[deprecated(since = "0.2.0", note = "use `submit` with `Job` values")]
     pub fn run_jobs(
         &mut self,
         jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
     ) -> Result<TimedResult, ExecError> {
+        let jobs: Vec<crate::machine::Job> = jobs
+            .iter()
+            .cloned()
+            .map(crate::machine::Job::from)
+            .collect();
+        self.submit(&jobs)
+    }
+
+    /// Multiprogramming: launches a batch of independent [`Job`]s (each
+    /// a block and its inputs, typically former mains from
+    /// [`Program::merge`]) under
+    /// fresh root contexts and runs the machine to joint quiescence —
+    /// tokens of different jobs interleave freely through the same PEs,
+    /// matching stores and network, and can never collide. A job's
+    /// `tenant` label is accounting metadata for schedulers and is
+    /// ignored here; fuel shares pool into a joint batch budget (see
+    /// [`Job::fuel`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TimedMachine::run`].
+    ///
+    /// [`Job`]: crate::machine::Job
+    /// [`Job::fuel`]: crate::machine::Job::fuel
+    pub fn submit(&mut self, jobs: &[crate::machine::Job]) -> Result<TimedResult, ExecError> {
         self.fabric.reset();
         let n = self.pes();
-        let cfg = self.config;
+        let mut cfg = self.config;
+        cfg.fuel = crate::machine::batch_fuel(cfg.fuel, jobs);
         // A local clone keeps the disabled-tracing cost at one branch per
         // event site and sidesteps borrows of `self` held below.
         let sink = self.sink.clone();
@@ -422,7 +445,8 @@ impl<T: Topology> TimedMachine<T> {
 
         // Inject every job's inputs at time zero, each under its own
         // fresh root context.
-        for (block_id, inputs) in jobs {
+        for job in jobs {
+            let (block_id, inputs) = (&job.block, &job.inputs);
             let block = self.program.block(*block_id).ok_or(ExecError::BadTarget {
                 activity: block_id.to_string(),
             })?;

@@ -389,16 +389,6 @@ impl<T: Clone, R> IStructureController<T, R> {
         }
     }
 
-    /// Attaches a trace sink; `module` labels this controller's events.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the builder-style `with_sink`, uniform across engines"
-    )]
-    pub fn set_sink(&mut self, sink: Option<SharedSink>, module: u32) {
-        self.sink = sink;
-        self.module = module;
-    }
-
     /// Builder-style sink attachment, matching `Fabric::with_sink` and
     /// the engine `Machine::with_sink`; `module` labels this
     /// controller's events. Reads, writes, presence-bit transitions and
@@ -649,20 +639,6 @@ mod tests {
         assert_eq!(s.releases, 2);
         assert_eq!(s.max_deferred_list, 2);
         assert_eq!(c.ops(), 4);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_set_sink_still_attaches() {
-        use ttda_trace::{shared, CountingSink};
-
-        let sink = shared(CountingSink::new());
-        let mut c: IStructureController<i64> = IStructureController::new(4, Cycle(1));
-        c.set_sink(Some(sink.clone()), 3);
-        c.write(Cycle(0), Addr(0), 1).unwrap();
-        let s = sink.borrow();
-        let cs = s.as_any().downcast_ref::<CountingSink>().unwrap();
-        assert_eq!(cs.metrics().counter_value("istore_write"), 1);
     }
 
     #[test]

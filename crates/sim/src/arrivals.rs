@@ -1,0 +1,171 @@
+//! Deterministic stochastic arrival processes for open-loop workloads.
+//!
+//! A service-mode driver needs inter-arrival times that look like real
+//! traffic (memoryless Poisson streams, jittered periodic clients,
+//! bounded batch windows) while staying reproducible: every sample is a
+//! pure function of a [`SimRng`] stream, so the same seed yields the
+//! same arrival schedule on every host and thread count.
+//!
+//! Samples are `f64` time units; callers that need exact cross-run
+//! comparability (byte-for-byte experiment output, scheduler ticks)
+//! should quantize with [`Arrivals::next_ticks`], which rounds onto an
+//! integer grid so all downstream arithmetic is integral.
+//!
+//! # Example
+//!
+//! ```
+//! use ttda_sim::{Arrivals, SimRng};
+//!
+//! let a = Arrivals::Exp { mean: 100.0 };
+//! let mut rng = SimRng::seed(7);
+//! let gap = a.next_ticks(&mut rng, 1);
+//! let mut rng2 = SimRng::seed(7);
+//! assert_eq!(gap, a.next_ticks(&mut rng2, 1)); // same seed, same schedule
+//! ```
+
+use crate::SimRng;
+
+/// An inter-arrival-time distribution (time between consecutive jobs).
+///
+/// The three shapes cover the classic open-loop traffic models:
+/// exponential gaps make a Poisson process (memoryless, bursty),
+/// normal gaps model a jittered periodic client, and uniform gaps a
+/// bounded batch window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Exponential gaps with the given mean: a Poisson arrival process
+    /// of rate `1 / mean`.
+    Exp {
+        /// Mean inter-arrival time (must be positive and finite).
+        mean: f64,
+    },
+    /// Normal (Gaussian) gaps, truncated at zero — a periodic source
+    /// with jitter.
+    Normal {
+        /// Mean inter-arrival time.
+        mean: f64,
+        /// Standard deviation of the jitter.
+        std: f64,
+    },
+    /// Uniform gaps on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound (must be `>= lo`).
+        hi: f64,
+    },
+}
+
+impl Arrivals {
+    /// Draws one inter-arrival time (`>= 0`, never NaN).
+    ///
+    /// Each variant consumes a fixed number of RNG draws per sample
+    /// (Exp and Uniform one, Normal two — Box–Muller without a
+    /// rejection loop), so interleaving several generators over forked
+    /// [`SimRng`] streams stays reproducible.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Arrivals::Exp { mean } => {
+                // Inverse CDF; 1 - u is in (0, 1], so ln never sees 0.
+                let u = rng.f64();
+                -mean * (1.0 - u).ln()
+            }
+            Arrivals::Normal { mean, std } => {
+                // Box–Muller, cosine branch only: exactly two draws.
+                let u1 = 1.0 - rng.f64(); // (0, 1]
+                let u2 = rng.f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mean + std * z).max(0.0)
+            }
+            Arrivals::Uniform { lo, hi } => lo + (hi - lo) * rng.f64(),
+        }
+    }
+
+    /// Draws one inter-arrival time and rounds it to the nearest
+    /// multiple of `1 / scale` in integer ticks (minimum 1 tick, so
+    /// arrivals always advance time). `scale` is ticks per time unit.
+    pub fn next_ticks(&self, rng: &mut SimRng, scale: u64) -> u64 {
+        let t = self.sample(rng) * scale as f64;
+        (t.round() as u64).max(1)
+    }
+
+    /// The distribution mean (the truncation at zero is ignored for
+    /// `Normal`), handy for computing offered load.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Arrivals::Exp { mean } => mean,
+            Arrivals::Normal { mean, .. } => mean,
+            Arrivals::Uniform { lo, hi } => (lo + hi) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(a: Arrivals, n: usize) -> f64 {
+        let mut rng = SimRng::seed(42);
+        (0..n).map(|_| a.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let mut rng = SimRng::seed(1);
+        for a in [
+            Arrivals::Exp { mean: 3.0 },
+            Arrivals::Normal {
+                mean: 5.0,
+                std: 10.0,
+            },
+            Arrivals::Uniform { lo: 0.0, hi: 2.0 },
+        ] {
+            for _ in 0..10_000 {
+                let s = a.sample(&mut rng);
+                assert!(s.is_finite() && s >= 0.0, "{a:?} drew {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_means_track_parameters() {
+        let n = 200_000;
+        assert!((mean_of(Arrivals::Exp { mean: 7.0 }, n) - 7.0).abs() < 0.1);
+        assert!(
+            (mean_of(
+                Arrivals::Normal {
+                    mean: 20.0,
+                    std: 2.0
+                },
+                n
+            ) - 20.0)
+                .abs()
+                < 0.1
+        );
+        assert!((mean_of(Arrivals::Uniform { lo: 2.0, hi: 6.0 }, n) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = Arrivals::Normal {
+            mean: 10.0,
+            std: 3.0,
+        };
+        let s1: Vec<u64> = {
+            let mut rng = SimRng::seed(99);
+            (0..100).map(|_| a.next_ticks(&mut rng, 1000)).collect()
+        };
+        let mut rng = SimRng::seed(99);
+        let s2: Vec<u64> = (0..100).map(|_| a.next_ticks(&mut rng, 1000)).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn ticks_never_stall() {
+        let a = Arrivals::Uniform { lo: 0.0, hi: 0.1 };
+        let mut rng = SimRng::seed(5);
+        for _ in 0..1000 {
+            assert!(a.next_ticks(&mut rng, 1) >= 1);
+        }
+    }
+}

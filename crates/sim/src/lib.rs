@@ -12,6 +12,8 @@
 //! - [`stats`]: counters, utilization trackers, histograms and time-series
 //!   used to produce every number reported in `EXPERIMENTS.md`;
 //! - [`SimRng`]: a seeded, reproducible random-number source;
+//! - [`Arrivals`]: deterministic stochastic inter-arrival generators for
+//!   open-loop service workloads;
 //! - [`check`]: a miniature property-testing harness driven by [`SimRng`]
 //!   seeds, with pinned-regression replay;
 //! - [`table`]: an aligned text-table printer for experiment output.
@@ -42,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+mod arrivals;
 pub mod check;
 mod engine;
 mod event;
@@ -50,6 +53,7 @@ pub mod stats;
 pub mod table;
 mod time;
 
+pub use arrivals::Arrivals;
 pub use engine::{Engine, StepOutcome};
 pub use event::EventQueue;
 pub use rng::{SimRng, Zipf};

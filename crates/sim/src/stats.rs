@@ -211,6 +211,31 @@ impl Histogram {
     pub fn bins(&self) -> &[u64] {
         &self.bins
     }
+
+    /// Folds another histogram into this one (bin-wise), so per-tenant
+    /// or per-worker histograms can be aggregated into a global one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin counts or widths
+    /// — merging across shapes would silently misplace samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bins.len() == other.bins.len() && self.width == other.width,
+            "histogram merge needs identical shape: {}x{} vs {}x{}",
+            self.bins.len(),
+            self.width,
+            other.bins.len(),
+            other.width,
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A time-series sampler: records `(time, value)` observations, e.g. the
@@ -348,6 +373,40 @@ mod tests {
     #[should_panic(expected = "histogram needs")]
     fn histogram_zero_bins_panics() {
         let _ = Histogram::new(0, 1);
+    }
+
+    #[test]
+    fn histogram_merge_equals_joint_recording() {
+        let mut a = Histogram::new(8, 5);
+        let mut b = Histogram::new(8, 5);
+        let mut joint = Histogram::new(8, 5);
+        for v in [0, 3, 17, 200] {
+            a.record(v);
+            joint.record(v);
+        }
+        for v in [4, 9, 39] {
+            b.record(v);
+            joint.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), joint.bins());
+        assert_eq!(a.count(), joint.count());
+        assert_eq!(a.min(), joint.min());
+        assert_eq!(a.max(), joint.max());
+        assert_eq!(a.mean(), joint.mean());
+        assert_eq!(a.percentile(99.0), joint.percentile(99.0));
+        // Merging an empty histogram is a no-op, including min/max.
+        let before = a.bins().to_vec();
+        a.merge(&Histogram::new(8, 5));
+        assert_eq!(a.bins(), &before[..]);
+        assert_eq!(a.min(), joint.min());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shape")]
+    fn histogram_merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(8, 5);
+        a.merge(&Histogram::new(8, 6));
     }
 
     #[test]

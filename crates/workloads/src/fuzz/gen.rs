@@ -42,7 +42,7 @@ pub enum Family {
     TagRecursion,
     /// Wide fan-out with a join reduction.
     FanoutJoin,
-    /// Merged multiprogram tenants under `run_jobs`.
+    /// Merged multiprogram tenants under `submit`.
     MultiTenant,
     /// Raw store op-sequences (packed vs enum vs HEP oracle).
     StoreSkew,

@@ -25,7 +25,7 @@
 //! [`minimize_scenario`] delta-debugs a diverging scenario down to a
 //! local minimum with [`ttda_sim::check::minimize`].
 
-use ttda_core::{Emulator, ExecError, Program, TimedConfig, TimedMachine, Value};
+use ttda_core::{Emulator, ExecError, Job, Program, TimedConfig, TimedMachine, Value};
 use ttda_mem::{
     Addr, EnumIStructure, FullEmptyMemory, PackedIStructure, ReadOutcome, TryReadOutcome,
 };
@@ -99,15 +99,18 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         }
     }
     let (program, mains) = merge_tenants(&programs);
-    let jobs: Vec<_> = mains
+    let jobs: Vec<Job> = mains
         .iter()
         .zip(sc.inputs())
-        .map(|(m, ins)| (*m, ins.into_iter().map(Value::Int).collect::<Vec<_>>()))
+        .enumerate()
+        .map(|(t, (m, ins))| {
+            Job::new(*m, ins.into_iter().map(Value::Int).collect()).for_tenant(t as u32)
+        })
         .collect();
 
     let seq = Emulator::new(&program)
         .with_fuel(DEFAULT_FUEL)
-        .run_jobs(&jobs);
+        .submit(&jobs);
     if seq == Err(ExecError::OutOfFuel) {
         return Outcome::FuelExhausted;
     }
@@ -117,7 +120,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         let par = Emulator::new(&program)
             .with_fuel(DEFAULT_FUEL)
             .with_threads(threads)
-            .run_jobs(&jobs);
+            .submit(&jobs);
         if par != seq {
             return Outcome::Divergence(format!(
                 "par backend (threads={threads}) diverged from sequential:\n  seq: {seq:?}\n  par: {par:?}"
@@ -128,7 +131,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     // Timed machine: same outputs (or same error variant).
     let timed = TimedMachine::ideal(program.clone(), 4, Cycle(2), TimedConfig::default())
         .with_fuel(DEFAULT_FUEL)
-        .run_jobs(&jobs);
+        .submit(&jobs);
     match (&seq, &timed) {
         (Ok(s), Ok(t)) => {
             if t.outputs != s.outputs {
@@ -161,14 +164,14 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         }
     }
     let (opt_program, opt_mains) = merge_tenants(&opt_programs);
-    let opt_jobs: Vec<_> = opt_mains
+    let opt_jobs: Vec<Job> = opt_mains
         .iter()
         .zip(jobs.iter())
-        .map(|(m, (_, ins))| (*m, ins.clone()))
+        .map(|(m, job)| Job::new(*m, job.inputs.clone()).for_tenant(job.tenant))
         .collect();
     let opt = Emulator::new(&opt_program)
         .with_fuel(DEFAULT_FUEL)
-        .run_jobs(&opt_jobs);
+        .submit(&opt_jobs);
     match (&seq, &opt) {
         (Ok(s), Ok(o)) => {
             if o.outputs != s.outputs {

@@ -133,6 +133,30 @@ pub fn wavefront() -> &'static str {
     "#
 }
 
+/// A request-DAG service graph: one request fans out to `fanout`
+/// branches, each a chain of `depth` data-dependent `work` steps, and
+/// the branch results join through an I-structure into one response
+/// value. This is the per-request shape of a service backend (fan out
+/// to shards, join the partial answers) — the workload the service
+/// scheduler offers as a first-class scenario next to fib/trapezoid.
+/// Input: `r` (the request id); output: the joined response checksum.
+pub fn request_dag(fanout: u32, depth: u32) -> String {
+    format!(
+        r#"
+    def work(x, d) = if d < 1 then x else work(x * 3 + 1, d - 1);
+    def main(r) =
+      {{ a = array({fanout});
+        done = (initial j = 0 for i from 0 to {fanout} - 1 do
+                  a[i] <- work(r + i, {depth});
+                  new j = j + 1
+                return j);
+        (initial s = 0 for i from 0 to {fanout} - 1 do
+           new s = s + a[i]
+         return s) }};
+    "#
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +222,16 @@ mod tests {
             run(matmul(), &[Value::Int(4)]),
             Value::Int(reference::matmul_checksum(4))
         );
+    }
+
+    #[test]
+    fn request_dag_matches_reference() {
+        for (fanout, depth, r) in [(1u32, 0u32, 5i64), (4, 3, 10), (8, 6, 1000)] {
+            assert_eq!(
+                run(&request_dag(fanout, depth), &[Value::Int(r)]),
+                Value::Int(reference::request_dag(fanout, depth, r)),
+                "fanout={fanout} depth={depth}"
+            );
+        }
     }
 }

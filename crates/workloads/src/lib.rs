@@ -16,11 +16,16 @@
 //!   correct answers;
 //! - [`fuzz`]: the differential fuzzer — adversarial scenario
 //!   generators, the cross-engine oracle, and the pinned regression
-//!   corpus format.
+//!   corpus format;
+//! - [`service`]: sustained-traffic service mode — a long-lived
+//!   multi-tenant scheduler draining an open-loop stream of request
+//!   jobs with weighted fair admission, matching-window backpressure
+//!   and latency percentiles.
 
 #![warn(missing_docs)]
 
 pub mod fuzz;
 pub mod id;
 pub mod reference;
+pub mod service;
 pub mod vn;

@@ -55,6 +55,15 @@ pub fn matmul_checksum(n: i64) -> i64 {
     s
 }
 
+/// The response checksum of [`crate::id::request_dag`]: `fanout`
+/// branches each iterate `x = 3x + 1` `depth` times from `r + i`, then
+/// join by summation.
+pub fn request_dag(fanout: u32, depth: u32, r: i64) -> i64 {
+    (0..fanout as i64)
+        .map(|i| (0..depth).fold(r + i, |x, _| x * 3 + 1))
+        .sum()
+}
+
 /// The wavefront recurrence's corner value: `w[i][j] = w[i-1][j] +
 /// w[i][j-1]` with unit borders gives `w[n-1][n-1] = C(2(n-1), n-1)`.
 pub fn wavefront_corner(n: i64) -> i64 {

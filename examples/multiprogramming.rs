@@ -5,7 +5,7 @@
 //! cargo run --example multiprogramming
 //! ```
 
-use ttda::core::{Emulator, Program, TimedConfig, TimedMachine, Value};
+use ttda::core::{Emulator, Job, Program, TimedConfig, TimedMachine, Value};
 use ttda::sim::Cycle;
 use ttda::workloads::id;
 
@@ -16,23 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (merged, mains) = Program::merge(&[fib, trap, mm], 16);
 
     let jobs = vec![
-        (mains[0], vec![Value::Int(13)]),
-        (
+        Job::new(mains[0], vec![Value::Int(13)]),
+        Job::new(
             mains[1],
             vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
-        ),
-        (mains[2], vec![Value::Int(4)]),
+        )
+        .for_tenant(1),
+        Job::new(mains[2], vec![Value::Int(4)]).for_tenant(2),
     ];
 
     // Back to back on an 8-PE machine...
     let mut serial = 0u64;
     for job in &jobs {
         let mut m = TimedMachine::ideal(merged.clone(), 8, Cycle(6), TimedConfig::default());
-        serial += m.run_jobs(std::slice::from_ref(job))?.stats.cycles.as_u64();
+        serial += m.submit(std::slice::from_ref(job))?.stats.cycles.as_u64();
     }
     // ...vs all three at once.
     let mut m = TimedMachine::ideal(merged.clone(), 8, Cycle(6), TimedConfig::default());
-    let r = m.run_jobs(&jobs)?;
+    let r = m.submit(&jobs)?;
 
     println!("fib(13)        = {}", r.outputs[&0]);
     println!("pi (trapezoid) = {}", r.outputs[&16]);
@@ -54,10 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (merged, mains) = Program::merge(&[fib.clone(), fib], 4);
     let mut m = TimedMachine::ideal(merged.clone(), 4, Cycle(4), TimedConfig::default());
     let jobs = [
-        (mains[0], vec![Value::Int(10)]),
-        (mains[1], vec![Value::Int(15)]),
+        Job::new(mains[0], vec![Value::Int(10)]),
+        Job::new(mains[1], vec![Value::Int(15)]),
     ];
-    let r = m.run_jobs(&jobs)?;
+    let r = m.submit(&jobs)?;
     println!(
         "\nsame code block, two jobs: fib(10) = {} and fib(15) = {} — identical\n\
          instructions, interleaved activations, zero interference.",
@@ -68,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // jobs flow through the sharded matching store at once, and the
     // deterministic wave merge keeps the result independent of how many
     // host threads executed it.
-    let seq = Emulator::new(&merged).run_jobs(&jobs)?;
-    let par = Emulator::new(&merged).with_threads(4).run_jobs(&jobs)?;
+    let seq = Emulator::new(&merged).submit(&jobs)?;
+    let par = Emulator::new(&merged).with_threads(4).submit(&jobs)?;
     assert_eq!(seq, par);
     println!(
         "emulator, 1 vs 4 worker threads: bit-identical EmuResult ({} firings, {} waves).",

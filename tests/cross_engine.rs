@@ -288,7 +288,7 @@ fn optimizer_preserves_every_workload() {
 
 #[test]
 fn loop_bound_forces_the_sequential_backend() {
-    // Pins a deliberate (previously undocumented) fallback: `run_jobs`
+    // Pins a deliberate (previously undocumented) fallback: `submit`
     // dispatches to the parallel wave backend only when `threads > 1`
     // AND no k-bound is set — the parallel backend does not implement
     // iteration throttling, so `with_loop_bound(k)` must silently run
