@@ -19,11 +19,11 @@ experiments:
 experiments-output:
 	cargo run --release -p ttda-bench --bin experiments -- all --normalize > experiments_output.txt
 
-# Regenerates all three tracked benchmark baselines at the repo root.
+# Regenerates all four tracked benchmark baselines at the repo root.
 quickbench:
 	cargo run --release -p ttda-bench --bin experiments -- quickbench \
 		--out BENCH_matching.json --istore-out BENCH_istore.json \
-		--service-out BENCH_service.json
+		--service-out BENCH_service.json --par-out BENCH_par.json
 
 # One sustained open-loop service run past the saturation knee.
 # Override: make serve SERVE_LOAD=0.8 SERVE_REQUESTS=128

@@ -9,7 +9,8 @@
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
 //! cargo run --release -p ttda-bench --bin experiments -- all --normalize
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
-//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json --par-check BENCH_par.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --rebaseline
 //! cargo run --release -p ttda-bench --bin experiments -- serve --load 1.5 --requests 64
 //! cargo run --release -p ttda-bench --bin experiments -- fuzz --seed 1 --iters 500
 //! cargo run --release -p ttda-bench --bin experiments -- fuzz --budget-ms 60000 --out target/fuzz-divergence.txt
@@ -26,8 +27,8 @@ use std::process::ExitCode;
 
 use ttda_bench::quickbench::Criterion;
 use ttda_bench::report::{
-    check_istore_regression, check_regression, check_service_regression, BenchReport, IStoreReport,
-    ServiceReport,
+    check_istore_regression, check_par_regression, check_regression, check_service_regression,
+    BenchReport, IStoreReport, ParReport, ServiceReport,
 };
 use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
 use ttda_bench::{run_experiment, suites, EXPERIMENT_IDS};
@@ -36,9 +37,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... | all [--threads N] [--normalize]\n       ids: {}\n\
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
-         \n       experiments quickbench [--suites matching,istore,service,endtoend] [--out FILE] [--check BASELINE]\n\
+         \n       experiments quickbench [--suites matching,istore,service,par,endtoend] [--out FILE] [--check BASELINE]\n\
          \n                              [--istore-out FILE] [--istore-check BASELINE]\n\
          \n                              [--service-out FILE] [--service-check BASELINE]\n\
+         \n                              [--par-out FILE] [--par-check BASELINE] [--rebaseline]\n\
          \n       experiments serve [--load L] [--requests N] [--seed S] [--quota Q] [--high-water H]\n\
          \n       experiments fuzz [--seed S] [--iters N] [--budget-ms MS] [--families F,G] [--out FILE]\n\
          \n       --threads N: emulator host worker threads (0 = one per core)\n\
@@ -67,22 +69,28 @@ fn load_baseline<P>(
 
 /// `quickbench`: runs the named suites through the quickbench harness,
 /// writes the machine-readable `BENCH_matching.json` and (when the
-/// `istore` / `service` suites run) `BENCH_istore.json` /
-/// `BENCH_service.json` reports, and — with `--check` /
-/// `--istore-check` / `--service-check` — gates against baseline
-/// reports (>25% median ns/op growth on any shared target, or a
-/// headline throughput drop beyond the same factor, fails the run).
+/// `istore` / `service` / `par` suites run) `BENCH_istore.json` /
+/// `BENCH_service.json` / `BENCH_par.json` reports, and — with
+/// `--check` / `--istore-check` / `--service-check` / `--par-check` —
+/// gates against baseline reports (>25% median ns/op growth on any
+/// shared target, or the same-run headline ratio moving the wrong way
+/// beyond the same factor, fails the run). `--rebaseline` rewrites each
+/// given baseline from the current run instead of gating against it.
 fn quickbench_main(args: &[String]) -> ExitCode {
     let mut out = PathBuf::from("BENCH_matching.json");
     let mut istore_out = PathBuf::from("BENCH_istore.json");
     let mut service_out = PathBuf::from("BENCH_service.json");
+    let mut par_out = PathBuf::from("BENCH_par.json");
     let mut check: Option<PathBuf> = None;
     let mut istore_check: Option<PathBuf> = None;
     let mut service_check: Option<PathBuf> = None;
+    let mut par_check: Option<PathBuf> = None;
+    let mut rebaseline = false;
     let mut which = vec![
         "matching".to_string(),
         "istore".to_string(),
         "service".to_string(),
+        "par".to_string(),
         "endtoend".to_string(),
     ];
     let mut it = args.iter();
@@ -100,6 +108,10 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 Some(p) => service_out = PathBuf::from(p),
                 None => return usage(),
             },
+            "--par-out" => match it.next() {
+                Some(p) => par_out = PathBuf::from(p),
+                None => return usage(),
+            },
             "--check" => match it.next() {
                 Some(p) => check = Some(PathBuf::from(p)),
                 None => return usage(),
@@ -112,6 +124,11 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 Some(p) => service_check = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--par-check" => match it.next() {
+                Some(p) => par_check = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--rebaseline" => rebaseline = true,
             "--suites" => match it.next() {
                 Some(list) => which = list.split(',').map(str::to_string).collect(),
                 None => return usage(),
@@ -119,21 +136,26 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
+    let run_matching = which.iter().any(|s| s == "matching" || s == "endtoend");
     let run_istore = which.iter().any(|s| s == "istore");
     let run_service = which.iter().any(|s| s == "service");
+    let run_par = which.iter().any(|s| s == "par");
     // The throughput comparisons run first, in a still-cold process —
     // the state every real emulator run starts from. Window 32768: a
     // saturated matching section holds tens of thousands of parked
     // activities (E13 ties occupancy to exposed parallelism), and that
     // is the regime the specialized store exists for.
-    println!("-- matching-saturating throughput (E17 kernel)");
-    let throughput = suites::matching_throughput(200_000, 32_768, 7);
-    println!(
-        "hashmap {:>12.0} tokens/s   packed {:>12.0} tokens/s   speedup {:.2}x",
-        throughput.hashmap_tokens_per_sec,
-        throughput.packed_tokens_per_sec,
-        throughput.speedup()
-    );
+    let throughput = run_matching.then(|| {
+        println!("-- matching-saturating throughput (E17 kernel)");
+        let t = suites::matching_throughput(200_000, 32_768, 7);
+        println!(
+            "hashmap {:>12.0} tokens/s   packed {:>12.0} tokens/s   speedup {:.2}x",
+            t.hashmap_tokens_per_sec,
+            t.packed_tokens_per_sec,
+            t.speedup()
+        );
+        t
+    });
     // Same idea for the I-structure store: all-deferred traffic is the
     // regime the packed engine exists for (E18 sweeps the ratio). 4096
     // cells × 8 readers matches E18's sweep scale: large enough to
@@ -165,41 +187,71 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         );
         t
     });
+    // The parallel-backend comparison: sequential vs forced-
+    // deterministic vs relaxed on one workload, same process. The gated
+    // number is the 1-worker overhead *ratio*, immune to host drift.
+    let par_throughput = run_par.then(|| {
+        println!("-- sequential-vs-parallel backend throughput (E21 kernel)");
+        let t = suites::par_throughput(5);
+        println!(
+            "seq {:>10.0} firings/s   det1 {:>10.0}   det8 {:>10.0}   relaxed1 {:>10.0}",
+            t.seq_firings_per_sec,
+            t.det1_firings_per_sec,
+            t.det8_firings_per_sec,
+            t.relaxed1_firings_per_sec,
+        );
+        println!(
+            "det 1-worker overhead ratio {:.2}   relaxed 1-worker ratio {:.2}",
+            t.overhead_ratio_1w(),
+            t.relaxed_ratio_1w()
+        );
+        t
+    });
     let mut c = Criterion::default();
     let mut ic = Criterion::default();
     let mut sc = Criterion::default();
+    let mut pc = Criterion::default();
     for suite in &which {
         println!("-- suite: {suite}");
         match suite.as_str() {
             "matching" => suites::matching(&mut c),
             "istore" => suites::istore(&mut ic),
             "service" => suites::service(&mut sc),
+            "par" => suites::par(&mut pc),
             "endtoend" => suites::endtoend(&mut c),
             other => {
-                eprintln!("error: unknown suite `{other}` (matching, istore, service, endtoend)");
+                eprintln!(
+                    "error: unknown suite `{other}` (matching, istore, service, par, endtoend)"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    let report = BenchReport {
-        targets: c.into_stats(),
-        throughput,
-    };
-    let json = report.to_json();
-    // Re-parse what we are about to write: the report must be
+    // Re-parse what we are about to write: each report must be
     // well-formed by our own reader before it can become a baseline.
-    let current = match BenchReport::parse(&json) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: generated report is malformed: {e}");
-            return ExitCode::FAILURE;
+    let current = match throughput {
+        Some(throughput) => {
+            let report = BenchReport {
+                targets: c.into_stats(),
+                throughput,
+            };
+            let json = report.to_json();
+            let parsed = match BenchReport::parse(&json) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: generated report is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("error: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", out.display());
+            Some((parsed, json))
         }
+        None => None,
     };
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("error: cannot write {}: {e}", out.display());
-        return ExitCode::FAILURE;
-    }
-    println!("wrote {}", out.display());
     let istore_current = match istore_throughput {
         Some(throughput) => {
             let report = IStoreReport {
@@ -219,7 +271,7 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {}", istore_out.display());
-            Some(parsed)
+            Some((parsed, json))
         }
         None => None,
     };
@@ -242,69 +294,153 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {}", service_out.display());
-            Some(parsed)
+            Some((parsed, json))
         }
         None => None,
     };
-    if let Some(base_path) = check {
-        let baseline = match load_baseline(&base_path, BenchReport::parse) {
-            Ok(b) => b,
-            Err(code) => return code,
-        };
-        match check_regression(&current, &baseline, 0.25) {
-            Ok(lines) => {
-                println!("-- vs baseline {}", base_path.display());
-                for l in lines {
-                    println!("   {l}");
+    let par_current = match par_throughput {
+        Some(throughput) => {
+            let report = ParReport {
+                targets: pc.into_stats(),
+                throughput,
+            };
+            let json = report.to_json();
+            let parsed = match ParReport::parse(&json) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: generated par report is malformed: {e}");
+                    return ExitCode::FAILURE;
                 }
-            }
-            Err(e) => {
-                eprintln!("error: benchmark regression\n{e}");
+            };
+            if let Err(e) = std::fs::write(&par_out, &json) {
+                eprintln!("error: cannot write {}: {e}", par_out.display());
                 return ExitCode::FAILURE;
+            }
+            println!("wrote {}", par_out.display());
+            Some((parsed, json))
+        }
+        None => None,
+    };
+    // `--rebaseline`: rewrite each given baseline from this run and
+    // skip its gate — the escape hatch when an intentional change (or a
+    // permanent host change) moves a same-run ratio past tolerance.
+    let rebaseline_to = |path: &PathBuf, json: &str| -> Result<(), ExitCode> {
+        std::fs::write(path, json).map_err(|e| {
+            eprintln!("error: cannot rebaseline {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("rebaselined {}", path.display());
+        Ok(())
+    };
+    if let Some(base_path) = check {
+        let Some((current, cur_json)) = current else {
+            eprintln!("error: --check given but neither the matching nor endtoend suite ran");
+            return ExitCode::FAILURE;
+        };
+        if rebaseline {
+            if let Err(code) = rebaseline_to(&base_path, &cur_json) {
+                return code;
+            }
+        } else {
+            let baseline = match load_baseline(&base_path, BenchReport::parse) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            match check_regression(&current, &baseline, 0.25) {
+                Ok(lines) => {
+                    println!("-- vs baseline {}", base_path.display());
+                    for l in lines {
+                        println!("   {l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: benchmark regression\n{e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
     if let Some(base_path) = istore_check {
-        let Some(current) = istore_current else {
+        let Some((current, cur_json)) = istore_current else {
             eprintln!("error: --istore-check given but the istore suite was not selected");
             return ExitCode::FAILURE;
         };
-        let baseline = match load_baseline(&base_path, IStoreReport::parse) {
-            Ok(b) => b,
-            Err(code) => return code,
-        };
-        match check_istore_regression(&current, &baseline, 0.25) {
-            Ok(lines) => {
-                println!("-- vs baseline {}", base_path.display());
-                for l in lines {
-                    println!("   {l}");
-                }
+        if rebaseline {
+            if let Err(code) = rebaseline_to(&base_path, &cur_json) {
+                return code;
             }
-            Err(e) => {
-                eprintln!("error: istore benchmark regression\n{e}");
-                return ExitCode::FAILURE;
+        } else {
+            let baseline = match load_baseline(&base_path, IStoreReport::parse) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            match check_istore_regression(&current, &baseline, 0.25) {
+                Ok(lines) => {
+                    println!("-- vs baseline {}", base_path.display());
+                    for l in lines {
+                        println!("   {l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: istore benchmark regression\n{e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
     if let Some(base_path) = service_check {
-        let Some(current) = service_current else {
+        let Some((current, cur_json)) = service_current else {
             eprintln!("error: --service-check given but the service suite was not selected");
             return ExitCode::FAILURE;
         };
-        let baseline = match load_baseline(&base_path, ServiceReport::parse) {
-            Ok(b) => b,
-            Err(code) => return code,
-        };
-        match check_service_regression(&current, &baseline, 0.25) {
-            Ok(lines) => {
-                println!("-- vs baseline {}", base_path.display());
-                for l in lines {
-                    println!("   {l}");
+        if rebaseline {
+            if let Err(code) = rebaseline_to(&base_path, &cur_json) {
+                return code;
+            }
+        } else {
+            let baseline = match load_baseline(&base_path, ServiceReport::parse) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            match check_service_regression(&current, &baseline, 0.25) {
+                Ok(lines) => {
+                    println!("-- vs baseline {}", base_path.display());
+                    for l in lines {
+                        println!("   {l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: service benchmark regression\n{e}");
+                    return ExitCode::FAILURE;
                 }
             }
-            Err(e) => {
-                eprintln!("error: service benchmark regression\n{e}");
-                return ExitCode::FAILURE;
+        }
+    }
+    if let Some(base_path) = par_check {
+        let Some((current, cur_json)) = par_current else {
+            eprintln!("error: --par-check given but the par suite was not selected");
+            return ExitCode::FAILURE;
+        };
+        if rebaseline {
+            if let Err(code) = rebaseline_to(&base_path, &cur_json) {
+                return code;
+            }
+        } else {
+            let baseline = match load_baseline(&base_path, ParReport::parse) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            match check_par_regression(&current, &baseline, 0.25) {
+                Ok(lines) => {
+                    println!("-- vs baseline {}", base_path.display());
+                    for l in lines {
+                        println!("   {l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: par benchmark regression\n{e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

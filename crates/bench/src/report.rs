@@ -1,19 +1,29 @@
 //! Machine-readable benchmark reports (`BENCH_matching.json`,
-//! `BENCH_istore.json`, `BENCH_service.json`).
+//! `BENCH_istore.json`, `BENCH_service.json`, `BENCH_par.json`).
 //!
 //! The container has no serde, so this module hand-writes and
-//! hand-parses the three JSON shapes the repo tracks: per-target median
+//! hand-parses the four JSON shapes the repo tracks: per-target median
 //! ns/op from the quickbench suites plus a headline throughput
 //! comparison — tokens/sec through the waiting–matching store for the
 //! matching report, ops/sec through the I-structure store for the
 //! istore report, requests/sec through the service scheduler for the
-//! service report. The checked-in files at the repository root are the
+//! service report, and firings/sec through the emulator backends for
+//! the par report. The checked-in files at the repository root are the
 //! baselines every later perf PR is judged against; [`check_regression`]
-//! / [`check_istore_regression`] / [`check_service_regression`] are the
-//! gates CI's bench-smoke job runs.
+//! / [`check_istore_regression`] / [`check_service_regression`] /
+//! [`check_par_regression`] are the gates CI's bench-smoke job runs.
+//!
+//! Every headline gate is a *same-run ratio*: the packed/batched/
+//! decoordinated side divided by the reference driver measured in the
+//! same process moments earlier (hashmap matcher, enum store, serial
+//! scheduler, sequential interpreter). Absolute tokens/sec drift with
+//! the host — a throttled CI runner once failed gates across the board
+//! with no code change — but both sides of a ratio drift together, so
+//! the quotient survives. Baselines still record the absolute rates for
+//! human eyes; the gate recomputes the ratio from them.
 
 use crate::quickbench::BenchStat;
-use crate::suites::{IStoreThroughput, MatchingThroughput, ServiceThroughput};
+use crate::suites::{IStoreThroughput, MatchingThroughput, ParThroughput, ServiceThroughput};
 
 /// Identifies the matching-report shape; bumped if fields change meaning.
 pub const SCHEMA: &str = "ttda-bench/matching/v1";
@@ -23,6 +33,9 @@ pub const ISTORE_SCHEMA: &str = "ttda-bench/istore/v1";
 
 /// Identifies the service-report shape.
 pub const SERVICE_SCHEMA: &str = "ttda-bench/service/v1";
+
+/// Identifies the par-report shape.
+pub const PAR_SCHEMA: &str = "ttda-bench/par/v1";
 
 /// Everything one `experiments quickbench` run measures for the
 /// matching/endtoend suites.
@@ -52,6 +65,16 @@ pub struct ServiceReport {
     pub targets: Vec<BenchStat>,
     /// The serial-vs-batched scheduler comparison.
     pub throughput: ServiceThroughput,
+}
+
+/// Everything one `experiments quickbench` run measures for the par
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParReport {
+    /// Per-target timing summaries, in run order.
+    pub targets: Vec<BenchStat>,
+    /// The sequential-vs-parallel-backend comparison.
+    pub throughput: ParThroughput,
 }
 
 fn json_escape(s: &str) -> String {
@@ -258,6 +281,83 @@ impl ServiceReport {
     }
 }
 
+impl ParReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{PAR_SCHEMA}\",\n"));
+        render_targets(&mut out, &self.targets);
+        let th = &self.throughput;
+        out.push_str("  \"par_throughput\": {\n");
+        out.push_str(&format!(
+            "    \"workload\": \"{}\",\n",
+            json_escape(&th.workload)
+        ));
+        out.push_str(&format!("    \"firings\": {},\n", th.firings));
+        out.push_str(&format!(
+            "    \"seq_firings_per_sec\": {:.0},\n",
+            th.seq_firings_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"det1_firings_per_sec\": {:.0},\n",
+            th.det1_firings_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"det2_firings_per_sec\": {:.0},\n",
+            th.det2_firings_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"det4_firings_per_sec\": {:.0},\n",
+            th.det4_firings_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"det8_firings_per_sec\": {:.0},\n",
+            th.det8_firings_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"relaxed1_firings_per_sec\": {:.0},\n",
+            th.relaxed1_firings_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"overhead_ratio_1w\": {:.3},\n",
+            th.overhead_ratio_1w()
+        ));
+        out.push_str(&format!(
+            "    \"relaxed_ratio_1w\": {:.3}\n",
+            th.relaxed_ratio_1w()
+        ));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`ParReport::to_json`];
+    /// same shape-checking reader as [`BenchReport::parse`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn parse(json: &str) -> Result<ParsedParReport, String> {
+        if !json.contains(&format!("\"schema\": \"{PAR_SCHEMA}\"")) {
+            return Err(format!("missing or wrong schema tag (want {PAR_SCHEMA})"));
+        }
+        let targets = parse_targets(json)?;
+        let seq = field(json, "\"seq_firings_per_sec\": ")?;
+        let det1 = field(json, "\"det1_firings_per_sec\": ")?;
+        let det8 = field(json, "\"det8_firings_per_sec\": ")?;
+        let relaxed1 = field(json, "\"relaxed1_firings_per_sec\": ")?;
+        if seq <= 0.0 || det1 <= 0.0 || det8 <= 0.0 || relaxed1 <= 0.0 {
+            return Err("non-positive firings/sec in par_throughput".into());
+        }
+        Ok(ParsedParReport {
+            targets,
+            seq_firings_per_sec: seq,
+            det1_firings_per_sec: det1,
+            relaxed1_firings_per_sec: relaxed1,
+        })
+    }
+}
+
 fn field(json: &str, key: &str) -> Result<f64, String> {
     let pos = json.find(key).ok_or_else(|| format!("missing {key}"))?;
     number_at(&json[pos + key.len()..]).ok_or_else(|| format!("unparsable value for {key}"))
@@ -306,16 +406,44 @@ pub struct ParsedServiceReport {
     pub batched_requests_per_sec: f64,
 }
 
+/// The comparison-relevant subset of a parsed par report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedParReport {
+    /// `(target label, median ns/op)` pairs.
+    pub targets: Vec<(String, f64)>,
+    /// Sequential interpreter throughput.
+    pub seq_firings_per_sec: f64,
+    /// Deterministic backend at one worker.
+    pub det1_firings_per_sec: f64,
+    /// Relaxed backend at one worker.
+    pub relaxed1_firings_per_sec: f64,
+}
+
+impl ParsedParReport {
+    /// The gated headline: deterministic one-worker overhead ratio.
+    pub fn overhead_ratio_1w(&self) -> f64 {
+        self.seq_firings_per_sec / self.det1_firings_per_sec
+    }
+
+    /// The relaxed one-worker overhead ratio (informational).
+    pub fn relaxed_ratio_1w(&self) -> f64 {
+        self.seq_firings_per_sec / self.relaxed1_firings_per_sec
+    }
+}
+
 /// Shared gate body: per-target median growth beyond `tolerance` fails,
-/// as does a drop of the headline packed throughput by more than the
-/// same factor. Returns the comparison lines on success.
+/// as does the headline ratio moving the *wrong way* by more than the
+/// same factor. The headline is always a same-run quotient (specialized
+/// side over reference driver), so host drift between the baseline
+/// machine state and today's cancels out of the comparison. Returns the
+/// comparison lines on success.
 fn gate(
     cur_targets: &[(String, f64)],
     base_targets: &[(String, f64)],
-    cur_packed: f64,
-    base_packed: f64,
-    packed_label: &str,
-    packed_unit: &str,
+    cur_headline: f64,
+    base_headline: f64,
+    headline_label: &str,
+    higher_is_better: bool,
     tolerance: f64,
 ) -> Result<Vec<String>, String> {
     let mut lines = Vec::new();
@@ -340,13 +468,18 @@ fn gate(
             ));
         }
     }
-    let ratio = cur_packed / base_packed;
+    let ratio = cur_headline / base_headline;
     lines.push(format!(
-        "{packed_label}: {base_packed:.2e} -> {cur_packed:.2e} ({ratio:.2}x)"
+        "{headline_label}: {base_headline:.2} -> {cur_headline:.2} ({ratio:.2}x)"
     ));
-    if ratio < 1.0 / (1.0 + tolerance) {
+    let regressed = if higher_is_better {
+        ratio < 1.0 / (1.0 + tolerance)
+    } else {
+        ratio > 1.0 + tolerance
+    };
+    if regressed {
         failures.push(format!(
-            "{packed_label} regressed: {base_packed:.2e} -> {cur_packed:.2e} {packed_unit}"
+            "{headline_label} regressed: {base_headline:.2} -> {cur_headline:.2}"
         ));
     }
     if failures.is_empty() {
@@ -358,8 +491,9 @@ fn gate(
 
 /// Compares `current` against `baseline`: any target present in both
 /// whose median ns/op grew by more than `tolerance` (0.25 = 25%) is a
-/// regression, as is a packed-store tokens/sec drop by more than the
-/// same factor. Returns the per-target comparison lines on success.
+/// regression, as is the packed store's speedup over the *same-run*
+/// hashmap reference falling by more than the same factor. Returns the
+/// per-target comparison lines on success.
 ///
 /// # Errors
 ///
@@ -372,17 +506,17 @@ pub fn check_regression(
     gate(
         &current.targets,
         &baseline.targets,
-        current.packed_tokens_per_sec,
-        baseline.packed_tokens_per_sec,
-        "packed_tokens_per_sec",
-        "tokens/sec",
+        current.packed_tokens_per_sec / current.hashmap_tokens_per_sec,
+        baseline.packed_tokens_per_sec / baseline.hashmap_tokens_per_sec,
+        "packed_tokens_per_sec vs same-run hashmap (speedup)",
+        true,
         tolerance,
     )
 }
 
 /// The istore twin of [`check_regression`]: gates the istore suite's
-/// medians and the packed store's heavy-defer ops/sec against
-/// `BENCH_istore.json`.
+/// medians and the packed store's heavy-defer speedup over the same-run
+/// enum reference against `BENCH_istore.json`.
 ///
 /// # Errors
 ///
@@ -395,17 +529,17 @@ pub fn check_istore_regression(
     gate(
         &current.targets,
         &baseline.targets,
-        current.packed_ops_per_sec,
-        baseline.packed_ops_per_sec,
-        "packed_ops_per_sec",
-        "ops/sec",
+        current.packed_ops_per_sec / current.enum_ops_per_sec,
+        baseline.packed_ops_per_sec / baseline.enum_ops_per_sec,
+        "packed_ops_per_sec vs same-run enum (speedup)",
+        true,
         tolerance,
     )
 }
 
 /// The service twin of [`check_regression`]: gates the service suite's
-/// medians and the batched scheduler's requests/sec against
-/// `BENCH_service.json`.
+/// medians and the batched scheduler's speedup over the same-run serial
+/// configuration against `BENCH_service.json`.
 ///
 /// # Errors
 ///
@@ -418,10 +552,34 @@ pub fn check_service_regression(
     gate(
         &current.targets,
         &baseline.targets,
-        current.batched_requests_per_sec,
-        baseline.batched_requests_per_sec,
-        "batched_requests_per_sec",
-        "requests/sec",
+        current.batched_requests_per_sec / current.serial_requests_per_sec,
+        baseline.batched_requests_per_sec / baseline.serial_requests_per_sec,
+        "batched_requests_per_sec vs same-run serial (speedup)",
+        true,
+        tolerance,
+    )
+}
+
+/// The par twin of [`check_regression`]: gates the par suite's medians
+/// and the deterministic backend's one-worker overhead ratio (wall
+/// clock over the same-run sequential interpreter — *lower* is better)
+/// against `BENCH_par.json`.
+///
+/// # Errors
+///
+/// A description of every regression found.
+pub fn check_par_regression(
+    current: &ParsedParReport,
+    baseline: &ParsedParReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    gate(
+        &current.targets,
+        &baseline.targets,
+        current.overhead_ratio_1w(),
+        baseline.overhead_ratio_1w(),
+        "overhead_ratio_1w (det 1-worker over same-run sequential)",
+        false,
         tolerance,
     )
 }
@@ -491,6 +649,90 @@ mod tests {
                 batched_requests_per_sec: 9.0e3,
             },
         }
+    }
+
+    fn par_report() -> ParReport {
+        ParReport {
+            targets: vec![BenchStat {
+                label: "par/det1_matmul_n5".into(),
+                mean_ns: 6.0e6,
+                median_ns: 5.9e6,
+                min_ns: 5.5e6,
+                samples: 20,
+            }],
+            throughput: ParThroughput {
+                workload: "matmul_n5".into(),
+                firings: 120_000,
+                seq_firings_per_sec: 5.0e5,
+                det1_firings_per_sec: 2.0e5,
+                det2_firings_per_sec: 1.5e5,
+                det4_firings_per_sec: 1.2e5,
+                det8_firings_per_sec: 1.0e5,
+                relaxed1_firings_per_sec: 5.5e5,
+            },
+        }
+    }
+
+    #[test]
+    fn par_roundtrip() {
+        let json = par_report().to_json();
+        let parsed = ParReport::parse(&json).expect("well-formed");
+        assert_eq!(parsed.targets.len(), 1);
+        assert_eq!(parsed.targets[0].0, "par/det1_matmul_n5");
+        assert_eq!(parsed.seq_firings_per_sec, 5.0e5);
+        assert_eq!(parsed.det1_firings_per_sec, 2.0e5);
+        assert_eq!(parsed.relaxed1_firings_per_sec, 5.5e5);
+        assert!((parsed.overhead_ratio_1w() - 2.5).abs() < 1e-9);
+        // No schema cross-parses into the par reader or out of it.
+        assert!(BenchReport::parse(&json).is_err());
+        assert!(IStoreReport::parse(&json).is_err());
+        assert!(ServiceReport::parse(&json).is_err());
+        assert!(ParReport::parse(&report().to_json()).is_err());
+        assert!(ParReport::parse("{}").is_err());
+    }
+
+    #[test]
+    fn par_gate_trips_on_overhead_growth_only() {
+        let base = ParReport::parse(&par_report().to_json()).unwrap();
+        // Getting faster (lower overhead ratio) is never a failure.
+        let mut fast = base.clone();
+        fast.det1_firings_per_sec = base.det1_firings_per_sec * 2.0;
+        assert!(check_par_regression(&fast, &base, 0.25).is_ok());
+        // Overhead ratio growing past tolerance trips the gate.
+        let mut slow = base.clone();
+        slow.det1_firings_per_sec = base.det1_firings_per_sec * 0.5;
+        let err = check_par_regression(&slow, &base, 0.25).unwrap_err();
+        assert!(err.contains("overhead_ratio_1w"), "{err}");
+        // Uniform host drift leaves the same-run ratio unchanged: a
+        // machine running at 60% speed does not trip the gate.
+        let mut drift = base.clone();
+        drift.seq_firings_per_sec *= 0.6;
+        drift.det1_firings_per_sec *= 0.6;
+        drift.relaxed1_firings_per_sec *= 0.6;
+        assert!(check_par_regression(&drift, &base, 0.25).is_ok());
+    }
+
+    #[test]
+    fn headline_gates_survive_uniform_host_drift() {
+        // The host-drift fix: every headline is a same-run ratio, so a
+        // uniformly slower machine (both drivers at 60%) passes all
+        // three throughput gates where the old absolute-rate gate
+        // failed across the board.
+        let base = BenchReport::parse(&report().to_json()).unwrap();
+        let mut drift = base.clone();
+        drift.hashmap_tokens_per_sec *= 0.6;
+        drift.packed_tokens_per_sec *= 0.6;
+        assert!(check_regression(&drift, &base, 0.25).is_ok());
+        let ibase = IStoreReport::parse(&istore_report().to_json()).unwrap();
+        let mut idrift = ibase.clone();
+        idrift.enum_ops_per_sec *= 0.6;
+        idrift.packed_ops_per_sec *= 0.6;
+        assert!(check_istore_regression(&idrift, &ibase, 0.25).is_ok());
+        let sbase = ServiceReport::parse(&service_report().to_json()).unwrap();
+        let mut sdrift = sbase.clone();
+        sdrift.serial_requests_per_sec *= 0.6;
+        sdrift.batched_requests_per_sec *= 0.6;
+        assert!(check_service_regression(&sdrift, &sbase, 0.25).is_ok());
     }
 
     #[test]

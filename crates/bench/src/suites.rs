@@ -10,7 +10,8 @@ use std::time::Instant;
 use ttda_core::matching::{Absorbed, MatchingStore};
 use ttda_core::CodeBlockId;
 use ttda_core::{
-    ActivityName, Ctx, Emulator, InstrId, Iter, Port, Program, TimedConfig, TimedMachine, Value,
+    ActivityName, Ctx, Emulator, InstrId, Iter, Port, Program, RunMode, TimedConfig, TimedMachine,
+    Value,
 };
 use ttda_machines::{CmStar, CmStarConfig};
 use ttda_mem::{Addr, EnumIStructure, FullEmptyMemory, IStructure, TryReadOutcome};
@@ -629,6 +630,150 @@ pub fn service(c: &mut Criterion) {
     });
 }
 
+/// The parallel-backend throughput comparison behind E21 and the
+/// `par_throughput` block of `BENCH_par.json`. Every number is measured
+/// in the same process on the same workload, so the *ratios* survive
+/// host drift even when the absolute firings/sec do not: the gated
+/// headline is `overhead_ratio_1w` — forced-deterministic wall clock at
+/// one worker over the sequential interpreter's, the price of the
+/// sharded protocol itself (lease refills, batched shard traffic, the
+/// canonical-order merge). `relaxed_ratio_1w` is the same quotient for
+/// the coordinator-free relaxed backend, which gives up the
+/// bit-identical merge and is expected to sit near (or below) 1.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParThroughput {
+    /// Workload label (e.g. `matmul_n5`).
+    pub workload: String,
+    /// Instruction firings per run (identical across all arms).
+    pub firings: u64,
+    /// Sequential reference interpreter, firings/second.
+    pub seq_firings_per_sec: f64,
+    /// Forced-deterministic backend at 1 worker, firings/second.
+    pub det1_firings_per_sec: f64,
+    /// Forced-deterministic backend at 2 workers, firings/second.
+    pub det2_firings_per_sec: f64,
+    /// Forced-deterministic backend at 4 workers, firings/second.
+    pub det4_firings_per_sec: f64,
+    /// Forced-deterministic backend at 8 workers, firings/second.
+    pub det8_firings_per_sec: f64,
+    /// Relaxed backend at 1 worker, firings/second.
+    pub relaxed1_firings_per_sec: f64,
+}
+
+impl ParThroughput {
+    /// Deterministic-backend overhead at one worker: sequential
+    /// firings/sec over det-1-worker firings/sec (>1 means the protocol
+    /// costs that factor; the gated headline, lower is better).
+    pub fn overhead_ratio_1w(&self) -> f64 {
+        self.seq_firings_per_sec / self.det1_firings_per_sec
+    }
+
+    /// Relaxed-backend overhead at one worker (same quotient).
+    pub fn relaxed_ratio_1w(&self) -> f64 {
+        self.seq_firings_per_sec / self.relaxed1_firings_per_sec
+    }
+}
+
+/// Measures the sequential, forced-deterministic (1/2/4/8 workers) and
+/// relaxed (1 worker) engines on one identical workload, with the same
+/// protocol as [`matching_throughput`]: an untimed warmup per arm (which
+/// also asserts every arm computes the reference answer), then `reps`
+/// interleaved rounds reporting the *best* round per arm.
+pub fn par_throughput(reps: usize) -> ParThroughput {
+    let p = ttda_idc::compile(id::matmul()).expect("matmul compiles");
+    let inputs = [Value::Int(5)];
+    let expected = Value::Int(ttda_workloads::reference::matmul_checksum(5));
+    let run = |threads: usize, mode: RunMode| {
+        let r = Emulator::new(&p)
+            .with_threads(threads)
+            .with_mode(mode)
+            .run(&inputs)
+            .expect("matmul runs");
+        assert_eq!(r.outputs[&0], expected, "matmul answer ({mode:?})");
+        r.instructions
+    };
+    let firings = run(1, RunMode::Sequential);
+    let arms: [(usize, RunMode); 6] = [
+        (1, RunMode::Sequential),
+        (1, RunMode::Deterministic),
+        (2, RunMode::Deterministic),
+        (4, RunMode::Deterministic),
+        (8, RunMode::Deterministic),
+        (1, RunMode::Relaxed),
+    ];
+    let mut best = [std::time::Duration::MAX; 6];
+    for (k, &(threads, mode)) in arms.iter().enumerate() {
+        assert_eq!(run(threads, mode), firings, "firings are confluent");
+        for _ in 0..reps {
+            best[k] = best[k].min(timed(|| run(threads, mode) as usize));
+        }
+    }
+    let fps = |d: std::time::Duration| firings as f64 / d.as_secs_f64();
+    ParThroughput {
+        workload: "matmul_n5".into(),
+        firings,
+        seq_firings_per_sec: fps(best[0]),
+        det1_firings_per_sec: fps(best[1]),
+        det2_firings_per_sec: fps(best[2]),
+        det4_firings_per_sec: fps(best[3]),
+        det8_firings_per_sec: fps(best[4]),
+        relaxed1_firings_per_sec: fps(best[5]),
+    }
+}
+
+/// The `par` suite: whole-program emulator runs pinning each backend's
+/// per-run cost on the two E16/E21 workloads.
+pub fn par(c: &mut Criterion) {
+    let matmul = ttda_idc::compile(id::matmul()).expect("matmul compiles");
+    let wave = ttda_idc::compile(id::wavefront()).expect("wavefront compiles");
+    let m_in = [Value::Int(5)];
+    let w_in = [Value::Int(12)];
+    c.bench_function("par/seq_matmul_n5", |b| {
+        b.iter(|| {
+            Emulator::new(&matmul)
+                .with_mode(RunMode::Sequential)
+                .run(&m_in)
+                .unwrap()
+        })
+    });
+    c.bench_function("par/det1_matmul_n5", |b| {
+        b.iter(|| {
+            Emulator::new(&matmul)
+                .with_threads(1)
+                .with_mode(RunMode::Deterministic)
+                .run(&m_in)
+                .unwrap()
+        })
+    });
+    c.bench_function("par/det4_matmul_n5", |b| {
+        b.iter(|| {
+            Emulator::new(&matmul)
+                .with_threads(4)
+                .with_mode(RunMode::Deterministic)
+                .run(&m_in)
+                .unwrap()
+        })
+    });
+    c.bench_function("par/relaxed1_matmul_n5", |b| {
+        b.iter(|| {
+            Emulator::new(&matmul)
+                .with_threads(1)
+                .with_mode(RunMode::Relaxed)
+                .run(&m_in)
+                .unwrap()
+        })
+    });
+    c.bench_function("par/det4_wavefront_n12", |b| {
+        b.iter(|| {
+            Emulator::new(&wave)
+                .with_threads(4)
+                .with_mode(RunMode::Deterministic)
+                .run(&w_in)
+                .unwrap()
+        })
+    });
+}
+
 /// The `endtoend` suite: whole-machine Cm* relaxation runs (E2/E14).
 pub fn endtoend(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_cmstar_relaxation");
@@ -700,6 +845,19 @@ mod tests {
         assert_eq!(t.ops, 256 * 5);
         assert!(t.enum_ops_per_sec > 0.0);
         assert!(t.packed_ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn par_throughput_is_measurable() {
+        let t = par_throughput(1);
+        assert_eq!(t.workload, "matmul_n5");
+        assert!(t.firings > 0);
+        assert!(t.seq_firings_per_sec > 0.0);
+        assert!(t.det1_firings_per_sec > 0.0);
+        assert!(t.det8_firings_per_sec > 0.0);
+        assert!(t.relaxed1_firings_per_sec > 0.0);
+        assert!(t.overhead_ratio_1w() > 0.0);
+        assert!(t.relaxed_ratio_1w() > 0.0);
     }
 
     #[test]

@@ -70,6 +70,28 @@ impl EmuResult {
     }
 }
 
+/// How the emulator schedules a run. See [`Emulator::with_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// The single-threaded reference interpreter.
+    Sequential,
+    /// The parallel wave backend with the index-ordered merge: the
+    /// [`EmuResult`] is **bit-identical** to [`RunMode::Sequential`] at
+    /// any thread count. Forcing this at one thread runs the full
+    /// coordination protocol with a single worker — that is the
+    /// coordinator-overhead measurement of the `par` bench suite.
+    Deterministic,
+    /// The decoordinated backend: no wave barrier, no index-ordered
+    /// merge, tokens flow worker-to-worker as they are produced and
+    /// waves overlap freely. Program *outputs*, instruction/ALU counts,
+    /// the context count and the error discriminant match
+    /// [`RunMode::Sequential`] (dataflow confluence); wave structure
+    /// (`waves`, `profile`), peak occupancies and the
+    /// immediate-vs-deferred read split are schedule-dependent. See
+    /// `DESIGN.md` §13 for the exact guarantees.
+    Relaxed,
+}
+
 /// Worker-thread default: the `TTDA_THREADS` environment variable, so a
 /// whole test suite or experiment batch can switch backends without code
 /// changes (`TTDA_THREADS=4 cargo test`). Unset means 1 (sequential);
@@ -95,6 +117,41 @@ fn env_threads() -> usize {
     }
 }
 
+/// Parses a `TTDA_RELAXED` value, case-insensitively: `1`/`true`/`on`
+/// opt in, `0`/`false`/`off`/empty opt out, anything else is
+/// unrecognized (`None`).
+fn parse_relaxed(s: &str) -> Option<bool> {
+    match s.to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" => Some(true),
+        "" | "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Run-mode default: `TTDA_RELAXED=1` makes [`RunMode::Relaxed`] the
+/// process-wide default (read at [`Emulator::new`], overridable per
+/// instance with [`Emulator::with_mode`]). An unrecognized value falls
+/// back to the automatic default, but says so on stderr once per
+/// process.
+fn env_relaxed() -> bool {
+    match std::env::var("TTDA_RELAXED") {
+        Err(_) => false,
+        Ok(s) => match parse_relaxed(s.trim()) {
+            Some(on) => on,
+            None => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "ttda-core: TTDA_RELAXED={s:?} is not recognized; \
+                         staying in deterministic mode (set 1 or 0)"
+                    );
+                });
+                false
+            }
+        },
+    }
+}
+
 /// The untimed tagged-token interpreter.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -107,6 +164,7 @@ pub struct Emulator<'p> {
     fuel: u64,
     loop_bound: Option<u32>,
     threads: usize,
+    mode: Option<RunMode>,
     instructions: u64,
     alu_ops: u64,
     peak_matching: usize,
@@ -144,6 +202,7 @@ impl<'p> Emulator<'p> {
             fuel: 100_000_000,
             loop_bound: None,
             threads: env_threads(),
+            mode: env_relaxed().then_some(RunMode::Relaxed),
             instructions: 0,
             alu_ops: 0,
             peak_matching: 0,
@@ -179,6 +238,27 @@ impl<'p> Emulator<'p> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Pins the execution backend explicitly instead of deriving it from
+    /// the thread count. The automatic default is
+    /// [`RunMode::Sequential`] at one thread and
+    /// [`RunMode::Deterministic`] above, or [`RunMode::Relaxed`] when
+    /// `TTDA_RELAXED=1` is set (read at [`Emulator::new`]).
+    ///
+    /// [`with_loop_bound`](Emulator::with_loop_bound) forces the
+    /// sequential interpreter regardless of the pinned mode: k-bounded
+    /// scheduling is a global, order-sensitive fixpoint.
+    pub fn with_mode(mut self, mode: RunMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Sugar for [`with_mode`](Emulator::with_mode)`(RunMode::Relaxed)`:
+    /// `Emulator::new(&p).with_threads(n).relaxed()` opts into the
+    /// decoordinated backend.
+    pub fn relaxed(self) -> Self {
+        self.with_mode(RunMode::Relaxed)
     }
 
     /// The resolved worker count: `0` → available cores.
@@ -241,24 +321,6 @@ impl<'p> Emulator<'p> {
         self.submit(&[crate::machine::Job::new(self.program.main, inputs.to_vec())])
     }
 
-    /// Multiprogramming over positional `(block, inputs)` tuples.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Emulator::submit`].
-    #[deprecated(since = "0.2.0", note = "use `submit` with `Job` values")]
-    pub fn run_jobs(
-        &mut self,
-        jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
-    ) -> Result<EmuResult, ExecError> {
-        let jobs: Vec<crate::machine::Job> = jobs
-            .iter()
-            .cloned()
-            .map(crate::machine::Job::from)
-            .collect();
-        self.submit(&jobs)
-    }
-
     /// Multiprogramming: launches a batch of independent [`Job`]s — each
     /// a code block (typically a former `main` from [`Program::merge`])
     /// with its own inputs — under fresh root contexts, and runs them to
@@ -278,8 +340,28 @@ impl<'p> Emulator<'p> {
     pub fn submit(&mut self, jobs: &[crate::machine::Job]) -> Result<EmuResult, ExecError> {
         let threads = self.effective_threads();
         let fuel = crate::machine::batch_fuel(self.fuel, jobs);
-        if threads > 1 && self.loop_bound.is_none() {
-            return crate::par::submit(self.program, jobs, threads, fuel, self.sink.clone());
+        let mode = match self.mode {
+            // k-bounded scheduling is a global, order-sensitive
+            // fixpoint; it always runs on the reference interpreter.
+            _ if self.loop_bound.is_some() => RunMode::Sequential,
+            Some(m) => m,
+            None if threads > 1 => RunMode::Deterministic,
+            None => RunMode::Sequential,
+        };
+        match mode {
+            RunMode::Sequential => {}
+            RunMode::Deterministic => {
+                return crate::par::submit(self.program, jobs, threads, fuel, self.sink.clone());
+            }
+            RunMode::Relaxed => {
+                return crate::relaxed::submit(
+                    self.program,
+                    jobs,
+                    threads,
+                    fuel,
+                    self.sink.clone(),
+                );
+            }
         }
         let mut wave: Vec<Token> = Vec::new();
         for job in jobs {
@@ -624,6 +706,19 @@ mod tests {
     fn run(g: GraphBuilder, inputs: &[Value]) -> EmuResult {
         let p = g.finish_program().expect("build");
         Emulator::new(&p).run(inputs).expect("run")
+    }
+
+    #[test]
+    fn parse_relaxed_accepts_the_documented_spellings() {
+        for on in ["1", "true", "on", "TRUE", "On"] {
+            assert_eq!(parse_relaxed(on), Some(true), "{on:?}");
+        }
+        for off in ["", "0", "false", "off", "FALSE", "Off"] {
+            assert_eq!(parse_relaxed(off), Some(false), "{off:?}");
+        }
+        for junk in ["yes", "2", "relaxed", "n o"] {
+            assert_eq!(parse_relaxed(junk), None, "{junk:?}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the semantics guarantees the two engines can never disagree on *what*
 //! a program computes, only on *when*.
 
-use crate::context::{ContextKind, ContextManager};
+use crate::context::{ContextKind, ContextOps};
 use crate::graph::{Dest, DestBranch, Instruction, OpCode, Program};
 use crate::matching::{Absorbed, MatchingStore, Operands, PortOutOfRange};
 use crate::tag::{ActivityName, Iter, Port, Token};
@@ -150,20 +150,19 @@ pub(crate) fn absorb(
     }
 }
 
-/// Whether an opcode allocates a fresh context when it fires (`D` enters
-/// a loop, `Apply` enters a call). These are the only instructions that
-/// *mutate* the [`ContextManager`]; everything else at most reads it.
-/// The parallel backend uses this split to keep context allocation on
-/// the coordinating thread, in firing order, so context ids — and hence
-/// all downstream activity names — are identical to a sequential run.
-pub(crate) fn allocates_context(op: &OpCode) -> bool {
-    matches!(op, OpCode::D { .. } | OpCode::Apply { .. })
-}
-
 /// Executes one enabled instruction. See the module docs.
-pub(crate) fn execute(
+///
+/// Only `D` and `Apply` *mutate* the context table (entering a loop or
+/// a call); everything else at most reads it, via [`execute_ro`]. On
+/// the parallel backends workers execute the mutating opcodes too,
+/// drawing ids from leased blocks of a
+/// [`crate::context::SharedContexts`] table — context id *values* then
+/// differ from a sequential run, but they never escape an
+/// [`EmuResult`](crate::EmuResult) (`contexts` is the semantic
+/// allocation count, kept exact by the shared loop memo).
+pub(crate) fn execute<C: ContextOps>(
     program: &Program,
-    ctx: &mut ContextManager,
+    ctx: &mut C,
     tag: ActivityName,
     instr: &Instruction,
     ops: &[Value],
@@ -205,13 +204,13 @@ pub(crate) fn execute(
     Ok(eff)
 }
 
-/// Executes one enabled instruction that does *not* allocate a context
-/// (see [`allocates_context`]); needs only shared access to the
-/// [`ContextManager`]. `DInv` and `Return` read the records of contexts
-/// created in strictly earlier waves, so worker threads can run this
-/// concurrently under a read lock.
-pub(crate) fn execute_ro(
-    ctx: &ContextManager,
+/// Executes one enabled instruction that does *not* allocate a context;
+/// needs only shared access to the context
+/// table. `DInv` and `Return` read the records of contexts created by
+/// strictly earlier firings, so worker threads run this concurrently
+/// against [`crate::context::SharedContexts`] without coordination.
+pub(crate) fn execute_ro<C: ContextOps>(
+    ctx: &C,
     tag: ActivityName,
     instr: &Instruction,
     ops: &[Value],
@@ -255,7 +254,7 @@ pub(crate) fn execute_ro(
             });
         }
         OpCode::DInv => {
-            let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
+            let rec = ctx.resolve(tag.u).ok_or(ExecError::BadTarget {
                 activity: tag.to_string(),
             })?;
             let ntag = ActivityName {
@@ -280,14 +279,10 @@ pub(crate) fn execute_ro(
             retag(ntag, &instr.dests, ops[0], &mut eff.tokens);
         }
         OpCode::Return => {
-            let rec = ctx.record(tag.u).ok_or(ExecError::BadTarget {
+            let rec = ctx.resolve(tag.u).ok_or(ExecError::BadTarget {
                 activity: tag.to_string(),
             })?;
-            let ContextKind::Call {
-                ret_block,
-                ref dests,
-            } = rec.kind
-            else {
+            let ContextKind::Call { ret_block, dests } = rec.kind else {
                 return Err(ExecError::BadTarget {
                     activity: format!("{tag} (Return outside a call context)"),
                 });
@@ -298,7 +293,6 @@ pub(crate) fn execute_ro(
                 s: tag.s, // replaced per-dest
                 i: rec.parent_iter,
             };
-            let dests = dests.clone();
             retag(rtag, &dests, ops[0], &mut eff.tokens);
         }
         OpCode::IAlloc => {

@@ -53,6 +53,7 @@ mod machine;
 pub mod matching;
 pub mod opt;
 mod par;
+mod relaxed;
 mod tag;
 mod timed;
 mod value;
@@ -60,7 +61,7 @@ pub mod wire;
 
 pub use builder::{BuildError, GraphBuilder, NodeId};
 pub use context::{ContextManager, ContextRecord};
-pub use emu::{EmuResult, Emulator};
+pub use emu::{EmuResult, Emulator, RunMode};
 pub use graph::{
     CodeBlock, CodeBlockId, Dest, DestBranch, GraphError, InstrId, Instruction, OpCode, Program,
 };

@@ -165,17 +165,6 @@ pub trait Machine: Sized {
     /// Same conditions as [`Machine::run`].
     fn submit(&mut self, jobs: &[Job]) -> Result<Self::Output, ExecError>;
 
-    /// Multiprogramming over positional `(block, inputs)` tuples.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Machine::run`].
-    #[deprecated(since = "0.2.0", note = "use `submit` with `Job` values")]
-    fn run_jobs(&mut self, jobs: &[(CodeBlockId, Vec<Value>)]) -> Result<Self::Output, ExecError> {
-        let jobs: Vec<Job> = jobs.iter().cloned().map(Job::from).collect();
-        self.submit(&jobs)
-    }
-
     /// Attaches a trace sink observing the whole machine.
     fn with_sink(self, sink: SharedSink) -> Self;
 
@@ -287,15 +276,12 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_run_jobs_wrapper_matches_submit() {
+    fn tuple_conversion_matches_explicit_job() {
         let p = add_program();
-        let tuples = vec![(p.main, vec![Value::Int(3), Value::Int(4)])];
-        let jobs: Vec<Job> = tuples.iter().cloned().map(Job::from).collect();
-        assert_eq!(jobs[0], Job::new(p.main, tuples[0].1.clone()));
-        let want = Machine::submit(&mut Emulator::new(&p), &jobs).unwrap();
-        #[allow(deprecated)]
-        let got = Machine::run_jobs(&mut Emulator::new(&p), &tuples).unwrap();
-        assert_eq!(got.outputs, want.outputs);
+        let tuple = (p.main, vec![Value::Int(3), Value::Int(4)]);
+        let job: Job = tuple.clone().into();
+        assert_eq!(job, Job::new(p.main, tuple.1));
+        let got = Machine::submit(&mut Emulator::new(&p), &[job]).unwrap();
         assert_eq!(got.outputs[&0], Value::Int(7));
     }
 }

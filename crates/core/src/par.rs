@@ -7,6 +7,39 @@
 //! worker threads while producing an [`EmuResult`] that is **bit-identical**
 //! to the sequential backend's, for every program.
 //!
+//! # The decoordinated steady state
+//!
+//! The first version of this backend funnelled every context allocation
+//! and every structure operation through the coordinating thread — the
+//! very von Neumann bottleneck the paper argues against. The steady state
+//! is now coordinator-free:
+//!
+//! - **Leased id ranges.** Workers allocate context ids from pre-leased
+//!   blocks of a lock-free [`SharedContexts`] table, so `D`/`Apply`
+//!   firings execute *on the workers* without a round-trip through the
+//!   coordinator and without any context lock. Context id values then
+//!   differ from a sequential run, but they never escape an
+//!   [`EmuResult`]: `contexts` is the semantic allocation count, which
+//!   the shared loop-activation memo keeps exact.
+//! - **Batched shard traffic.** A firing's `IFetch`/`IStore` is buffered
+//!   on the executing worker, keyed by the shard that owns the structure,
+//!   and flushed as **one message per peer per wave** on a dedicated
+//!   worker-to-worker channel (combining, per the Ultracomputer
+//!   retrospective). The owning shard sorts the merged batches by wave
+//!   index before applying, reproducing sequential per-structure order.
+//!   Only structure *ids* still come from the coordinator's merge walk,
+//!   because they escape into results via [`Value::Ptr`] and must be
+//!   dense in firing order.
+//! - **Work stealing.** Absorption is owner-only (a token must enter its
+//!   home matching shard), but execution of the enabled firings is pure.
+//!   Each worker publishes its ready firings in a shared per-worker
+//!   queue; a worker that drains its own queue steals the back half of
+//!   the most-loaded peer's queue instead of idling at the wave barrier.
+//!   Results carry their wave index, so the merge is oblivious to who
+//!   executed what. Steals are reported as `WorkSteal` trace events —
+//!   scheduling annotations whose count and position depend on host
+//!   scheduling; the semantic event stream is unchanged.
+//!
 //! # How determinism is preserved
 //!
 //! Within one wave the sequential backend processes tokens in wave order:
@@ -17,49 +50,48 @@
 //!
 //! - **Sharded matching.** Each worker owns the waiting–matching shard
 //!   for the activity names that hash to it, so a token's absorption is a
-//!   pure function of its shard's state. Workers process their tokens in
-//!   ascending wave index and report `(index, occupancy delta, outcome)`
-//!   records; the coordinator replays the deltas in index order, which
+//!   pure function of its shard's state. Workers absorb their tokens in
+//!   ascending wave index and report `(index, occupancy delta)` records;
+//!   the coordinator replays the deltas in index order, which
 //!   reconstructs the exact running occupancy — and thus `peak_matching` —
 //!   of a sequential run.
-//! - **Coordinator-side context allocation.** `D` and `Apply` are the
-//!   only opcodes that allocate contexts. Workers hand them back
-//!   unexecuted; the coordinator fires them in wave-index order under a
-//!   write lock, so context ids (and hence every downstream activity
-//!   name) match the sequential backend. All other opcodes execute on the
-//!   workers under a read lock — `DInv`/`Return` only read context
-//!   records created in strictly earlier waves.
 //! - **Sharded structures.** Allocation ids are assigned by the
-//!   coordinator in firing order; fetches and stores are routed to the
-//!   shard that owns the structure and applied there in firing order.
-//!   Operations on distinct structures commute, so per-shard program
-//!   order reproduces the sequential cell states, released-reader orders
-//!   and immediate/deferred counts.
+//!   coordinator in firing order; fetches and stores are applied by the
+//!   owning shard in ascending wave index (cut at the first error's
+//!   index, as the coordinator instructs). Operations on distinct
+//!   structures commute, so per-shard index order reproduces the
+//!   sequential cell states, released-reader orders and
+//!   immediate/deferred counts.
 //! - **Deterministic merge.** The next wave is assembled strictly in
 //!   firing order: each firing's direct output tokens, then its structure
 //!   action's tokens — the exact append order of the sequential `fire`.
 //!   Trace events are synthesized (or replayed from worker-filled
 //!   [`EventBuffer`]s) in the same order, so order-sensitive sinks
-//!   observe the sequential event stream.
+//!   observe the sequential event stream (plus the scheduling
+//!   annotations noted above, emitted after the wave's semantic events).
 //! - **Error precedence.** The first error in wave-index order wins, and
 //!   an `OutOfFuel` at firing *q* loses to any error at a firing ≤ *q* —
-//!   exactly the sequential control flow.
+//!   exactly the sequential control flow. Workers may speculatively
+//!   execute firings past an error's index; everything they produce is
+//!   discarded by the index cut, and the run returns `Err`, so nothing
+//!   speculative is observable.
 //!
 //! `loop_bound` (k-bounded loops) forces the sequential backend: its
 //! holding-pen scheduling is a global, order-sensitive fixpoint that
 //! would serialize the workers anyway.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::RwLock;
+use std::sync::Mutex;
 
 use ttda_mem::{shard_of, Addr, IStructureShard, Presence, ReadOutcome};
 use ttda_sim::Cycle;
 use ttda_trace::{EventBuffer, PresenceState, SharedSink, TraceEvent};
 
-use crate::context::ContextManager;
+use crate::context::{SharedContexts, WorkerCtx};
 use crate::emu::EmuResult;
-use crate::exec::{absorb, allocates_context, execute, execute_ro, StructAction};
+use crate::exec::{absorb, execute, Continuation, StructAction};
 use crate::graph::Program;
 use crate::matching::{MatchingStore, Operands};
 use crate::tag::{ActivityName, Iter, Port, Token};
@@ -89,68 +121,66 @@ pub(crate) fn worker_of(tag: ActivityName, workers: usize) -> usize {
 }
 
 /// A structure operation routed to the shard that owns the structure.
-struct StructOp {
+pub(crate) struct StructOp {
     /// Wave index of the firing that requested the operation.
-    index: u32,
+    pub(crate) index: u32,
     /// The firing's activity name (for error rendering).
-    tag: ActivityName,
-    action: StructAction,
+    pub(crate) tag: ActivityName,
+    pub(crate) action: StructAction,
 }
 
 /// Work sent from the coordinator to one worker.
 enum Job {
-    /// Absorb (and where possible execute) this worker's slice of a
-    /// wave, in ascending wave index.
+    /// Absorb this worker's (possibly empty) slice of a wave in ascending
+    /// wave index, then join the shared execution pool — executing own
+    /// and stolen firings — until the wave's enabled set is exhausted.
     Wave(Vec<(u32, Token)>),
-    /// Apply this worker's slice of the wave's structure operations, in
-    /// ascending wave index. `creates` registers ids allocated this wave.
+    /// Apply the structure operations batched at this shard (own plus
+    /// everything peers flushed over the ops channel), in ascending wave
+    /// index, skipping ops at indices ≥ `cut` (the first error's index).
+    /// `creates` registers ids the coordinator allocated this wave.
     Struct {
         now: Cycle,
         creates: Vec<(u32, usize)>,
-        ops: Vec<StructOp>,
+        cut: u32,
     },
 }
 
-/// Everything a worker-side firing produced.
+/// Everything a worker-side firing produced. `Fetch`/`Store` actions are
+/// *not* here — they went straight to the owning shard's batch buffer.
 struct FireOut {
-    tag: ActivityName,
     is_alu: bool,
     tokens: Vec<Token>,
     output: Option<(u32, Value)>,
-    action: Option<StructAction>,
+    /// An `IAlloc` request: the coordinator assigns the id (dense, in
+    /// firing order) and builds the pointer tokens.
+    alloc: Option<(usize, Continuation)>,
 }
 
-/// What became of one absorbed token.
-enum Outcome {
-    /// Parked as a partial match.
-    Parked,
-    /// Enabled and executed on the worker.
-    Fired(FireOut),
-    /// Enabled, but the opcode allocates a context: the coordinator must
-    /// execute it in wave order.
-    NeedsCtx {
-        tag: ActivityName,
-        operands: Operands,
-    },
-}
-
-/// Per-token record: wave index, waiting-store occupancy delta, outcome.
-struct TokRec {
+/// An enabled firing awaiting execution (by its owner or by a thief).
+struct Ready {
     index: u32,
-    delta: isize,
-    outcome: Outcome,
+    tag: ActivityName,
+    operands: Operands,
 }
 
 struct WaveReply {
-    recs: Vec<TokRec>,
+    /// `(wave index, occupancy delta)` per absorbed token, in order.
+    deltas: Vec<(u32, isize)>,
+    /// Executed firings (own and stolen), keyed by wave index.
+    fires: Vec<(u32, FireOut)>,
     err: Option<(u32, ExecError)>,
+    /// Whether this worker buffered any structure ops this wave.
+    has_ops: bool,
+    /// `(victim, firings moved)` per steal this worker performed.
+    steals: Vec<(u32, u64)>,
 }
 
 /// Tokens and trace events produced by one structure operation.
-struct OpOut {
-    index: u32,
-    tokens: Vec<Token>,
-    traces: EventBuffer,
+pub(crate) struct OpOut {
+    pub(crate) index: u32,
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) traces: EventBuffer,
 }
 
 struct StructReply {
@@ -168,9 +198,49 @@ enum Reply {
     Struct(StructReply),
 }
 
+/// Firings an owner drains from its own queue per lock acquisition.
+const DRAIN_BATCH: usize = 8;
+
+/// State shared by all workers for intra-wave work stealing.
+struct StealPool {
+    /// Per-worker ready queues. Owners push their whole enabled set and
+    /// pop from the front; thieves split off the back half.
+    queues: Vec<Mutex<VecDeque<Ready>>>,
+    /// Advisory per-queue lengths for victim selection.
+    loads: Vec<AtomicUsize>,
+    /// Workers that have finished absorbing this wave.
+    absorb_done: AtomicUsize,
+    /// Firings published / executed this wave. The execution phase is
+    /// over when `absorb_done == threads` and `executed == published`.
+    published: AtomicUsize,
+    executed: AtomicUsize,
+}
+
+impl StealPool {
+    fn new(threads: usize) -> Self {
+        StealPool {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            loads: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
+            absorb_done: AtomicUsize::new(0),
+            published: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Coordinator-side reset between waves. Safe because every worker
+    /// has replied, so none is touching the pool.
+    fn reset(&self) {
+        self.absorb_done.store(0, Ordering::SeqCst);
+        self.published.store(0, Ordering::SeqCst);
+        self.executed.store(0, Ordering::SeqCst);
+    }
+}
+
 /// Entry point: the parallel equivalent of `Emulator::submit`. `fuel`
 /// is the already-resolved batch budget (machine fuel merged with the
-/// jobs' fuel shares by the caller).
+/// jobs' fuel shares by the caller). `threads == 1` runs the full
+/// protocol with a single worker — that is what the coordinator-overhead
+/// benchmark measures.
 pub(crate) fn submit(
     program: &Program,
     jobs: &[crate::machine::Job],
@@ -178,8 +248,8 @@ pub(crate) fn submit(
     fuel: u64,
     sink: Option<SharedSink>,
 ) -> Result<EmuResult, ExecError> {
-    debug_assert!(threads >= 2, "parallel backend needs at least two workers");
-    let mut ctx = ContextManager::new(program.main);
+    debug_assert!(threads >= 1, "parallel backend needs at least one worker");
+    let ctxs = SharedContexts::new(program.main);
     let mut wave: Vec<Token> = Vec::new();
     for job in jobs {
         let (block_id, inputs) = (&job.block, &job.inputs);
@@ -192,7 +262,7 @@ pub(crate) fn submit(
                 got: inputs.len(),
             });
         }
-        let root = ctx.new_root(*block_id);
+        let root = ctxs.new_root(*block_id);
         for (k, v) in inputs.iter().enumerate() {
             wave.push(Token::new(
                 ActivityName {
@@ -213,37 +283,65 @@ pub(crate) fn submit(
         }
     }
 
-    let ctx_lock = RwLock::new(ctx);
+    let pool = StealPool::new(threads);
     let traced = sink.is_some();
     std::thread::scope(|scope| {
-        let mut job_txs: Vec<Sender<Job>> = Vec::with_capacity(threads);
-        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let (jtx, jrx) = channel::<Job>();
-            let (rtx, rrx) = channel::<Reply>();
-            let ctx_ref = &ctx_lock;
-            scope.spawn(move || worker(program, ctx_ref, traced, jrx, rtx));
-            job_txs.push(jtx);
-            reply_rxs.push(rrx);
+        let (job_txs, job_rxs): (Vec<_>, Vec<_>) = (0..threads).map(|_| channel::<Job>()).unzip();
+        let (ops_txs, ops_rxs): (Vec<_>, Vec<_>) =
+            (0..threads).map(|_| channel::<Vec<StructOp>>()).unzip();
+        let (reply_txs, reply_rxs): (Vec<_>, Vec<_>) =
+            (0..threads).map(|_| channel::<Reply>()).unzip();
+        for (me, ((jobs_rx, ops_rx), reply_tx)) in
+            job_rxs.into_iter().zip(ops_rxs).zip(reply_txs).enumerate()
+        {
+            let h = WorkerHandle {
+                program,
+                ctxs: &ctxs,
+                pool: &pool,
+                me,
+                threads,
+                traced,
+                jobs: jobs_rx,
+                ops_in: ops_rx,
+                replies: reply_tx,
+                peers: ops_txs.clone(),
+            };
+            scope.spawn(move || worker(h));
         }
-        // `drive` owns the senders; dropping them on return hangs up the
-        // workers, so the scope's implicit join cannot deadlock.
-        drive(program, &ctx_lock, fuel, sink, wave, job_txs, reply_rxs)
+        // Workers hold the only long-lived ops senders; nobody ever
+        // *blocks* on an ops channel, so the sender cycle between
+        // workers cannot deadlock the scope's implicit join.
+        drop(ops_txs);
+        let d = Driver {
+            ctxs: &ctxs,
+            pool: &pool,
+            fuel,
+            job_txs,
+            reply_rxs,
+        };
+        // `d` owns the job senders; dropping it on return hangs up the
+        // workers.
+        drive(&d, sink, wave)
     })
+}
+
+/// Coordinator-side handles for one run.
+struct Driver<'a> {
+    ctxs: &'a SharedContexts,
+    pool: &'a StealPool,
+    fuel: u64,
+    job_txs: Vec<Sender<Job>>,
+    reply_rxs: Vec<Receiver<Reply>>,
 }
 
 /// The coordinator's wave loop. See the module docs for the phase plan.
 fn drive(
-    program: &Program,
-    ctx_lock: &RwLock<ContextManager>,
-    fuel: u64,
+    d: &Driver<'_>,
     sink: Option<SharedSink>,
     mut wave: Vec<Token>,
-    job_txs: Vec<Sender<Job>>,
-    reply_rxs: Vec<Receiver<Reply>>,
 ) -> Result<EmuResult, ExecError> {
     const DEAD: &str = "emulator worker thread terminated unexpectedly";
-    let threads = job_txs.len();
+    let threads = d.job_txs.len();
     let traced = sink.is_some();
     let trace = |now: Cycle, ev: &TraceEvent| {
         if let Some(s) = &sink {
@@ -267,43 +365,48 @@ fn drive(
 
     while !wave.is_empty() {
         let wlen = wave.len();
+        d.pool.reset();
 
-        // Phase 1: shard the wave's tokens by activity name and let each
-        // worker absorb + (where possible) execute its slice.
+        // Phase 1: shard the wave's tokens by activity name. Every
+        // worker gets its (possibly empty) slice — workers with little
+        // to absorb join the wave as thieves.
         let mut parts: Vec<Vec<(u32, Token)>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, t) in wave.into_iter().enumerate() {
             parts[worker_of(t.tag, threads)].push((i as u32, t));
         }
-        let mut wave_sent = vec![false; threads];
         for (w, part) in parts.into_iter().enumerate() {
-            if !part.is_empty() {
-                job_txs[w].send(Job::Wave(part)).expect(DEAD);
-                wave_sent[w] = true;
-            }
+            d.job_txs[w].send(Job::Wave(part)).expect(DEAD);
         }
-        let mut recs: Vec<Option<TokRec>> = (0..wlen).map(|_| None).collect();
+        let mut deltas: Vec<Option<isize>> = vec![None; wlen];
+        let mut fires: Vec<Option<FireOut>> = (0..wlen).map(|_| None).collect();
         let mut first_err: Option<(u32, ExecError)> = None;
-        for (w, rx) in reply_rxs.iter().enumerate() {
-            if !wave_sent[w] {
-                continue;
-            }
+        let mut any_ops = false;
+        let mut steal_log: Vec<(u32, u32, u64)> = Vec::new();
+        for (w, rx) in d.reply_rxs.iter().enumerate() {
             let Reply::Wave(rep) = rx.recv().expect(DEAD) else {
                 unreachable!("struct reply outside the structure phase");
             };
-            for r in rep.recs {
-                let i = r.index as usize;
-                recs[i] = Some(r);
+            for (i, delta) in rep.deltas {
+                deltas[i as usize] = Some(delta);
+            }
+            for (i, f) in rep.fires {
+                fires[i as usize] = Some(f);
             }
             if let Some((i, e)) = rep.err {
                 if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
                     first_err = Some((i, e));
                 }
             }
+            any_ops |= rep.has_ops;
+            for (victim, moved) in rep.steals {
+                steal_log.push((w as u32, victim, moved));
+            }
         }
 
-        // Phase 2: walk the records in wave order — fire the
-        // context-allocating instructions, assign structure ids, route
-        // structure ops to their shards, and find the fuel crossing.
+        // Phase 2: walk the records in wave order — assign structure
+        // ids in firing order and find the fuel crossing. (Unlike the
+        // original protocol there is nothing to execute and no lock to
+        // take here: workers already fired everything.)
         struct Slot {
             index: u32,
             fired: FireOut,
@@ -312,121 +415,75 @@ fn drive(
         let mut merged: Vec<(isize, Option<usize>)> = Vec::with_capacity(wlen);
         let mut slots: Vec<Slot> = Vec::new();
         let mut creates: Vec<Vec<(u32, usize)>> = (0..threads).map(|_| Vec::new()).collect();
-        let mut ops: Vec<Vec<StructOp>> = (0..threads).map(|_| Vec::new()).collect();
         let mut fuel_idx: Option<u32> = None;
-        {
-            let mut ctx = ctx_lock.write().expect("context lock poisoned");
-            for (i, rec) in recs.into_iter().enumerate() {
-                if first_err.as_ref().is_some_and(|(j, _)| i as u32 >= *j) {
-                    break;
-                }
-                let rec = rec.expect("every token before the first error has a record");
-                let mut fired = match rec.outcome {
-                    Outcome::Parked => {
-                        merged.push((rec.delta, None));
-                        continue;
-                    }
-                    Outcome::Fired(f) => f,
-                    Outcome::NeedsCtx { tag, operands } => {
-                        let instr = program
-                            .block(tag.c)
-                            .and_then(|b| b.instr(tag.s))
-                            .expect("absorb resolved the instruction");
-                        match execute(program, &mut ctx, tag, instr, &operands) {
-                            Ok(eff) => FireOut {
-                                tag,
-                                is_alu: eff.is_alu,
-                                tokens: eff.tokens,
-                                output: eff.output,
-                                action: eff.action,
-                            },
-                            Err(e) => {
-                                first_err = Some((i as u32, e));
-                                break;
-                            }
-                        }
-                    }
-                };
-                // The sequential backend checks the budget after every
-                // firing; record where this wave would cross it.
-                if fuel_idx.is_none() && instructions + slots.len() as u64 + 1 > fuel {
-                    fuel_idx = Some(i as u32);
-                }
-                let mut alloc_tokens: Vec<Token> = Vec::new();
-                match fired.action.take() {
-                    None => {}
-                    Some(StructAction::Alloc { len, dests }) => {
-                        let id = next_struct_id;
-                        next_struct_id += 1;
-                        creates[shard_of(id, threads)].push((id, len));
-                        let p = Value::Ptr(StructRef {
-                            id,
-                            len: len as u32,
-                        });
-                        for (rtag, port) in dests {
-                            alloc_tokens.push(Token::new(rtag, port, p));
-                        }
-                    }
-                    Some(action @ StructAction::Fetch { .. })
-                    | Some(action @ StructAction::Store { .. }) => {
-                        let ptr = match &action {
-                            StructAction::Fetch { ptr, .. } | StructAction::Store { ptr, .. } => {
-                                *ptr
-                            }
-                            StructAction::Alloc { .. } => unreachable!(),
-                        };
-                        ops[shard_of(ptr.id, threads)].push(StructOp {
-                            index: i as u32,
-                            tag: fired.tag,
-                            action,
-                        });
-                    }
-                }
-                merged.push((rec.delta, Some(slots.len())));
-                slots.push(Slot {
-                    index: i as u32,
-                    fired,
-                    alloc_tokens,
-                });
+        for i in 0..wlen {
+            if first_err.as_ref().is_some_and(|(j, _)| i as u32 >= *j) {
+                break;
             }
+            let delta = deltas[i].expect("every token before the first error has a record");
+            let Some(mut fired) = fires[i].take() else {
+                merged.push((delta, None));
+                continue;
+            };
+            // The sequential backend checks the budget after every
+            // firing; record where this wave would cross it.
+            if fuel_idx.is_none() && instructions + slots.len() as u64 + 1 > d.fuel {
+                fuel_idx = Some(i as u32);
+            }
+            let mut alloc_tokens: Vec<Token> = Vec::new();
+            if let Some((len, dests)) = fired.alloc.take() {
+                let id = next_struct_id;
+                next_struct_id += 1;
+                creates[shard_of(id, threads)].push((id, len));
+                let p = Value::Ptr(StructRef {
+                    id,
+                    len: len as u32,
+                });
+                for (rtag, port) in dests {
+                    alloc_tokens.push(Token::new(rtag, port, p));
+                }
+            }
+            merged.push((delta, Some(slots.len())));
+            slots.push(Slot {
+                index: i as u32,
+                fired,
+                alloc_tokens,
+            });
         }
 
-        // Phase 3: ship the structure work to the owning shards.
-        let mut struct_sent = vec![false; threads];
-        for w in 0..threads {
-            if creates[w].is_empty() && ops[w].is_empty() {
-                continue;
-            }
-            job_txs[w]
-                .send(Job::Struct {
-                    now,
-                    creates: std::mem::take(&mut creates[w]),
-                    ops: std::mem::take(&mut ops[w]),
-                })
-                .expect(DEAD);
-            struct_sent[w] = true;
-        }
+        // Phase 3: tell the shards to apply the batches peers flushed to
+        // them (plus this wave's creates), cut at the first error.
+        let cut = first_err.as_ref().map_or(u32::MAX, |(j, _)| *j);
+        let need_struct = any_ops || creates.iter().any(|c| !c.is_empty());
         let mut op_outs: Vec<Option<OpOut>> = (0..wlen).map(|_| None).collect();
-        for (w, rx) in reply_rxs.iter().enumerate() {
-            if !struct_sent[w] {
-                continue;
+        if need_struct {
+            for (w, c) in creates.iter_mut().enumerate() {
+                d.job_txs[w]
+                    .send(Job::Struct {
+                        now,
+                        creates: std::mem::take(c),
+                        cut,
+                    })
+                    .expect(DEAD);
             }
-            let Reply::Struct(rep) = rx.recv().expect(DEAD) else {
-                unreachable!("wave reply inside the structure phase");
-            };
-            for o in rep.outs {
-                let i = o.index as usize;
-                op_outs[i] = Some(o);
-            }
-            if let Some((i, e)) = rep.err {
-                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
-                    first_err = Some((i, e));
+            for (w, rx) in d.reply_rxs.iter().enumerate() {
+                let Reply::Struct(rep) = rx.recv().expect(DEAD) else {
+                    unreachable!("wave reply inside the structure phase");
+                };
+                for o in rep.outs {
+                    let i = o.index as usize;
+                    op_outs[i] = Some(o);
                 }
+                if let Some((i, e)) = rep.err {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+                deferred_by_worker[w] = rep.deferred_outstanding;
+                istore_immediate += rep.immediate;
+                istore_deferred += rep.deferred;
+                istore_writes += rep.writes;
             }
-            deferred_by_worker[w] = rep.deferred_outstanding;
-            istore_immediate += rep.immediate;
-            istore_deferred += rep.deferred;
-            istore_writes += rep.writes;
         }
 
         // Error precedence, exactly as the sequential control flow has
@@ -494,6 +551,21 @@ fn drive(
             }
         }
 
+        // Scheduling annotations: after the wave's semantic events,
+        // before its WaveEnd.
+        if traced {
+            for (by, from, moved) in steal_log {
+                trace(
+                    now,
+                    &TraceEvent::WorkSteal {
+                        pe: by,
+                        from,
+                        moved,
+                    },
+                );
+            }
+        }
+
         peak_deferred = peak_deferred.max(deferred_by_worker.iter().sum());
         if fired_count > 0 {
             profile.push(fired_count);
@@ -514,14 +586,13 @@ fn drive(
     }
     trace(now, &TraceEvent::Halt { in_flight: 0 });
 
-    let contexts = ctx_lock.read().expect("context lock poisoned").allocated();
     Ok(EmuResult {
         outputs,
         instructions,
         alu_ops,
         waves: profile.len() as u64,
         profile,
-        contexts,
+        contexts: d.ctxs.allocated(),
         peak_matching,
         peak_deferred,
         istore_immediate,
@@ -530,90 +601,246 @@ fn drive(
     })
 }
 
-/// One worker: owns a waiting–matching shard and an I-structure shard
-/// for the whole run, draining jobs until the coordinator hangs up.
-fn worker(
-    program: &Program,
-    ctx_lock: &RwLock<ContextManager>,
+/// Everything one worker needs for the whole run.
+struct WorkerHandle<'a> {
+    program: &'a Program,
+    ctxs: &'a SharedContexts,
+    pool: &'a StealPool,
+    me: usize,
+    threads: usize,
     traced: bool,
     jobs: Receiver<Job>,
+    /// Structure-op batches peers flushed to this shard. Drained (never
+    /// blocked on) when the coordinator starts the structure phase — by
+    /// then every batch is already enqueued, because peers flush before
+    /// replying and the coordinator waits for all replies.
+    ops_in: Receiver<Vec<StructOp>>,
     replies: Sender<Reply>,
-) {
+    /// The ops channels of all workers (index = owning shard).
+    peers: Vec<Sender<Vec<StructOp>>>,
+}
+
+/// One worker: owns a waiting–matching shard, an I-structure shard and a
+/// context-id lease for the whole run, draining jobs until the
+/// coordinator hangs up.
+fn worker(h: WorkerHandle<'_>) {
     let mut waiting = MatchingStore::new();
     let mut shard: IStructureShard<Value, (ActivityName, Port)> = IStructureShard::new();
-    while let Ok(job) = jobs.recv() {
+    let mut wctx = h.ctxs.handle();
+    let mut own_ops: Vec<StructOp> = Vec::new();
+    while let Ok(job) = h.jobs.recv() {
         let reply = match job {
             Job::Wave(tokens) => {
-                Reply::Wave(match_and_execute(program, ctx_lock, &mut waiting, tokens))
+                let (rep, own) = run_wave(&h, &mut waiting, &mut wctx, tokens);
+                own_ops = own;
+                Reply::Wave(rep)
             }
-            Job::Struct { now, creates, ops } => {
-                Reply::Struct(apply_struct_ops(&mut shard, now, creates, ops, traced))
+            Job::Struct { now, creates, cut } => {
+                let mut ops = std::mem::take(&mut own_ops);
+                for mut batch in h.ops_in.try_iter() {
+                    ops.append(&mut batch);
+                }
+                ops.retain(|o| o.index < cut);
+                ops.sort_unstable_by_key(|o| o.index);
+                Reply::Struct(apply_struct_ops(&mut shard, now, creates, ops, h.traced))
             }
         };
-        if replies.send(reply).is_err() {
+        if h.replies.send(reply).is_err() {
             return;
         }
     }
 }
 
-/// Worker side of a wave: absorb each token into this worker's shard in
-/// wave order, executing enabled non-context-allocating instructions
-/// under a shared context lock.
-fn match_and_execute(
-    program: &Program,
-    ctx_lock: &RwLock<ContextManager>,
+/// Per-wave worker-local execution state.
+struct ExecState {
+    fires: Vec<(u32, FireOut)>,
+    /// Structure ops buffered per owning shard, flushed once per peer at
+    /// the end of the wave.
+    opbufs: Vec<Vec<StructOp>>,
+    err: Option<(u32, ExecError)>,
+    steals: Vec<(u32, u64)>,
+}
+
+/// Worker side of a wave: absorb the slice in wave order, publish the
+/// enabled firings, then execute (own and stolen) firings until the
+/// wave's enabled set is globally exhausted. Flushes this worker's
+/// structure-op batches to their owning shards before returning; the
+/// owner's own batch is returned for local application.
+fn run_wave(
+    h: &WorkerHandle<'_>,
     waiting: &mut MatchingStore,
+    wctx: &mut WorkerCtx<'_>,
     tokens: Vec<(u32, Token)>,
-) -> WaveReply {
-    let ctx = ctx_lock.read().expect("context lock poisoned");
-    let mut recs = Vec::with_capacity(tokens.len());
-    let mut err = None;
+) -> (WaveReply, Vec<StructOp>) {
+    let mut deltas = Vec::with_capacity(tokens.len());
+    let mut err: Option<(u32, ExecError)> = None;
+    let mut ready: Vec<Ready> = Vec::new();
     for (index, token) in tokens {
         let before = waiting.len() as isize;
-        let absorbed = match absorb(program, waiting, token) {
-            Ok(a) => a,
+        match absorb(h.program, waiting, token) {
+            Ok(absorbed) => {
+                deltas.push((index, waiting.len() as isize - before));
+                if let Some((tag, operands)) = absorbed {
+                    ready.push(Ready {
+                        index,
+                        tag,
+                        operands,
+                    });
+                }
+            }
             Err(e) => {
                 err = Some((index, e));
                 break;
             }
-        };
-        let delta = waiting.len() as isize - before;
-        let outcome = match absorbed {
-            None => Outcome::Parked,
-            Some((tag, operands)) => {
-                let instr = program
-                    .block(tag.c)
-                    .and_then(|b| b.instr(tag.s))
-                    .expect("absorb resolved the instruction");
-                if allocates_context(&instr.op) {
-                    Outcome::NeedsCtx { tag, operands }
-                } else {
-                    match execute_ro(&ctx, tag, instr, &operands) {
-                        Ok(eff) => Outcome::Fired(FireOut {
-                            tag,
-                            is_alu: eff.is_alu,
-                            tokens: eff.tokens,
-                            output: eff.output,
-                            action: eff.action,
-                        }),
-                        Err(e) => {
-                            err = Some((index, e));
-                            break;
-                        }
-                    }
-                }
-            }
-        };
-        recs.push(TokRec {
-            index,
-            delta,
-            outcome,
-        });
+        }
     }
-    WaveReply { recs, err }
+
+    let mut exec = ExecState {
+        fires: Vec::new(),
+        opbufs: (0..h.threads).map(|_| Vec::new()).collect(),
+        err,
+        steals: Vec::new(),
+    };
+
+    if h.threads == 1 {
+        // Single worker: nothing to steal, skip the shared pool.
+        for r in ready {
+            exec_one(h, wctx, r, &mut exec);
+        }
+    } else {
+        let n = ready.len();
+        if n > 0 {
+            let mut q = h.pool.queues[h.me].lock().expect("steal queue poisoned");
+            q.extend(ready);
+            h.pool.loads[h.me].store(q.len(), Ordering::Relaxed);
+            drop(q);
+            h.pool.published.fetch_add(n, Ordering::SeqCst);
+        }
+        h.pool.absorb_done.fetch_add(1, Ordering::SeqCst);
+        execute_pool(h, wctx, &mut exec);
+    }
+
+    let has_ops = exec.opbufs.iter().any(|b| !b.is_empty());
+    let mut own = Vec::new();
+    for (w, buf) in exec.opbufs.drain(..).enumerate() {
+        if w == h.me {
+            own = buf;
+        } else if !buf.is_empty() {
+            // A send can only fail during teardown, when the batch no
+            // longer matters.
+            let _ = h.peers[w].send(buf);
+        }
+    }
+    (
+        WaveReply {
+            deltas,
+            fires: exec.fires,
+            err: exec.err,
+            has_ops,
+            steals: exec.steals,
+        },
+        own,
+    )
 }
 
-fn dangling(tag: ActivityName, ptr: StructRef) -> ExecError {
+/// The shared execution phase of one wave: drain the own queue (a batch
+/// per lock acquisition), then steal from the most-loaded peer, until
+/// every published firing of the wave has been executed by someone.
+fn execute_pool(h: &WorkerHandle<'_>, wctx: &mut WorkerCtx<'_>, exec: &mut ExecState) {
+    let pool = h.pool;
+    let mut batch: Vec<Ready> = Vec::new();
+    loop {
+        {
+            let mut q = pool.queues[h.me].lock().expect("steal queue poisoned");
+            let take = q.len().min(DRAIN_BATCH);
+            batch.extend(q.drain(..take));
+            pool.loads[h.me].store(q.len(), Ordering::Relaxed);
+        }
+        if !batch.is_empty() {
+            for r in batch.drain(..) {
+                exec_one(h, wctx, r, exec);
+                pool.executed.fetch_add(1, Ordering::SeqCst);
+            }
+            continue;
+        }
+        if pool.absorb_done.load(Ordering::SeqCst) == h.threads
+            && pool.executed.load(Ordering::SeqCst) == pool.published.load(Ordering::SeqCst)
+        {
+            return;
+        }
+        let victim = (0..h.threads)
+            .filter(|&w| w != h.me)
+            .max_by_key(|&w| pool.loads[w].load(Ordering::Relaxed))
+            .filter(|&w| pool.loads[w].load(Ordering::Relaxed) > 0);
+        if let Some(v) = victim {
+            {
+                let mut q = pool.queues[v].lock().expect("steal queue poisoned");
+                let keep = q.len() / 2;
+                batch.extend(q.drain(keep..));
+                pool.loads[v].store(q.len(), Ordering::Relaxed);
+            }
+            if !batch.is_empty() {
+                exec.steals.push((v as u32, batch.len() as u64));
+                for r in batch.drain(..) {
+                    exec_one(h, wctx, r, exec);
+                    pool.executed.fetch_add(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Executes one enabled firing on this worker (its owner or a thief):
+/// `D`/`Apply` allocate from the worker's context lease; `Fetch`/`Store`
+/// actions are buffered for their owning shard; `Alloc` rides back to
+/// the coordinator for dense id assignment.
+fn exec_one(h: &WorkerHandle<'_>, wctx: &mut WorkerCtx<'_>, r: Ready, exec: &mut ExecState) {
+    let Ready {
+        index,
+        tag,
+        operands,
+    } = r;
+    let instr = h
+        .program
+        .block(tag.c)
+        .and_then(|b| b.instr(tag.s))
+        .expect("absorb resolved the instruction");
+    match execute(h.program, wctx, tag, instr, &operands) {
+        Ok(mut eff) => {
+            let mut alloc = None;
+            match eff.action.take() {
+                None => {}
+                Some(StructAction::Alloc { len, dests }) => alloc = Some((len, dests)),
+                Some(action @ StructAction::Fetch { .. })
+                | Some(action @ StructAction::Store { .. }) => {
+                    let ptr = match &action {
+                        StructAction::Fetch { ptr, .. } | StructAction::Store { ptr, .. } => *ptr,
+                        StructAction::Alloc { .. } => unreachable!(),
+                    };
+                    exec.opbufs[shard_of(ptr.id, h.threads)].push(StructOp { index, tag, action });
+                }
+            }
+            exec.fires.push((
+                index,
+                FireOut {
+                    is_alu: eff.is_alu,
+                    tokens: eff.tokens,
+                    output: eff.output,
+                    alloc,
+                },
+            ));
+        }
+        Err(e) => {
+            if exec.err.as_ref().is_none_or(|(j, _)| index < *j) {
+                exec.err = Some((index, e));
+            }
+        }
+    }
+}
+
+pub(crate) fn dangling(tag: ActivityName, ptr: StructRef) -> ExecError {
     ExecError::BadTarget {
         activity: format!("{tag} (dangling {ptr:?})"),
     }
@@ -665,7 +892,11 @@ fn apply_struct_ops(
     }
 }
 
-fn apply_one(
+/// Applies one fetch/store to its owning shard, mirroring the
+/// sequential backend's inline handling — tokens and trace events come
+/// back in the exact sequential order. Shared with the relaxed backend
+/// (which passes `index = 0`: it has no wave order to preserve).
+pub(crate) fn apply_one(
     shard: &mut IStructureShard<Value, (ActivityName, Port)>,
     op: StructOp,
     now: Cycle,

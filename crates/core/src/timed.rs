@@ -376,24 +376,6 @@ impl<T: Topology> TimedMachine<T> {
         self.submit(&[crate::machine::Job::new(main, inputs.to_vec())])
     }
 
-    /// Multiprogramming over positional `(block, inputs)` tuples.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`TimedMachine::submit`].
-    #[deprecated(since = "0.2.0", note = "use `submit` with `Job` values")]
-    pub fn run_jobs(
-        &mut self,
-        jobs: &[(crate::graph::CodeBlockId, Vec<Value>)],
-    ) -> Result<TimedResult, ExecError> {
-        let jobs: Vec<crate::machine::Job> = jobs
-            .iter()
-            .cloned()
-            .map(crate::machine::Job::from)
-            .collect();
-        self.submit(&jobs)
-    }
-
     /// Multiprogramming: launches a batch of independent [`Job`]s (each
     /// a block and its inputs, typically former mains from
     /// [`Program::merge`]) under

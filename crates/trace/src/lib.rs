@@ -150,6 +150,19 @@ pub enum TraceEvent {
         /// The memory module.
         module: u32,
     },
+    /// A parallel-backend worker stole a batch of ready firings from a
+    /// peer's queue instead of idling at the wave barrier. This is a
+    /// *scheduling annotation*: its count and position depend on host
+    /// thread scheduling, unlike every other event the deterministic
+    /// backend emits.
+    WorkSteal {
+        /// The thief worker.
+        pe: u32,
+        /// The victim worker whose queue was split.
+        from: u32,
+        /// Ready firings moved by this steal.
+        moved: u64,
+    },
     /// A packet crossed the network: `hops` links, `queued` cycles lost
     /// to link contention, `latency` cycles end to end.
     PacketSend {
@@ -182,6 +195,7 @@ impl TraceEvent {
             TraceEvent::DeferRelease { .. } => "defer_release",
             TraceEvent::IStoreRead { .. } => "istore_read",
             TraceEvent::IStoreWrite { .. } => "istore_write",
+            TraceEvent::WorkSteal { .. } => "work_steal",
             TraceEvent::PacketSend { .. } => "packet_send",
         }
     }
@@ -328,6 +342,11 @@ mod tests {
                 immediate: true,
             },
             TraceEvent::IStoreWrite { module: 0 },
+            TraceEvent::WorkSteal {
+                pe: 0,
+                from: 0,
+                moved: 0,
+            },
             TraceEvent::PacketSend {
                 from: 0,
                 to: 0,

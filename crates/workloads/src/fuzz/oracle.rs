@@ -4,9 +4,19 @@
 //! reports a single [`Outcome`]:
 //!
 //! - the sequential [`Emulator`] is the reference execution;
-//! - the parallel wave backend at 2, 4 and 8 worker threads must match
-//!   it **bit-for-bit** over the whole `Result<EmuResult, ExecError>` —
-//!   outputs, counters, parallelism profile and error details alike;
+//! - the parallel wave backend ([`RunMode::Deterministic`]) at 2, 4 and
+//!   8 worker threads must match it **bit-for-bit** over the whole
+//!   `Result<EmuResult, ExecError>` — outputs, counters, parallelism
+//!   profile and error details alike;
+//! - the relaxed backend ([`RunMode::Relaxed`]) at the same widths must
+//!   be *output-equal*: same program outputs (pointers compared by
+//!   length — relaxed structure ids are leased, not dense), same error
+//!   discriminant on failure, and the same confluent counters
+//!   (instructions, ALU ops, contexts, structure writes, total reads);
+//!   wave counts and occupancy peaks are schedule-dependent and exempt;
+//!
+//! Every arm pins its [`RunMode`] explicitly, so the oracle checks the
+//! same contracts regardless of the `TTDA_RELAXED` environment.
 //! - the [`TimedMachine`] (4 PEs, ideal interconnect) must produce the
 //!   same outputs, or fail with the same error *variant* (its error
 //!   details may legitimately differ — e.g. stranded-token counts are
@@ -25,7 +35,9 @@
 //! [`minimize_scenario`] delta-debugs a diverging scenario down to a
 //! local minimum with [`ttda_sim::check::minimize`].
 
-use ttda_core::{Emulator, ExecError, Job, Program, TimedConfig, TimedMachine, Value};
+use std::collections::HashMap;
+
+use ttda_core::{Emulator, ExecError, Job, Program, RunMode, TimedConfig, TimedMachine, Value};
 use ttda_mem::{
     Addr, EnumIStructure, FullEmptyMemory, PackedIStructure, ReadOutcome, TryReadOutcome,
 };
@@ -38,8 +50,20 @@ use super::gen::{Family, Scenario, Spec, StoreOp, StoreSkewSpec};
 /// oracle reports it as [`Outcome::FuelExhausted`] rather than guessing.
 pub const DEFAULT_FUEL: u64 = 4_000_000;
 
-/// Worker-thread counts the parallel backend is checked at.
+/// Worker-thread counts the parallel backends are checked at.
 pub const PAR_THREADS: [usize; 3] = [2, 4, 8];
+
+/// Output equality up to structure identity: the relaxed backend leases
+/// structure ids in blocks, so a [`Value::Ptr`] matches on length only.
+/// Everything else must be exactly equal.
+pub fn outputs_agree(a: &HashMap<u32, Value>, b: &HashMap<u32, Value>) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(slot, va)| match (va, b.get(slot)) {
+            (Value::Ptr(pa), Some(Value::Ptr(pb))) => pa.len == pb.len,
+            (va, Some(vb)) => va == vb,
+            (_, None) => false,
+        })
+}
 
 /// What the oracle concluded about one scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +134,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
 
     let seq = Emulator::new(&program)
         .with_fuel(DEFAULT_FUEL)
+        .with_mode(RunMode::Sequential)
         .submit(&jobs);
     if seq == Err(ExecError::OutOfFuel) {
         return Outcome::FuelExhausted;
@@ -120,11 +145,65 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         let par = Emulator::new(&program)
             .with_fuel(DEFAULT_FUEL)
             .with_threads(threads)
+            .with_mode(RunMode::Deterministic)
             .submit(&jobs);
         if par != seq {
             return Outcome::Divergence(format!(
                 "par backend (threads={threads}) diverged from sequential:\n  seq: {seq:?}\n  par: {par:?}"
             ));
+        }
+    }
+
+    // Relaxed backend: output equality plus the confluent counters —
+    // the exact contract `RunMode::Relaxed` documents.
+    for threads in PAR_THREADS {
+        let rel = Emulator::new(&program)
+            .with_fuel(DEFAULT_FUEL)
+            .with_threads(threads)
+            .with_mode(RunMode::Relaxed)
+            .submit(&jobs);
+        match (&seq, &rel) {
+            (Ok(s), Ok(r)) => {
+                if !outputs_agree(&s.outputs, &r.outputs) {
+                    return Outcome::Divergence(format!(
+                        "relaxed backend (threads={threads}) outputs diverged:\n  seq:     {:?}\n  relaxed: {:?}",
+                        s.outputs, r.outputs
+                    ));
+                }
+                let confluent = [
+                    ("instructions", s.instructions, r.instructions),
+                    ("alu_ops", s.alu_ops, r.alu_ops),
+                    ("contexts", s.contexts as u64, r.contexts as u64),
+                    ("istore_writes", s.istore_writes, r.istore_writes),
+                    (
+                        "istore reads",
+                        s.istore_immediate + s.istore_deferred,
+                        r.istore_immediate + r.istore_deferred,
+                    ),
+                ];
+                for (name, want, got) in confluent {
+                    if want != got {
+                        return Outcome::Divergence(format!(
+                            "relaxed backend (threads={threads}) broke confluent counter \
+                             {name}: seq {want} vs relaxed {got}"
+                        ));
+                    }
+                }
+            }
+            (Err(se), Err(re)) => {
+                if std::mem::discriminant(se) != std::mem::discriminant(re) {
+                    return Outcome::Divergence(format!(
+                        "relaxed backend (threads={threads}) error kind diverged: \
+                         seq {se:?} vs relaxed {re:?}"
+                    ));
+                }
+            }
+            _ => {
+                return Outcome::Divergence(format!(
+                    "relaxed backend (threads={threads}) success/failure diverged:\n  \
+                     seq:     {seq:?}\n  relaxed: {rel:?}"
+                ));
+            }
         }
     }
 
@@ -171,6 +250,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         .collect();
     let opt = Emulator::new(&opt_program)
         .with_fuel(DEFAULT_FUEL)
+        .with_mode(RunMode::Sequential)
         .submit(&opt_jobs);
     match (&seq, &opt) {
         (Ok(s), Ok(o)) => {

@@ -1,7 +1,7 @@
 //! Property-based tests over the suite's core invariants, driven by the
 //! in-tree `check` harness.
 
-use ttda::core::{Emulator, TimedConfig, TimedMachine, Value};
+use ttda::core::{Emulator, RunMode, TimedConfig, TimedMachine, Value};
 use ttda::mem::{Addr, IStructure, IStructureError, ReadOutcome};
 use ttda::net::{Grid2d, Hypercube, NodeId, Omega, Topology};
 use ttda::sim::{check, Cycle, EventQueue, SimRng, Zipf};
@@ -107,6 +107,9 @@ fn parallel_backend_matches_sequential_on_random_programs() {
     // program, the full `EmuResult` — outputs, instruction and ALU
     // counts, wave profile, peak matching-store occupancy, contexts — is
     // bit-identical to the sequential emulator's, at every worker count.
+    // `threads = 1` runs the full coordination protocol with a single
+    // worker (the mode is pinned, so a `TTDA_RELAXED` environment cannot
+    // reroute the arms either).
     check::forall_shrink(
         "parallel backend matches sequential",
         gen_case,
@@ -115,13 +118,55 @@ fn parallel_backend_matches_sequential_on_random_programs() {
             let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
             let p = ttda::idc::compile(&src).expect("compiles");
             let inputs = [Value::Int(c.x), Value::Int(c.y)];
-            let seq = Emulator::new(&p).run(&inputs).expect("runs");
-            for threads in [2usize, 4, 8] {
+            let seq = Emulator::new(&p)
+                .with_mode(RunMode::Sequential)
+                .run(&inputs)
+                .expect("runs");
+            for threads in [1usize, 2, 4, 8] {
                 let par = Emulator::new(&p)
                     .with_threads(threads)
+                    .with_mode(RunMode::Deterministic)
                     .run(&inputs)
                     .expect("parallel backend runs");
                 assert_eq!(par, seq, "threads={threads} diverged from sequential");
+            }
+        },
+    );
+}
+
+#[test]
+fn relaxed_backend_is_output_equal_on_random_programs() {
+    // The relaxed backend's documented contract: program outputs and the
+    // error discriminant match a sequential run exactly, for any program
+    // and any worker count — only schedule artifacts (waves, occupancy
+    // peaks, trace order) may differ. Generated expressions are
+    // error-free, so the success half is what this property exercises;
+    // the fuzz oracle covers the error half over a far wider family.
+    check::forall_shrink(
+        "relaxed backend is output-equal",
+        gen_case,
+        shrink_case,
+        |c| {
+            let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
+            let p = ttda::idc::compile(&src).expect("compiles");
+            let inputs = [Value::Int(c.x), Value::Int(c.y)];
+            let seq = Emulator::new(&p)
+                .with_mode(RunMode::Sequential)
+                .run(&inputs)
+                .expect("runs");
+            for threads in [2usize, 4, 8] {
+                let rel = Emulator::new(&p)
+                    .with_threads(threads)
+                    .relaxed()
+                    .run(&inputs)
+                    .expect("relaxed backend runs");
+                assert_eq!(
+                    rel.outputs, seq.outputs,
+                    "relaxed threads={threads} outputs diverged"
+                );
+                assert_eq!(rel.instructions, seq.instructions, "threads={threads}");
+                assert_eq!(rel.alu_ops, seq.alu_ops, "threads={threads}");
+                assert_eq!(rel.contexts, seq.contexts, "threads={threads}");
             }
         },
     );
