@@ -1,0 +1,108 @@
+//! E22: the optimizer pipeline's effect, per workload per level.
+
+use ttda_core::opt::{analysis, optimize_at, OptLevel};
+use ttda_core::{Emulator, RunMode};
+use ttda_sim::table::Table;
+
+use super::section;
+use crate::suites::opt_workloads;
+
+/// E22: tokens per program — what each [`OptLevel`] buys on the shared
+/// workload set.
+///
+/// The paper's compilation story (§2.2, Fig 2-2) spends tokens freely:
+/// an `Identity` junction per circulating variable per iteration,
+/// `D`/`L`/`D⁻¹` tag machinery around every loop, literal arithmetic
+/// re-fired on every activation. A dataflow compiler's optimizer exists
+/// to claw that back without touching the observable answer. This table
+/// measures the claw-back per workload per level — static instruction
+/// count, instruction firings, and graph critical-path depth — and
+/// asserts the contract behind it: every level's outputs are
+/// bit-identical to the unoptimized program's across the sequential,
+/// deterministic-parallel and relaxed engines, and `O2` removes at
+/// least 20% of the firings on the paper's own Fig 2-2 program.
+pub fn e22() -> String {
+    let mut out = section(
+        "e22",
+        "Optimizer pipeline: firings and static size per level",
+        "\"data flow compilers translate high-level programs into directed graphs\" \
+         (§2.2) — the stylized translation burns instruction firings on plumbing \
+         (identity junctions, loop tag machinery, literal arithmetic) that standard \
+         optimization removes with zero change to any observable output",
+    );
+    let mut t = Table::new(&[
+        "workload",
+        "level",
+        "static instrs",
+        "firings",
+        "crit path",
+        "vs O0",
+    ]);
+    let mut trapezoid_saving = None;
+    for (name, src, inputs) in opt_workloads() {
+        let p = ttda_idc::compile(&src).expect("compiles");
+        let baseline = Emulator::new(&p).run(&inputs).expect("runs");
+        let mut firings_o0 = 0;
+        for level in OptLevel::ALL {
+            let (q, _) = optimize_at(&p, level);
+            // The optimization contract, engine by engine: outputs (and
+            // the success/failure split) are exactly the unoptimized
+            // program's under the sequential interpreter, the
+            // bit-identical parallel backend, and the relaxed backend.
+            let r = Emulator::new(&q)
+                .with_mode(RunMode::Sequential)
+                .run(&inputs)
+                .expect("seq runs");
+            assert_eq!(r.outputs, baseline.outputs, "{name} {level} seq");
+            let det = Emulator::new(&q)
+                .with_threads(4)
+                .with_mode(RunMode::Deterministic)
+                .run(&inputs)
+                .expect("det runs");
+            assert_eq!(det.outputs, baseline.outputs, "{name} {level} det");
+            let rel = Emulator::new(&q)
+                .with_threads(4)
+                .with_mode(RunMode::Relaxed)
+                .run(&inputs)
+                .expect("relaxed runs");
+            assert_eq!(rel.outputs, baseline.outputs, "{name} {level} relaxed");
+            if level == OptLevel::O0 {
+                firings_o0 = r.instructions;
+            }
+            let saving = 1.0 - r.instructions as f64 / firings_o0 as f64;
+            if name == "trapezoid_n64" && level == OptLevel::O2 {
+                trapezoid_saving = Some(saving);
+            }
+            t.row_owned(vec![
+                name.to_string(),
+                level.to_string(),
+                q.instr_count().to_string(),
+                r.instructions.to_string(),
+                analysis::critical_path(&q).to_string(),
+                if level == OptLevel::O0 {
+                    "-".into()
+                } else {
+                    format!("-{:.1}%", saving * 100.0)
+                },
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+    let trap = trapezoid_saving.expect("trapezoid is in the workload set");
+    assert!(
+        trap >= 0.20,
+        "O2 must remove >=20% of trapezoid firings, removed {:.1}%",
+        trap * 100.0
+    );
+    out.push_str(&format!(
+        "\nShape check: every cell above ran with outputs bit-identical to O0 on the\n\
+         sequential, deterministic-parallel (4 workers) and relaxed engines. O2 removes\n\
+         {:.1}% of the Fig 2-2 trapezoid's firings (>=20% required): constant folding\n\
+         collapses the literal plumbing, CSE merges re-computed subexpressions, and the\n\
+         statically-bounded unroll8 loop loses its entire D/L/D-inverse tag machinery.\n\
+         Every number in this table is a deterministic count — the table is\n\
+         byte-stable on any host.\n",
+        trap * 100.0
+    ));
+    out
+}

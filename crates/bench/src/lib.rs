@@ -34,12 +34,15 @@
 //! | e18 | I-structure storage throughput: packed presence bitmap vs enum cells (§2.1) |
 //! | e19 | differential-fuzz corpus coverage: generator family × oracle outcome (§2.2) |
 //! | e20 | service mode: open-loop offered load vs sojourn latency knee (§2.3) |
+//! | e21 | sequential-vs-parallel backend throughput and overhead ratios (§3) |
+//! | e22 | optimizer pipeline: firings and static size per workload per `OptLevel` (§2.2) |
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod experiments;
 pub mod fuzzcmd;
+pub mod optcmd;
 pub mod quickbench;
 pub mod report;
 pub mod servecmd;

@@ -9,7 +9,8 @@
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
 //! cargo run --release -p ttda-bench --bin experiments -- all --normalize
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
-//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json --par-check BENCH_par.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json --par-check BENCH_par.json --opt-check BENCH_opt.json
+//! cargo run --release -p ttda-bench --bin experiments -- opt --out target/opt
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --rebaseline
 //! cargo run --release -p ttda-bench --bin experiments -- serve --load 1.5 --requests 64
 //! cargo run --release -p ttda-bench --bin experiments -- fuzz --seed 1 --iters 500
@@ -27,8 +28,8 @@ use std::process::ExitCode;
 
 use ttda_bench::quickbench::Criterion;
 use ttda_bench::report::{
-    check_istore_regression, check_par_regression, check_regression, check_service_regression,
-    BenchReport, IStoreReport, ParReport, ServiceReport,
+    check_istore_regression, check_opt_regression, check_par_regression, check_regression,
+    check_service_regression, BenchReport, IStoreReport, OptReport, ParReport, ServiceReport,
 };
 use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
 use ttda_bench::{run_experiment, suites, EXPERIMENT_IDS};
@@ -37,10 +38,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... | all [--threads N] [--normalize]\n       ids: {}\n\
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
-         \n       experiments quickbench [--suites matching,istore,service,par,endtoend] [--out FILE] [--check BASELINE]\n\
+         \n       experiments quickbench [--suites matching,istore,service,par,opt,endtoend] [--out FILE] [--check BASELINE]\n\
          \n                              [--istore-out FILE] [--istore-check BASELINE]\n\
          \n                              [--service-out FILE] [--service-check BASELINE]\n\
-         \n                              [--par-out FILE] [--par-check BASELINE] [--rebaseline]\n\
+         \n                              [--par-out FILE] [--par-check BASELINE]\n\
+         \n                              [--opt-out FILE] [--opt-check BASELINE] [--rebaseline]\n\
+         \n       experiments opt [--out DIR] [--workloads W,X]\n\
          \n       experiments serve [--load L] [--requests N] [--seed S] [--quota Q] [--high-water H]\n\
          \n       experiments fuzz [--seed S] [--iters N] [--budget-ms MS] [--families F,G] [--out FILE]\n\
          \n       --threads N: emulator host worker threads (0 = one per core)\n\
@@ -81,16 +84,19 @@ fn quickbench_main(args: &[String]) -> ExitCode {
     let mut istore_out = PathBuf::from("BENCH_istore.json");
     let mut service_out = PathBuf::from("BENCH_service.json");
     let mut par_out = PathBuf::from("BENCH_par.json");
+    let mut opt_out = PathBuf::from("BENCH_opt.json");
     let mut check: Option<PathBuf> = None;
     let mut istore_check: Option<PathBuf> = None;
     let mut service_check: Option<PathBuf> = None;
     let mut par_check: Option<PathBuf> = None;
+    let mut opt_check: Option<PathBuf> = None;
     let mut rebaseline = false;
     let mut which = vec![
         "matching".to_string(),
         "istore".to_string(),
         "service".to_string(),
         "par".to_string(),
+        "opt".to_string(),
         "endtoend".to_string(),
     ];
     let mut it = args.iter();
@@ -128,6 +134,14 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 Some(p) => par_check = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--opt-out" => match it.next() {
+                Some(p) => opt_out = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--opt-check" => match it.next() {
+                Some(p) => opt_check = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             "--rebaseline" => rebaseline = true,
             "--suites" => match it.next() {
                 Some(list) => which = list.split(',').map(str::to_string).collect(),
@@ -140,6 +154,7 @@ fn quickbench_main(args: &[String]) -> ExitCode {
     let run_istore = which.iter().any(|s| s == "istore");
     let run_service = which.iter().any(|s| s == "service");
     let run_par = which.iter().any(|s| s == "par");
+    let run_opt = which.iter().any(|s| s == "opt");
     // The throughput comparisons run first, in a still-cold process —
     // the state every real emulator run starts from. Window 32768: a
     // saturated matching section holds tens of thousands of parked
@@ -207,10 +222,28 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         );
         t
     });
+    // The optimizer comparison: total instruction firings across the
+    // workload set at O0 vs O2 — deterministic counts, so the gated
+    // ratio is noise-free by construction.
+    let opt_throughput = run_opt.then(|| {
+        println!("-- O0-vs-O2 firing counts (E22 kernel)");
+        let t = suites::opt_throughput();
+        println!(
+            "O0 {:>10} firings / {:>5} instrs   O2 {:>10} firings / {:>5} instrs",
+            t.firings_o0, t.instrs_o0, t.firings_o2, t.instrs_o2
+        );
+        println!(
+            "firing ratio {:.4}   static ratio {:.4}",
+            t.firing_ratio(),
+            t.static_ratio()
+        );
+        t
+    });
     let mut c = Criterion::default();
     let mut ic = Criterion::default();
     let mut sc = Criterion::default();
     let mut pc = Criterion::default();
+    let mut oc = Criterion::default();
     for suite in &which {
         println!("-- suite: {suite}");
         match suite.as_str() {
@@ -218,10 +251,11 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             "istore" => suites::istore(&mut ic),
             "service" => suites::service(&mut sc),
             "par" => suites::par(&mut pc),
+            "opt" => suites::opt(&mut oc),
             "endtoend" => suites::endtoend(&mut c),
             other => {
                 eprintln!(
-                    "error: unknown suite `{other}` (matching, istore, service, par, endtoend)"
+                    "error: unknown suite `{other}` (matching, istore, service, par, opt, endtoend)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -317,6 +351,29 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {}", par_out.display());
+            Some((parsed, json))
+        }
+        None => None,
+    };
+    let opt_current = match opt_throughput {
+        Some(throughput) => {
+            let report = OptReport {
+                targets: oc.into_stats(),
+                throughput,
+            };
+            let json = report.to_json();
+            let parsed = match OptReport::parse(&json) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: generated opt report is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&opt_out, &json) {
+                eprintln!("error: cannot write {}: {e}", opt_out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", opt_out.display());
             Some((parsed, json))
         }
         None => None,
@@ -444,6 +501,34 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(base_path) = opt_check {
+        let Some((current, cur_json)) = opt_current else {
+            eprintln!("error: --opt-check given but the opt suite was not selected");
+            return ExitCode::FAILURE;
+        };
+        if rebaseline {
+            if let Err(code) = rebaseline_to(&base_path, &cur_json) {
+                return code;
+            }
+        } else {
+            let baseline = match load_baseline(&base_path, OptReport::parse) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            match check_opt_regression(&current, &baseline, 0.25) {
+                Ok(lines) => {
+                    println!("-- vs baseline {}", base_path.display());
+                    for l in lines {
+                        println!("   {l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: opt benchmark regression\n{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -518,6 +603,9 @@ fn main() -> ExitCode {
     }
     if args[0] == "fuzz" {
         return ttda_bench::fuzzcmd::fuzz_main(&args[1..]);
+    }
+    if args[0] == "opt" {
+        return ttda_bench::optcmd::opt_main(&args[1..]);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()

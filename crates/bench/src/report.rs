@@ -1,17 +1,20 @@
 //! Machine-readable benchmark reports (`BENCH_matching.json`,
-//! `BENCH_istore.json`, `BENCH_service.json`, `BENCH_par.json`).
+//! `BENCH_istore.json`, `BENCH_service.json`, `BENCH_par.json`,
+//! `BENCH_opt.json`).
 //!
 //! The container has no serde, so this module hand-writes and
-//! hand-parses the four JSON shapes the repo tracks: per-target median
+//! hand-parses the five JSON shapes the repo tracks: per-target median
 //! ns/op from the quickbench suites plus a headline throughput
 //! comparison — tokens/sec through the waiting–matching store for the
 //! matching report, ops/sec through the I-structure store for the
 //! istore report, requests/sec through the service scheduler for the
-//! service report, and firings/sec through the emulator backends for
-//! the par report. The checked-in files at the repository root are the
+//! service report, firings/sec through the emulator backends for the
+//! par report, and the `O2`-over-`O0` instruction-firing ratio for the
+//! opt report. The checked-in files at the repository root are the
 //! baselines every later perf PR is judged against; [`check_regression`]
 //! / [`check_istore_regression`] / [`check_service_regression`] /
-//! [`check_par_regression`] are the gates CI's bench-smoke job runs.
+//! [`check_par_regression`] / [`check_opt_regression`] are the gates
+//! CI's bench-smoke job runs.
 //!
 //! Every headline gate is a *same-run ratio*: the packed/batched/
 //! decoordinated side divided by the reference driver measured in the
@@ -23,7 +26,9 @@
 //! human eyes; the gate recomputes the ratio from them.
 
 use crate::quickbench::BenchStat;
-use crate::suites::{IStoreThroughput, MatchingThroughput, ParThroughput, ServiceThroughput};
+use crate::suites::{
+    IStoreThroughput, MatchingThroughput, OptThroughput, ParThroughput, ServiceThroughput,
+};
 
 /// Identifies the matching-report shape; bumped if fields change meaning.
 pub const SCHEMA: &str = "ttda-bench/matching/v1";
@@ -36,6 +41,9 @@ pub const SERVICE_SCHEMA: &str = "ttda-bench/service/v1";
 
 /// Identifies the par-report shape.
 pub const PAR_SCHEMA: &str = "ttda-bench/par/v1";
+
+/// Identifies the opt-report shape.
+pub const OPT_SCHEMA: &str = "ttda-bench/opt/v1";
 
 /// Everything one `experiments quickbench` run measures for the
 /// matching/endtoend suites.
@@ -75,6 +83,16 @@ pub struct ParReport {
     pub targets: Vec<BenchStat>,
     /// The sequential-vs-parallel-backend comparison.
     pub throughput: ParThroughput,
+}
+
+/// Everything one `experiments quickbench` run measures for the opt
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptReport {
+    /// Per-target timing summaries, in run order.
+    pub targets: Vec<BenchStat>,
+    /// The O0-vs-O2 firing-count comparison (deterministic).
+    pub throughput: OptThroughput,
 }
 
 fn json_escape(s: &str) -> String {
@@ -358,6 +376,60 @@ impl ParReport {
     }
 }
 
+impl OptReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{OPT_SCHEMA}\",\n"));
+        render_targets(&mut out, &self.targets);
+        let th = &self.throughput;
+        out.push_str("  \"opt_throughput\": {\n");
+        out.push_str(&format!(
+            "    \"workloads\": [{}],\n",
+            th.workloads
+                .iter()
+                .map(|w| format!("\"{}\"", json_escape(w)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("    \"instrs_o0\": {},\n", th.instrs_o0));
+        out.push_str(&format!("    \"instrs_o2\": {},\n", th.instrs_o2));
+        out.push_str(&format!("    \"firings_o0\": {},\n", th.firings_o0));
+        out.push_str(&format!("    \"firings_o2\": {},\n", th.firings_o2));
+        out.push_str(&format!(
+            "    \"firing_ratio\": {:.4},\n",
+            th.firing_ratio()
+        ));
+        out.push_str(&format!("    \"static_ratio\": {:.4}\n", th.static_ratio()));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`OptReport::to_json`];
+    /// same shape-checking reader as [`BenchReport::parse`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn parse(json: &str) -> Result<ParsedOptReport, String> {
+        if !json.contains(&format!("\"schema\": \"{OPT_SCHEMA}\"")) {
+            return Err(format!("missing or wrong schema tag (want {OPT_SCHEMA})"));
+        }
+        let targets = parse_targets(json)?;
+        let firings_o0 = field(json, "\"firings_o0\": ")?;
+        let firings_o2 = field(json, "\"firings_o2\": ")?;
+        if firings_o0 <= 0.0 || firings_o2 <= 0.0 {
+            return Err("non-positive firing counts in opt_throughput".into());
+        }
+        Ok(ParsedOptReport {
+            targets,
+            firings_o0,
+            firings_o2,
+        })
+    }
+}
+
 fn field(json: &str, key: &str) -> Result<f64, String> {
     let pos = json.find(key).ok_or_else(|| format!("missing {key}"))?;
     number_at(&json[pos + key.len()..]).ok_or_else(|| format!("unparsable value for {key}"))
@@ -417,6 +489,25 @@ pub struct ParsedParReport {
     pub det1_firings_per_sec: f64,
     /// Relaxed backend at one worker.
     pub relaxed1_firings_per_sec: f64,
+}
+
+/// The comparison-relevant subset of a parsed opt report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedOptReport {
+    /// `(target label, median ns/op)` pairs.
+    pub targets: Vec<(String, f64)>,
+    /// Total firings across the workload set at `O0`.
+    pub firings_o0: f64,
+    /// Total firings across the workload set at `O2`.
+    pub firings_o2: f64,
+}
+
+impl ParsedOptReport {
+    /// The gated headline: `O2` firings over `O0` firings (lower is
+    /// better).
+    pub fn firing_ratio(&self) -> f64 {
+        self.firings_o2 / self.firings_o0
+    }
 }
 
 impl ParsedParReport {
@@ -584,6 +675,33 @@ pub fn check_par_regression(
     )
 }
 
+/// The opt twin of [`check_regression`]: gates the opt suite's medians
+/// and the workload set's firing ratio (`O2` firings over `O0` firings —
+/// *lower* is better) against `BENCH_opt.json`. Both sides of the
+/// headline are deterministic instruction counts, so unlike the timing
+/// gates the only way this ratio moves is a real change to the
+/// optimizer or the compiler's output; the shared tolerance merely
+/// allows intentional workload-set tweaks inside one PR.
+///
+/// # Errors
+///
+/// A description of every regression found.
+pub fn check_opt_regression(
+    current: &ParsedOptReport,
+    baseline: &ParsedOptReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    gate(
+        &current.targets,
+        &baseline.targets,
+        current.firing_ratio(),
+        baseline.firing_ratio(),
+        "firing_ratio (O2 firings over O0 firings)",
+        false,
+        tolerance,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,6 +789,58 @@ mod tests {
                 relaxed1_firings_per_sec: 5.5e5,
             },
         }
+    }
+
+    fn opt_report() -> OptReport {
+        OptReport {
+            targets: vec![BenchStat {
+                label: "opt/pipeline_o2_matmul_n4".into(),
+                mean_ns: 3.0e5,
+                median_ns: 2.9e5,
+                min_ns: 2.5e5,
+                samples: 40,
+            }],
+            throughput: OptThroughput {
+                workloads: vec!["trapezoid_n64".into(), "unroll8".into()],
+                instrs_o0: 500,
+                instrs_o2: 300,
+                firings_o0: 100_000,
+                firings_o2: 70_000,
+            },
+        }
+    }
+
+    #[test]
+    fn opt_roundtrip() {
+        let json = opt_report().to_json();
+        let parsed = OptReport::parse(&json).expect("well-formed");
+        assert_eq!(parsed.targets.len(), 1);
+        assert_eq!(parsed.targets[0].0, "opt/pipeline_o2_matmul_n4");
+        assert_eq!(parsed.firings_o0, 100_000.0);
+        assert_eq!(parsed.firings_o2, 70_000.0);
+        assert!((parsed.firing_ratio() - 0.7).abs() < 1e-9);
+        // No schema cross-parses into the opt reader or out of it.
+        assert!(BenchReport::parse(&json).is_err());
+        assert!(IStoreReport::parse(&json).is_err());
+        assert!(ServiceReport::parse(&json).is_err());
+        assert!(ParReport::parse(&json).is_err());
+        assert!(OptReport::parse(&report().to_json()).is_err());
+        assert!(OptReport::parse(&par_report().to_json()).is_err());
+        assert!(OptReport::parse("{}").is_err());
+    }
+
+    #[test]
+    fn opt_gate_trips_when_the_ratio_drifts_up() {
+        let base = OptReport::parse(&opt_report().to_json()).unwrap();
+        // The optimizer getting better (lower ratio) never fails.
+        let mut better = base.clone();
+        better.firings_o2 = 50_000.0;
+        assert!(check_opt_regression(&better, &base, 0.25).is_ok());
+        // The ratio drifting back toward 1.0 past tolerance trips it.
+        let mut worse = base.clone();
+        worse.firings_o2 = 95_000.0;
+        let err = check_opt_regression(&worse, &base, 0.25).unwrap_err();
+        assert!(err.contains("firing_ratio"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use ttda_core::{
     ActivityName, Ctx, Emulator, InstrId, Iter, Port, Program, RunMode, TimedConfig, TimedMachine,
     Value,
 };
+use ttda_idc::OptLevel;
 use ttda_machines::{CmStar, CmStarConfig};
 use ttda_mem::{Addr, EnumIStructure, FullEmptyMemory, IStructure, TryReadOutcome};
 use ttda_sim::{Arrivals, Cycle, SimRng};
@@ -774,6 +775,116 @@ pub fn par(c: &mut Criterion) {
     });
 }
 
+/// The optimizer comparison behind E22 and the `opt_throughput` block
+/// of `BENCH_opt.json`. Unlike the other suite headlines this one is
+/// not a timing at all: it is the ratio of *instruction firings* — a
+/// deterministic, host-independent count — needed to run the same
+/// workload set compiled at `O2` vs compiled at `O0`. The gated
+/// headline is `firing_ratio` (O2 firings over O0 firings, lower is
+/// better): a pass that silently stops firing-reducing shows up as the
+/// ratio drifting back toward 1.0, on any host, with zero noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptThroughput {
+    /// The workload labels summed into the counts, in order.
+    pub workloads: Vec<String>,
+    /// Total static instruction count across the set at `O0`.
+    pub instrs_o0: u64,
+    /// Total static instruction count across the set at `O2`.
+    pub instrs_o2: u64,
+    /// Total instruction firings across the set at `O0`.
+    pub firings_o0: u64,
+    /// Total instruction firings across the set at `O2`.
+    pub firings_o2: u64,
+}
+
+impl OptThroughput {
+    /// The gated headline: `O2` firings over `O0` firings (lower is
+    /// better; 1.0 means the optimizer did nothing).
+    pub fn firing_ratio(&self) -> f64 {
+        self.firings_o2 as f64 / self.firings_o0 as f64
+    }
+
+    /// The static twin: `O2` instruction count over `O0`'s
+    /// (informational).
+    pub fn static_ratio(&self) -> f64 {
+        self.instrs_o2 as f64 / self.instrs_o0 as f64
+    }
+}
+
+/// The workload set every optimizer measurement (this suite, E22, the
+/// `opt` subcommand) runs: `(label, source, inputs)`. Loop-heavy,
+/// call-heavy and I-structure-heavy programs plus the statically
+/// bounded `unroll8` loop the `O2` unroller eliminates outright.
+pub fn opt_workloads() -> Vec<(&'static str, String, Vec<Value>)> {
+    vec![
+        (
+            "trapezoid_n64",
+            id::trapezoid().to_string(),
+            vec![Value::Float(0.0), Value::Float(1.0), Value::Int(64)],
+        ),
+        ("fib_13", id::fib().to_string(), vec![Value::Int(13)]),
+        ("matmul_n4", id::matmul().to_string(), vec![Value::Int(4)]),
+        (
+            "request_dag_4x3",
+            id::request_dag(4, 3),
+            vec![Value::Int(10)],
+        ),
+        ("unroll8", id::unroll8().to_string(), vec![Value::Int(5)]),
+    ]
+}
+
+/// Compiles the [`opt_workloads`] set at `O0` and `O2`, runs both
+/// sides sequentially, asserts the outputs are identical, and sums the
+/// static and dynamic instruction counts. Fully deterministic — no
+/// timing, no reps.
+pub fn opt_throughput() -> OptThroughput {
+    let mut t = OptThroughput {
+        workloads: Vec::new(),
+        instrs_o0: 0,
+        instrs_o2: 0,
+        firings_o0: 0,
+        firings_o2: 0,
+    };
+    for (name, src, inputs) in opt_workloads() {
+        let p0 = ttda_idc::compile_optimized(&src, OptLevel::O0).expect("compiles");
+        let p2 = ttda_idc::compile_optimized(&src, OptLevel::O2).expect("compiles");
+        let r0 = Emulator::new(&p0).run(&inputs).expect("O0 runs");
+        let r2 = Emulator::new(&p2).run(&inputs).expect("O2 runs");
+        assert_eq!(r0.outputs, r2.outputs, "{name}: O2 changed the answer");
+        t.workloads.push(name.to_string());
+        t.instrs_o0 += p0.instr_count() as u64;
+        t.instrs_o2 += p2.instr_count() as u64;
+        t.firings_o0 += r0.instructions;
+        t.firings_o2 += r2.instructions;
+    }
+    t
+}
+
+/// The `opt` suite: the optimizer pipeline's own cost on the largest
+/// workload graph, plus emulator runs of the same program compiled at
+/// `O0` and `O2` (the wall-clock payoff whose deterministic twin is the
+/// gated firing ratio).
+pub fn opt(c: &mut Criterion) {
+    let matmul = ttda_idc::compile(id::matmul()).expect("matmul compiles");
+    c.bench_function("opt/pipeline_o2_matmul_n4", |b| {
+        b.iter(|| ttda_core::opt::optimize_at(black_box(&matmul), OptLevel::O2))
+    });
+    let trap = id::trapezoid();
+    let t_in = [Value::Float(0.0), Value::Float(1.0), Value::Int(64)];
+    let t0 = ttda_idc::compile_optimized(trap, OptLevel::O0).expect("compiles");
+    let t2 = ttda_idc::compile_optimized(trap, OptLevel::O2).expect("compiles");
+    c.bench_function("opt/o0_run_trapezoid_n64", |b| {
+        b.iter(|| Emulator::new(&t0).run(&t_in).unwrap())
+    });
+    c.bench_function("opt/o2_run_trapezoid_n64", |b| {
+        b.iter(|| Emulator::new(&t2).run(&t_in).unwrap())
+    });
+    let u2 = ttda_idc::compile_optimized(id::unroll8(), OptLevel::O2).expect("compiles");
+    c.bench_function("opt/o2_run_unroll8", |b| {
+        b.iter(|| Emulator::new(&u2).run(&[Value::Int(5)]).unwrap())
+    });
+}
+
 /// The `endtoend` suite: whole-machine Cm* relaxation runs (E2/E14).
 pub fn endtoend(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_cmstar_relaxation");
@@ -858,6 +969,20 @@ mod tests {
         assert!(t.relaxed1_firings_per_sec > 0.0);
         assert!(t.overhead_ratio_1w() > 0.0);
         assert!(t.relaxed_ratio_1w() > 0.0);
+    }
+
+    #[test]
+    fn opt_throughput_is_deterministic_and_reducing() {
+        let a = opt_throughput();
+        let b = opt_throughput();
+        // No timing anywhere in the measurement: two runs are equal.
+        assert_eq!(a, b);
+        assert_eq!(a.workloads.len(), 5);
+        assert!(a.firings_o0 > 0 && a.instrs_o0 > 0);
+        // The optimizer must actually shrink the set, statically and
+        // dynamically.
+        assert!(a.firing_ratio() < 1.0, "ratio {}", a.firing_ratio());
+        assert!(a.static_ratio() < 1.0, "ratio {}", a.static_ratio());
     }
 
     #[test]

@@ -100,14 +100,19 @@ pub fn compile(source: &str) -> Result<ttda_core::Program, CompileError> {
     compile_ast(&ast)
 }
 
-/// Compiles and then optimizes (identity forwarding + dead-code
-/// elimination; see [`ttda_core::opt`]). Same results as [`compile`],
-/// fewer instruction firings.
+/// Compiles and then optimizes at the given [`OptLevel`] (see
+/// [`ttda_core::opt`] for what each level runs). Same results as
+/// [`compile`], fewer instruction firings.
 ///
 /// # Errors
 ///
 /// Returns a [`CompileError`] describing the first problem found.
-pub fn compile_optimized(source: &str) -> Result<ttda_core::Program, CompileError> {
+pub fn compile_optimized(
+    source: &str,
+    level: OptLevel,
+) -> Result<ttda_core::Program, CompileError> {
     let p = compile(source)?;
-    Ok(ttda_core::opt::optimize(&p).0)
+    Ok(ttda_core::opt::optimize_at(&p, level).0)
 }
+
+pub use ttda_core::opt::OptLevel;

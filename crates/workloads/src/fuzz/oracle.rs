@@ -21,7 +21,8 @@
 //!   same outputs, or fail with the same error *variant* (its error
 //!   details may legitimately differ — e.g. stranded-token counts are
 //!   per-PE);
-//! - the optimizing compiler pipeline must preserve outputs;
+//! - the optimizing compiler pipeline must preserve outputs at every
+//!   [`OptLevel`](ttda_idc::OptLevel) (`O1` and `O2`);
 //! - when the family has a closed-form reference answer, the agreed
 //!   outputs must equal it (all engines agreeing on a wrong answer is
 //!   still a bug — in the compiler).
@@ -234,44 +235,49 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         }
     }
 
-    // Optimizing pipeline: outputs must survive graph rewrites.
-    let mut opt_programs = Vec::new();
-    for src in &sources {
-        match ttda_idc::compile_optimized(src) {
-            Ok(p) => opt_programs.push(p),
-            Err(e) => return Outcome::Divergence(format!("optimized compile failed: {e}")),
-        }
-    }
-    let (opt_program, opt_mains) = merge_tenants(&opt_programs);
-    let opt_jobs: Vec<Job> = opt_mains
-        .iter()
-        .zip(jobs.iter())
-        .map(|(m, job)| Job::new(*m, job.inputs.clone()).for_tenant(job.tenant))
-        .collect();
-    let opt = Emulator::new(&opt_program)
-        .with_fuel(DEFAULT_FUEL)
-        .with_mode(RunMode::Sequential)
-        .submit(&opt_jobs);
-    match (&seq, &opt) {
-        (Ok(s), Ok(o)) => {
-            if o.outputs != s.outputs {
-                return Outcome::Divergence(format!(
-                    "optimizer changed outputs:\n  plain: {:?}\n  opt:   {:?}",
-                    s.outputs, o.outputs
-                ));
+    // Optimizing pipeline: outputs must survive graph rewrites at every
+    // level (O1 = forwarding + DCE, O2 adds unrolling, folding and CSE).
+    for level in [ttda_idc::OptLevel::O1, ttda_idc::OptLevel::O2] {
+        let mut opt_programs = Vec::new();
+        for src in &sources {
+            match ttda_idc::compile_optimized(src, level) {
+                Ok(p) => opt_programs.push(p),
+                Err(e) => {
+                    return Outcome::Divergence(format!("{level} compile failed: {e}"));
+                }
             }
         }
-        (Err(se), Err(oe)) => {
-            if std::mem::discriminant(se) != std::mem::discriminant(oe) {
+        let (opt_program, opt_mains) = merge_tenants(&opt_programs);
+        let opt_jobs: Vec<Job> = opt_mains
+            .iter()
+            .zip(jobs.iter())
+            .map(|(m, job)| Job::new(*m, job.inputs.clone()).for_tenant(job.tenant))
+            .collect();
+        let opt = Emulator::new(&opt_program)
+            .with_fuel(DEFAULT_FUEL)
+            .with_mode(RunMode::Sequential)
+            .submit(&opt_jobs);
+        match (&seq, &opt) {
+            (Ok(s), Ok(o)) => {
+                if o.outputs != s.outputs {
+                    return Outcome::Divergence(format!(
+                        "optimizer at {level} changed outputs:\n  plain: {:?}\n  opt:   {:?}",
+                        s.outputs, o.outputs
+                    ));
+                }
+            }
+            (Err(se), Err(oe)) => {
+                if std::mem::discriminant(se) != std::mem::discriminant(oe) {
+                    return Outcome::Divergence(format!(
+                        "optimizer at {level} changed error kind: {se:?} vs {oe:?}"
+                    ));
+                }
+            }
+            _ => {
                 return Outcome::Divergence(format!(
-                    "optimizer changed error kind: {se:?} vs {oe:?}"
+                    "optimizer at {level} changed success/failure:\n  plain: {seq:?}\n  opt:   {opt:?}"
                 ));
             }
-        }
-        _ => {
-            return Outcome::Divergence(format!(
-                "optimizer changed success/failure:\n  plain: {seq:?}\n  opt:   {opt:?}"
-            ));
         }
     }
 

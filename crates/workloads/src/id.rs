@@ -133,6 +133,22 @@ pub fn wavefront() -> &'static str {
     "#
 }
 
+/// A statically-bounded accumulation loop: `s = n; for i in 1..=8 do
+/// s += i*i`. The trip count is a compile-time constant, so the `O2`
+/// optimizer can unroll the loop completely and elide the per-iteration
+/// tag machinery (`D`/`L`/`D⁻¹`, loop switches, the predicate) — this is
+/// the baseline workload for measuring that. Input: `n`; output:
+/// `n + 204`.
+pub fn unroll8() -> &'static str {
+    r#"
+    def main(n) =
+      (initial s = n
+       for i from 1 to 8 do
+         new s = s + i * i
+       return s);
+    "#
+}
+
 /// A request-DAG service graph: one request fans out to `fanout`
 /// branches, each a chain of `depth` data-dependent `work` steps, and
 /// the branch results join through an I-structure into one response
@@ -222,6 +238,24 @@ mod tests {
             run(matmul(), &[Value::Int(4)]),
             Value::Int(reference::matmul_checksum(4))
         );
+    }
+
+    #[test]
+    fn unroll8_matches_reference_at_every_opt_level() {
+        let p = ttda_idc::compile(unroll8()).expect("compile");
+        for level in ttda_core::opt::OptLevel::ALL {
+            let (q, stats) = ttda_core::opt::optimize_at(&p, level);
+            let v = Emulator::new(&q)
+                .run(&[Value::Int(5)])
+                .expect("run")
+                .outputs[&0];
+            assert_eq!(v, Value::Int(reference::unroll8(5)), "{level}");
+            if level == ttda_core::opt::OptLevel::O2 {
+                // The whole reason this workload exists: the trip count
+                // is static, so O2 must unroll it completely.
+                assert_eq!(stats.loops_unrolled, 1, "O2 failed to unroll");
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub fn matmul_checksum(n: i64) -> i64 {
     s
 }
 
+/// The answer of [`crate::id::unroll8`]: `n + Σ i²` for `i ∈ 1..=8`,
+/// i.e. `n + 204`.
+pub fn unroll8(n: i64) -> i64 {
+    n + (1..=8).map(|i| i * i).sum::<i64>()
+}
+
 /// The response checksum of [`crate::id::request_dag`]: `fanout`
 /// branches each iterate `x = 3x + 1` `depth` times from `r + i`, then
 /// join by summation.

@@ -79,24 +79,39 @@ fn compiled_expressions_match_reference() {
 }
 
 #[test]
-fn optimizer_preserves_random_expressions() {
-    check::forall_shrink(
-        "optimizer preserves random expressions",
-        gen_case,
-        shrink_case,
-        |c| {
+fn optimizer_preserves_random_expressions_at_every_level() {
+    // 256 random expression programs through the whole pass pipeline:
+    // every level must reproduce the unoptimized outputs exactly, and —
+    // because the expression family is loop-free, so no pass can ever
+    // *add* instructions — static instruction counts must be monotone
+    // non-increasing in the level (O0 ≥ O1 ≥ O2).
+    check::forall_shrink_cases(
+        "optimizer preserves random expressions at every level",
+        256,
+        &gen_case,
+        &shrink_case,
+        &|c| {
             let src = format!("def main(x, y) = {};", xexpr::to_src(&c.e));
             let p = ttda::idc::compile(&src).expect("compiles");
-            let (opt, _) = ttda::core::opt::optimize(&p);
             let want = Emulator::new(&p)
                 .run(&[Value::Int(c.x), Value::Int(c.y)])
                 .expect("runs")
                 .outputs[&0];
-            let got = Emulator::new(&opt)
-                .run(&[Value::Int(c.x), Value::Int(c.y)])
-                .expect("runs")
-                .outputs[&0];
-            assert_eq!(got, want);
+            let mut last_static = usize::MAX;
+            for level in ttda::core::opt::OptLevel::ALL {
+                let (opt, _) = ttda::core::opt::optimize_at(&p, level);
+                let got = Emulator::new(&opt)
+                    .run(&[Value::Int(c.x), Value::Int(c.y)])
+                    .expect("runs")
+                    .outputs[&0];
+                assert_eq!(got, want, "{level} changed the program output");
+                assert!(
+                    opt.instr_count() <= last_static,
+                    "{level} grew the program: {} > {last_static}",
+                    opt.instr_count()
+                );
+                last_static = opt.instr_count();
+            }
         },
     );
 }
