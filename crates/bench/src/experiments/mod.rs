@@ -10,6 +10,7 @@ mod matchperf;
 mod multiprog;
 mod optexp;
 mod scaling;
+mod schedexp;
 mod service_exp;
 mod survey;
 mod sync;
@@ -25,6 +26,7 @@ pub use matchperf::e17;
 pub use multiprog::e15;
 pub use optexp::e22;
 pub use scaling::{e16, e21};
+pub use schedexp::e23;
 pub use service_exp::e20;
 pub use survey::{e2, e3, e7, e8, e9};
 pub use sync::{e5, e6};
@@ -32,9 +34,9 @@ pub use testbed::e12;
 
 /// All experiment ids, in order (e* reproduce paper claims, a* are
 /// design ablations).
-pub const EXPERIMENT_IDS: [&str; 27] = [
+pub const EXPERIMENT_IDS: [&str; 28] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "a1", "a2", "a3", "a4", "a5",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "a1", "a2", "a3", "a4", "a5",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -66,6 +68,7 @@ pub fn run_experiment(id: &str) -> Result<String, String> {
         "e20" => e20(),
         "e21" => e21(),
         "e22" => e22(),
+        "e23" => e23(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),

@@ -36,6 +36,7 @@
 //! | e20 | service mode: open-loop offered load vs sojourn latency knee (§2.3) |
 //! | e21 | sequential-vs-parallel backend throughput and overhead ratios (§3) |
 //! | e22 | optimizer pipeline: firings and static size per workload per `OptLevel` (§2.2) |
+//! | e23 | criticality-aware token scheduling vs FIFO: timed makespans per workload (§2.3) |
 //! | a1–a5 | design ablations: mapping function, matching-store capacity, I-structure placement, k-bounded loops, graph optimization |
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -9,7 +9,7 @@
 //! cargo run --release -p ttda-bench --bin experiments -- trace all --out target/traces
 //! cargo run --release -p ttda-bench --bin experiments -- all --normalize
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --out BENCH_matching.json
-//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json --par-check BENCH_par.json --opt-check BENCH_opt.json
+//! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --istore-check BENCH_istore.json --service-check BENCH_service.json --par-check BENCH_par.json --opt-check BENCH_opt.json --sched-check BENCH_sched.json
 //! cargo run --release -p ttda-bench --bin experiments -- opt --out target/opt
 //! cargo run --release -p ttda-bench --bin experiments -- quickbench --check BENCH_matching.json --rebaseline
 //! cargo run --release -p ttda-bench --bin experiments -- serve --load 1.5 --requests 64
@@ -29,7 +29,8 @@ use std::process::ExitCode;
 use ttda_bench::quickbench::Criterion;
 use ttda_bench::report::{
     check_istore_regression, check_opt_regression, check_par_regression, check_regression,
-    check_service_regression, BenchReport, IStoreReport, OptReport, ParReport, ServiceReport,
+    check_sched_regression, check_service_regression, BenchReport, IStoreReport, OptReport,
+    ParReport, SchedReport, ServiceReport,
 };
 use ttda_bench::tracecmd::{run_trace, TRACE_SCENARIOS};
 use ttda_bench::{run_experiment, suites, EXPERIMENT_IDS};
@@ -38,11 +39,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... | all [--threads N] [--normalize]\n       ids: {}\n\
          \n       experiments trace <scenario>... | all [--out DIR] [--threads N]\n       scenarios: {}\n\
-         \n       experiments quickbench [--suites matching,istore,service,par,opt,endtoend] [--out FILE] [--check BASELINE]\n\
+         \n       experiments quickbench [--suites matching,istore,service,par,opt,sched,endtoend] [--out FILE] [--check BASELINE]\n\
          \n                              [--istore-out FILE] [--istore-check BASELINE]\n\
          \n                              [--service-out FILE] [--service-check BASELINE]\n\
          \n                              [--par-out FILE] [--par-check BASELINE]\n\
          \n                              [--opt-out FILE] [--opt-check BASELINE] [--rebaseline]\n\
+         \n                              [--sched-out FILE] [--sched-check BASELINE]\n\
          \n       experiments opt [--out DIR] [--workloads W,X]\n\
          \n       experiments serve [--load L] [--requests N] [--seed S] [--quota Q] [--high-water H]\n\
          \n       experiments fuzz [--seed S] [--iters N] [--budget-ms MS] [--families F,G] [--out FILE]\n\
@@ -72,24 +74,28 @@ fn load_baseline<P>(
 
 /// `quickbench`: runs the named suites through the quickbench harness,
 /// writes the machine-readable `BENCH_matching.json` and (when the
-/// `istore` / `service` / `par` suites run) `BENCH_istore.json` /
-/// `BENCH_service.json` / `BENCH_par.json` reports, and — with
-/// `--check` / `--istore-check` / `--service-check` / `--par-check` —
-/// gates against baseline reports (>25% median ns/op growth on any
-/// shared target, or the same-run headline ratio moving the wrong way
-/// beyond the same factor, fails the run). `--rebaseline` rewrites each
-/// given baseline from the current run instead of gating against it.
+/// `istore` / `service` / `par` / `opt` / `sched` suites run)
+/// `BENCH_istore.json` / `BENCH_service.json` / `BENCH_par.json` /
+/// `BENCH_opt.json` / `BENCH_sched.json` reports, and — with `--check`
+/// / `--istore-check` / `--service-check` / `--par-check` /
+/// `--opt-check` / `--sched-check` — gates against baseline reports
+/// (>25% median ns/op growth on any shared target, or the same-run
+/// headline ratio moving the wrong way beyond the same factor, fails
+/// the run). `--rebaseline` rewrites each given baseline from the
+/// current run instead of gating against it.
 fn quickbench_main(args: &[String]) -> ExitCode {
     let mut out = PathBuf::from("BENCH_matching.json");
     let mut istore_out = PathBuf::from("BENCH_istore.json");
     let mut service_out = PathBuf::from("BENCH_service.json");
     let mut par_out = PathBuf::from("BENCH_par.json");
     let mut opt_out = PathBuf::from("BENCH_opt.json");
+    let mut sched_out = PathBuf::from("BENCH_sched.json");
     let mut check: Option<PathBuf> = None;
     let mut istore_check: Option<PathBuf> = None;
     let mut service_check: Option<PathBuf> = None;
     let mut par_check: Option<PathBuf> = None;
     let mut opt_check: Option<PathBuf> = None;
+    let mut sched_check: Option<PathBuf> = None;
     let mut rebaseline = false;
     let mut which = vec![
         "matching".to_string(),
@@ -97,6 +103,7 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         "service".to_string(),
         "par".to_string(),
         "opt".to_string(),
+        "sched".to_string(),
         "endtoend".to_string(),
     ];
     let mut it = args.iter();
@@ -142,6 +149,14 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 Some(p) => opt_check = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--sched-out" => match it.next() {
+                Some(p) => sched_out = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--sched-check" => match it.next() {
+                Some(p) => sched_check = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             "--rebaseline" => rebaseline = true,
             "--suites" => match it.next() {
                 Some(list) => which = list.split(',').map(str::to_string).collect(),
@@ -155,6 +170,7 @@ fn quickbench_main(args: &[String]) -> ExitCode {
     let run_service = which.iter().any(|s| s == "service");
     let run_par = which.iter().any(|s| s == "par");
     let run_opt = which.iter().any(|s| s == "opt");
+    let run_sched = which.iter().any(|s| s == "sched");
     // The throughput comparisons run first, in a still-cold process —
     // the state every real emulator run starts from. Window 32768: a
     // saturated matching section holds tens of thousands of parked
@@ -239,11 +255,26 @@ fn quickbench_main(args: &[String]) -> ExitCode {
         );
         t
     });
+    // The scheduling comparison: total timed-machine makespan across
+    // the workload set under criticality-aware vs FIFO token order —
+    // deterministic cycle counts, so the gated ratio is noise-free.
+    let sched_throughput = run_sched.then(|| {
+        println!("-- fifo-vs-crit timed makespans (E23 kernel)");
+        let t = suites::sched_throughput();
+        println!(
+            "fifo {:>10} cycles   crit {:>10} cycles   makespan ratio {:.4}",
+            t.fifo_cycles,
+            t.crit_cycles,
+            t.makespan_ratio()
+        );
+        t
+    });
     let mut c = Criterion::default();
     let mut ic = Criterion::default();
     let mut sc = Criterion::default();
     let mut pc = Criterion::default();
     let mut oc = Criterion::default();
+    let mut shc = Criterion::default();
     for suite in &which {
         println!("-- suite: {suite}");
         match suite.as_str() {
@@ -252,10 +283,11 @@ fn quickbench_main(args: &[String]) -> ExitCode {
             "service" => suites::service(&mut sc),
             "par" => suites::par(&mut pc),
             "opt" => suites::opt(&mut oc),
+            "sched" => suites::sched(&mut shc),
             "endtoend" => suites::endtoend(&mut c),
             other => {
                 eprintln!(
-                    "error: unknown suite `{other}` (matching, istore, service, par, opt, endtoend)"
+                    "error: unknown suite `{other}` (matching, istore, service, par, opt, sched, endtoend)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -374,6 +406,29 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {}", opt_out.display());
+            Some((parsed, json))
+        }
+        None => None,
+    };
+    let sched_current = match sched_throughput {
+        Some(throughput) => {
+            let report = SchedReport {
+                targets: shc.into_stats(),
+                throughput,
+            };
+            let json = report.to_json();
+            let parsed = match SchedReport::parse(&json) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: generated sched report is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&sched_out, &json) {
+                eprintln!("error: cannot write {}: {e}", sched_out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", sched_out.display());
             Some((parsed, json))
         }
         None => None,
@@ -524,6 +579,34 @@ fn quickbench_main(args: &[String]) -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: opt benchmark regression\n{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(base_path) = sched_check {
+        let Some((current, cur_json)) = sched_current else {
+            eprintln!("error: --sched-check given but the sched suite was not selected");
+            return ExitCode::FAILURE;
+        };
+        if rebaseline {
+            if let Err(code) = rebaseline_to(&base_path, &cur_json) {
+                return code;
+            }
+        } else {
+            let baseline = match load_baseline(&base_path, SchedReport::parse) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            match check_sched_regression(&current, &baseline, 0.25) {
+                Ok(lines) => {
+                    println!("-- vs baseline {}", base_path.display());
+                    for l in lines {
+                        println!("   {l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: sched benchmark regression\n{e}");
                     return ExitCode::FAILURE;
                 }
             }

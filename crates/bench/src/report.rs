@@ -1,20 +1,21 @@
 //! Machine-readable benchmark reports (`BENCH_matching.json`,
 //! `BENCH_istore.json`, `BENCH_service.json`, `BENCH_par.json`,
-//! `BENCH_opt.json`).
+//! `BENCH_opt.json`, `BENCH_sched.json`).
 //!
 //! The container has no serde, so this module hand-writes and
-//! hand-parses the five JSON shapes the repo tracks: per-target median
+//! hand-parses the six JSON shapes the repo tracks: per-target median
 //! ns/op from the quickbench suites plus a headline throughput
 //! comparison — tokens/sec through the waiting–matching store for the
 //! matching report, ops/sec through the I-structure store for the
 //! istore report, requests/sec through the service scheduler for the
 //! service report, firings/sec through the emulator backends for the
-//! par report, and the `O2`-over-`O0` instruction-firing ratio for the
-//! opt report. The checked-in files at the repository root are the
+//! par report, the `O2`-over-`O0` instruction-firing ratio for the
+//! opt report, and the crit-over-FIFO timed-makespan ratio for the
+//! sched report. The checked-in files at the repository root are the
 //! baselines every later perf PR is judged against; [`check_regression`]
 //! / [`check_istore_regression`] / [`check_service_regression`] /
-//! [`check_par_regression`] / [`check_opt_regression`] are the gates
-//! CI's bench-smoke job runs.
+//! [`check_par_regression`] / [`check_opt_regression`] /
+//! [`check_sched_regression`] are the gates CI's bench-smoke job runs.
 //!
 //! Every headline gate is a *same-run ratio*: the packed/batched/
 //! decoordinated side divided by the reference driver measured in the
@@ -27,7 +28,8 @@
 
 use crate::quickbench::BenchStat;
 use crate::suites::{
-    IStoreThroughput, MatchingThroughput, OptThroughput, ParThroughput, ServiceThroughput,
+    IStoreThroughput, MatchingThroughput, OptThroughput, ParThroughput, SchedThroughput,
+    ServiceThroughput,
 };
 
 /// Identifies the matching-report shape; bumped if fields change meaning.
@@ -44,6 +46,9 @@ pub const PAR_SCHEMA: &str = "ttda-bench/par/v1";
 
 /// Identifies the opt-report shape.
 pub const OPT_SCHEMA: &str = "ttda-bench/opt/v1";
+
+/// Identifies the sched-report shape.
+pub const SCHED_SCHEMA: &str = "ttda-bench/sched/v1";
 
 /// Everything one `experiments quickbench` run measures for the
 /// matching/endtoend suites.
@@ -93,6 +98,16 @@ pub struct OptReport {
     pub targets: Vec<BenchStat>,
     /// The O0-vs-O2 firing-count comparison (deterministic).
     pub throughput: OptThroughput,
+}
+
+/// Everything one `experiments quickbench` run measures for the sched
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedReport {
+    /// Per-target timing summaries, in run order.
+    pub targets: Vec<BenchStat>,
+    /// The FIFO-vs-criticality makespan comparison (deterministic).
+    pub throughput: SchedThroughput,
 }
 
 fn json_escape(s: &str) -> String {
@@ -430,6 +445,57 @@ impl OptReport {
     }
 }
 
+impl SchedReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHED_SCHEMA}\",\n"));
+        render_targets(&mut out, &self.targets);
+        let th = &self.throughput;
+        out.push_str("  \"sched_throughput\": {\n");
+        out.push_str(&format!(
+            "    \"workloads\": [{}],\n",
+            th.workloads
+                .iter()
+                .map(|w| format!("\"{}\"", json_escape(w)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("    \"fifo_cycles\": {},\n", th.fifo_cycles));
+        out.push_str(&format!("    \"crit_cycles\": {},\n", th.crit_cycles));
+        out.push_str(&format!(
+            "    \"makespan_ratio\": {:.4}\n",
+            th.makespan_ratio()
+        ));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`SchedReport::to_json`];
+    /// same shape-checking reader as [`BenchReport::parse`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation found.
+    pub fn parse(json: &str) -> Result<ParsedSchedReport, String> {
+        if !json.contains(&format!("\"schema\": \"{SCHED_SCHEMA}\"")) {
+            return Err(format!("missing or wrong schema tag (want {SCHED_SCHEMA})"));
+        }
+        let targets = parse_targets(json)?;
+        let fifo_cycles = field(json, "\"fifo_cycles\": ")?;
+        let crit_cycles = field(json, "\"crit_cycles\": ")?;
+        if fifo_cycles <= 0.0 || crit_cycles <= 0.0 {
+            return Err("non-positive cycle counts in sched_throughput".into());
+        }
+        Ok(ParsedSchedReport {
+            targets,
+            fifo_cycles,
+            crit_cycles,
+        })
+    }
+}
+
 fn field(json: &str, key: &str) -> Result<f64, String> {
     let pos = json.find(key).ok_or_else(|| format!("missing {key}"))?;
     number_at(&json[pos + key.len()..]).ok_or_else(|| format!("unparsable value for {key}"))
@@ -507,6 +573,25 @@ impl ParsedOptReport {
     /// better).
     pub fn firing_ratio(&self) -> f64 {
         self.firings_o2 / self.firings_o0
+    }
+}
+
+/// The comparison-relevant subset of a parsed sched report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSchedReport {
+    /// `(target label, median ns/op)` pairs.
+    pub targets: Vec<(String, f64)>,
+    /// Total timed-machine cycles across the workload set under FIFO.
+    pub fifo_cycles: f64,
+    /// Total timed-machine cycles across the workload set under `Crit`.
+    pub crit_cycles: f64,
+}
+
+impl ParsedSchedReport {
+    /// The gated headline: `Crit` cycles over FIFO cycles (lower is
+    /// better).
+    pub fn makespan_ratio(&self) -> f64 {
+        self.crit_cycles / self.fifo_cycles
     }
 }
 
@@ -702,6 +787,34 @@ pub fn check_opt_regression(
     )
 }
 
+/// The sched twin of [`check_regression`]: gates the sched suite's
+/// medians and the workload set's makespan ratio (`Crit` cycles over
+/// FIFO cycles — *lower* is better) against `BENCH_sched.json`. Like
+/// the opt gate, both sides of the headline are deterministic
+/// discrete-event cycle counts, so the only way this ratio moves is a
+/// real change to the scheduler, the criticality analysis, or the
+/// compiler's output; the shared tolerance merely allows intentional
+/// workload-set tweaks inside one PR.
+///
+/// # Errors
+///
+/// A description of every regression found.
+pub fn check_sched_regression(
+    current: &ParsedSchedReport,
+    baseline: &ParsedSchedReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    gate(
+        &current.targets,
+        &baseline.targets,
+        current.makespan_ratio(),
+        baseline.makespan_ratio(),
+        "makespan_ratio (crit cycles over fifo cycles)",
+        false,
+        tolerance,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,6 +921,57 @@ mod tests {
                 firings_o2: 70_000,
             },
         }
+    }
+
+    fn sched_report() -> SchedReport {
+        SchedReport {
+            targets: vec![BenchStat {
+                label: "sched/timed_crit_trapezoid_n64_2pe".into(),
+                mean_ns: 2.0e6,
+                median_ns: 1.9e6,
+                min_ns: 1.7e6,
+                samples: 30,
+            }],
+            throughput: SchedThroughput {
+                workloads: vec!["trapezoid_n64".into(), "fib_13".into()],
+                fifo_cycles: 20_000,
+                crit_cycles: 18_000,
+            },
+        }
+    }
+
+    #[test]
+    fn sched_roundtrip() {
+        let json = sched_report().to_json();
+        let parsed = SchedReport::parse(&json).expect("well-formed");
+        assert_eq!(parsed.targets.len(), 1);
+        assert_eq!(parsed.targets[0].0, "sched/timed_crit_trapezoid_n64_2pe");
+        assert_eq!(parsed.fifo_cycles, 20_000.0);
+        assert_eq!(parsed.crit_cycles, 18_000.0);
+        assert!((parsed.makespan_ratio() - 0.9).abs() < 1e-9);
+        // No schema cross-parses into the sched reader or out of it.
+        assert!(BenchReport::parse(&json).is_err());
+        assert!(IStoreReport::parse(&json).is_err());
+        assert!(ServiceReport::parse(&json).is_err());
+        assert!(ParReport::parse(&json).is_err());
+        assert!(OptReport::parse(&json).is_err());
+        assert!(SchedReport::parse(&report().to_json()).is_err());
+        assert!(SchedReport::parse(&opt_report().to_json()).is_err());
+        assert!(SchedReport::parse("{}").is_err());
+    }
+
+    #[test]
+    fn sched_gate_trips_when_the_ratio_drifts_up() {
+        let base = SchedReport::parse(&sched_report().to_json()).unwrap();
+        // The scheduler getting better (lower ratio) never fails.
+        let mut better = base.clone();
+        better.crit_cycles = 15_000.0;
+        assert!(check_sched_regression(&better, &base, 0.25).is_ok());
+        // The ratio drifting back toward 1.0 past tolerance trips it.
+        let mut worse = base.clone();
+        worse.crit_cycles = 24_000.0;
+        let err = check_sched_regression(&worse, &base, 0.25).unwrap_err();
+        assert!(err.contains("makespan_ratio"), "{err}");
     }
 
     #[test]

@@ -10,8 +10,8 @@ use std::time::Instant;
 use ttda_core::matching::{Absorbed, MatchingStore};
 use ttda_core::CodeBlockId;
 use ttda_core::{
-    ActivityName, Ctx, Emulator, InstrId, Iter, Port, Program, RunMode, TimedConfig, TimedMachine,
-    Value,
+    ActivityName, Ctx, Emulator, InstrId, Iter, Port, Program, RunMode, SchedPolicy, TimedConfig,
+    TimedMachine, Value,
 };
 use ttda_idc::OptLevel;
 use ttda_machines::{CmStar, CmStarConfig};
@@ -885,6 +885,110 @@ pub fn opt(c: &mut Criterion) {
     });
 }
 
+/// The scheduling comparison behind E23 and the `sched_throughput`
+/// block of `BENCH_sched.json`. Like the opt headline this is not a
+/// timing: it is the ratio of timed-machine *makespans* — deterministic
+/// cycle counts from the discrete-event model — for the same workload
+/// set run under criticality-aware scheduling vs FIFO. The gated
+/// headline is `makespan_ratio` (crit cycles over FIFO cycles, lower is
+/// better): criticality scheduling silently losing its win shows up as
+/// the ratio drifting back toward 1.0, on any host, with zero noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedThroughput {
+    /// The workload labels summed into the counts, in order.
+    pub workloads: Vec<String>,
+    /// Total timed-machine cycles across the set under FIFO.
+    pub fifo_cycles: u64,
+    /// Total timed-machine cycles across the set under `Crit`.
+    pub crit_cycles: u64,
+}
+
+impl SchedThroughput {
+    /// The gated headline: `Crit` cycles over FIFO cycles (lower is
+    /// better; 1.0 means criticality scheduling bought nothing).
+    pub fn makespan_ratio(&self) -> f64 {
+        self.crit_cycles as f64 / self.fifo_cycles as f64
+    }
+}
+
+/// The machine configuration every scheduling measurement (this suite,
+/// E23, the gate) runs: 2 PEs joined by an ideal 4-cycle network. Two
+/// PEs is where firing order matters most — with many PEs nearly every
+/// ready token issues the same cycle regardless of queue order, so the
+/// policies converge; at 2 the queue is contended every cycle and the
+/// criticality win is largest and most stable.
+pub fn sched_machine(p: Program, sched: SchedPolicy) -> TimedMachine<ttda_net::Ideal> {
+    let cfg = TimedConfig {
+        sched,
+        ..TimedConfig::default()
+    };
+    TimedMachine::ideal(p, 2, Cycle(4), cfg)
+}
+
+/// Compiles the [`opt_workloads`] set at `O2`, runs each through the
+/// [`sched_machine`] under FIFO and under `Crit`, asserts both orders
+/// compute identical outputs, and sums the makespans. Fully
+/// deterministic — no timing, no reps.
+pub fn sched_throughput() -> SchedThroughput {
+    let mut t = SchedThroughput {
+        workloads: Vec::new(),
+        fifo_cycles: 0,
+        crit_cycles: 0,
+    };
+    for (name, src, inputs) in opt_workloads() {
+        let p = ttda_idc::compile_optimized(&src, OptLevel::O2).expect("compiles");
+        let run = |sched: SchedPolicy| {
+            sched_machine(p.clone(), sched)
+                .run(&inputs)
+                .expect("workload runs")
+        };
+        let fifo = run(SchedPolicy::Fifo);
+        let crit = run(SchedPolicy::Crit);
+        assert_eq!(
+            fifo.outputs, crit.outputs,
+            "{name}: scheduling changed the answer"
+        );
+        t.workloads.push(name.to_string());
+        t.fifo_cycles += fifo.stats.cycles.0;
+        t.crit_cycles += crit.stats.cycles.0;
+    }
+    t
+}
+
+/// The `sched` suite: the wall-clock cost of both policies on the timed
+/// machine (the BucketQueue's own overhead is the fifo-vs-crit delta)
+/// and on the emulator's SoA wave loop, whose deterministic twin is the
+/// gated makespan ratio.
+pub fn sched(c: &mut Criterion) {
+    let trap = ttda_idc::compile_optimized(id::trapezoid(), OptLevel::O2).expect("compiles");
+    let t_in = [Value::Float(0.0), Value::Float(1.0), Value::Int(64)];
+    c.bench_function("sched/timed_fifo_trapezoid_n64_2pe", |b| {
+        b.iter(|| {
+            sched_machine(trap.clone(), SchedPolicy::Fifo)
+                .run(&t_in)
+                .unwrap()
+        })
+    });
+    c.bench_function("sched/timed_crit_trapezoid_n64_2pe", |b| {
+        b.iter(|| {
+            sched_machine(trap.clone(), SchedPolicy::Crit)
+                .run(&t_in)
+                .unwrap()
+        })
+    });
+    c.bench_function("sched/emu_fifo_trapezoid_n64", |b| {
+        b.iter(|| Emulator::new(&trap).run(&t_in).unwrap())
+    });
+    c.bench_function("sched/emu_crit_trapezoid_n64", |b| {
+        b.iter(|| {
+            Emulator::new(&trap)
+                .with_sched(SchedPolicy::Crit)
+                .run(&t_in)
+                .unwrap()
+        })
+    });
+}
+
 /// The `endtoend` suite: whole-machine Cm* relaxation runs (E2/E14).
 pub fn endtoend(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_cmstar_relaxation");
@@ -983,6 +1087,18 @@ mod tests {
         // dynamically.
         assert!(a.firing_ratio() < 1.0, "ratio {}", a.firing_ratio());
         assert!(a.static_ratio() < 1.0, "ratio {}", a.static_ratio());
+    }
+
+    #[test]
+    fn sched_throughput_is_deterministic_and_reducing() {
+        let a = sched_throughput();
+        let b = sched_throughput();
+        // No timing anywhere in the measurement: two runs are equal.
+        assert_eq!(a, b);
+        assert_eq!(a.workloads.len(), 5);
+        assert!(a.fifo_cycles > 0 && a.crit_cycles > 0);
+        // Criticality scheduling must actually shorten the schedule.
+        assert!(a.makespan_ratio() < 1.0, "ratio {}", a.makespan_ratio());
     }
 
     #[test]

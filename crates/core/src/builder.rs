@@ -146,6 +146,7 @@ impl GraphBuilder {
                 name: main_name.to_string(),
                 instrs: Vec::new(),
                 params: Vec::new(),
+                criticality: Vec::new(),
             }],
             current: 0,
             next_loop_id: 0,
@@ -160,6 +161,7 @@ impl GraphBuilder {
             name: name.to_string(),
             instrs: Vec::new(),
             params: Vec::new(),
+            criticality: Vec::new(),
         });
         self.current = self.blocks.len() - 1;
         CodeBlockId((self.blocks.len() - 1) as u32)

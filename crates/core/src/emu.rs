@@ -19,8 +19,10 @@ use crate::context::ContextManager;
 use crate::exec::{execute, StructAction};
 use crate::graph::{Instruction, Program};
 use crate::matching::{MatchingStore, Operands};
+use crate::sched::{env_sched, CritMap, SchedPolicy};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
+use crate::wave::Wave;
 use crate::ExecError;
 
 /// Everything a finished emulation run reports.
@@ -165,6 +167,7 @@ pub struct Emulator<'p> {
     loop_bound: Option<u32>,
     threads: usize,
     mode: Option<RunMode>,
+    sched: SchedPolicy,
     instructions: u64,
     alu_ops: u64,
     peak_matching: usize,
@@ -203,6 +206,7 @@ impl<'p> Emulator<'p> {
             loop_bound: None,
             threads: env_threads(),
             mode: env_relaxed().then_some(RunMode::Relaxed),
+            sched: env_sched(),
             instructions: 0,
             alu_ops: 0,
             peak_matching: 0,
@@ -259,6 +263,25 @@ impl<'p> Emulator<'p> {
     /// decoordinated backend.
     pub fn relaxed(self) -> Self {
         self.with_mode(RunMode::Relaxed)
+    }
+
+    /// Selects the token scheduling policy (see [`SchedPolicy`]):
+    /// [`SchedPolicy::Fifo`] (the default) fires each wave in arrival
+    /// order, [`SchedPolicy::Crit`] fires greatest remaining
+    /// critical-path height first, arrival order on ties. The default
+    /// can also be set process-wide with `TTDA_SCHED=fifo|crit`, read at
+    /// [`Emulator::new`].
+    ///
+    /// Scheduling never changes program outputs (dataflow confluence),
+    /// and under [`RunMode::Deterministic`] the full [`EmuResult`] is
+    /// still bit-identical at every thread count for a fixed policy —
+    /// the wave is stably reordered *before* wave indices are assigned,
+    /// so the index-ordered merge is untouched. What a policy *does*
+    /// change is intra-wave firing order, which the timed machine turns
+    /// into makespan (the `sched` bench suite and E23 measure it).
+    pub fn with_sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
+        self
     }
 
     /// The resolved worker count: `0` → available cores.
@@ -351,7 +374,14 @@ impl<'p> Emulator<'p> {
         match mode {
             RunMode::Sequential => {}
             RunMode::Deterministic => {
-                return crate::par::submit(self.program, jobs, threads, fuel, self.sink.clone());
+                return crate::par::submit(
+                    self.program,
+                    jobs,
+                    threads,
+                    fuel,
+                    self.sched,
+                    self.sink.clone(),
+                );
             }
             RunMode::Relaxed => {
                 return crate::relaxed::submit(
@@ -359,11 +389,14 @@ impl<'p> Emulator<'p> {
                     jobs,
                     threads,
                     fuel,
+                    self.sched,
                     self.sink.clone(),
                 );
             }
         }
-        let mut wave: Vec<Token> = Vec::new();
+        // Built once per run; FIFO never consults it.
+        let crit = (self.sched == SchedPolicy::Crit).then(|| CritMap::of(self.program));
+        let mut wave = Wave::new();
         for job in jobs {
             let (block_id, inputs) = (&job.block, &job.inputs);
             let block = self.program.block(*block_id).ok_or(ExecError::BadTarget {
@@ -377,7 +410,7 @@ impl<'p> Emulator<'p> {
             }
             let root = self.ctx.new_root(*block_id);
             for (k, v) in inputs.iter().enumerate() {
-                wave.push(Token::new(
+                wave.push(
                     ActivityName {
                         u: root,
                         c: *block_id,
@@ -386,7 +419,7 @@ impl<'p> Emulator<'p> {
                     },
                     Port(0),
                     *v,
-                ));
+                );
                 self.trace(TraceEvent::TokenEmit { pe: 0 });
             }
         }
@@ -408,7 +441,10 @@ impl<'p> Emulator<'p> {
                         .and_modify(|m| *m = (*m).min(tag.i.0))
                         .or_insert(tag.i.0);
                 };
-                for t in wave.iter().chain(held.iter()) {
+                for tag in wave.tags() {
+                    note(tag);
+                }
+                for t in held.iter() {
                     note(&t.tag);
                 }
                 self.waiting.for_each_key(|tag| note(&tag));
@@ -417,27 +453,18 @@ impl<'p> Emulator<'p> {
                 for st in &self.structures {
                     st.for_each_deferred(|(tag, _)| note(tag));
                 }
-                let eligible = |t: &Token| t.tag.i.0 <= oldest[&t.tag.u].saturating_add(k);
-                let mut newly_held: Vec<Token> = Vec::new();
-                wave.retain(|t| {
-                    if eligible(t) {
-                        true
-                    } else {
-                        newly_held.push(t.clone());
-                        false
-                    }
-                });
+                let eligible = |tag: &ActivityName| tag.i.0 <= oldest[&tag.u].saturating_add(k);
+                wave.retain_or_spill(&eligible, &mut held);
                 let mut released: Vec<Token> = Vec::new();
                 held.retain(|t| {
-                    if eligible(t) {
+                    if eligible(&t.tag) {
                         released.push(t.clone());
                         false
                     } else {
                         true
                     }
                 });
-                wave.extend(released);
-                held.extend(newly_held);
+                wave.extend_tokens(released);
                 if wave.is_empty() {
                     if held.is_empty() {
                         break;
@@ -454,14 +481,23 @@ impl<'p> Emulator<'p> {
                             true
                         }
                     });
-                    wave = released;
+                    wave.extend_tokens(released);
                 }
             }
 
-            let mut next = Vec::new();
+            // Criticality scheduling: fire the longest-remaining-path
+            // tokens first. The wave *partition* is untouched (same
+            // tokens, same wave), only the intra-wave order moves —
+            // which is what decides transient matching occupancy and
+            // the immediate-vs-deferred read split.
+            if let Some(crit) = &crit {
+                wave.sort_by_criticality(crit);
+            }
+
+            let mut next = Wave::new();
             let mut fired = 0usize;
-            for token in wave {
-                if let Some(operands) = self.absorb(token)? {
+            for i in 0..wave.len() {
+                if let Some(operands) = self.absorb(wave.token(i))? {
                     fired += 1;
                     self.fire(operands.0, operands.1, &mut next)?;
                     if self.instructions > fuel {
@@ -547,12 +583,7 @@ impl<'p> Emulator<'p> {
     /// The instruction-fetch + ALU + output sections: executes one
     /// enabled instruction via the shared semantics in [`crate::exec`],
     /// applying I-structure actions inline.
-    fn fire(
-        &mut self,
-        tag: ActivityName,
-        ops: Operands,
-        out: &mut Vec<Token>,
-    ) -> Result<(), ExecError> {
+    fn fire(&mut self, tag: ActivityName, ops: Operands, out: &mut Wave) -> Result<(), ExecError> {
         let instr = self.lookup(tag)?.clone();
         self.instructions += 1;
         let eff = execute(self.program, &mut self.ctx, tag, &instr, &ops)?;
@@ -575,7 +606,7 @@ impl<'p> Emulator<'p> {
             alu: eff.is_alu,
             busy: 0,
         });
-        out.extend(eff.tokens);
+        out.extend_tokens(eff.tokens);
         if let Some((slot, v)) = eff.output {
             self.outputs.insert(slot, v);
         }
@@ -589,7 +620,7 @@ impl<'p> Emulator<'p> {
                     len: len as u32,
                 });
                 for (rtag, port) in dests {
-                    out.push(Token::new(rtag, port, p));
+                    out.push(rtag, port, p);
                 }
             }
             Some(StructAction::Fetch { ptr, idx, dests }) => {
@@ -606,7 +637,7 @@ impl<'p> Emulator<'p> {
                     match store.read(Addr(idx), (rtag, port))? {
                         ReadOutcome::Value(v) => {
                             immediate += 1;
-                            out.push(Token::new(rtag, port, v));
+                            out.push(rtag, port, v);
                             trace(&TraceEvent::IStoreRead {
                                 module: ptr.id,
                                 immediate: true,
@@ -653,7 +684,7 @@ impl<'p> Emulator<'p> {
                 // Released readers stream straight into the output wave
                 // (the packed store's zero-allocation release path).
                 let released = store.write_with(Addr(idx), value, |(rtag, port)| {
-                    out.push(Token::new(rtag, port, value));
+                    out.push(rtag, port, value);
                 })?;
                 self.istore_writes += 1;
                 if traced {
@@ -671,7 +702,7 @@ impl<'p> Emulator<'p> {
                     }
                 }
                 for (rtag, port) in dests {
-                    out.push(Token::new(rtag, port, Value::Unit));
+                    out.push(rtag, port, Value::Unit);
                 }
             }
         }

@@ -210,6 +210,14 @@ pub struct CodeBlock {
     /// Entry instructions, one per parameter: argument `k` of an
     /// invocation is delivered to `params[k]` at port 0.
     pub params: Vec<InstrId>,
+    /// Per-instruction scheduling criticality: the remaining
+    /// critical-path height of each instruction (see
+    /// [`Analysis::height`](crate::opt::analysis::Analysis::height)),
+    /// attached by [`annotate_criticality`](crate::opt::annotate_criticality)
+    /// — `compile_optimized` does this for every compiled program.
+    /// Empty means "not annotated"; schedulers recompute on demand.
+    /// Stale after any graph rewrite, like every other analysis.
+    pub criticality: Vec<u32>,
 }
 
 impl CodeBlock {
@@ -484,6 +492,7 @@ mod tests {
                 name: "t".into(),
                 instrs,
                 params,
+                criticality: Vec::new(),
             }],
             main: CodeBlockId(0),
         }
@@ -583,6 +592,7 @@ mod tests {
             name: "f".into(),
             instrs: vec![Instruction::new(OpCode::Identity)],
             params: vec![InstrId(0)],
+            criticality: Vec::new(),
         };
         let apply = Instruction::new(OpCode::Apply {
             callee: CodeBlockId(1),
@@ -592,6 +602,7 @@ mod tests {
             name: "m".into(),
             instrs: vec![apply],
             params: vec![],
+            criticality: Vec::new(),
         };
         let p = Program {
             blocks: vec![main, callee],

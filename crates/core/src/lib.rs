@@ -54,9 +54,11 @@ pub mod matching;
 pub mod opt;
 mod par;
 mod relaxed;
+mod sched;
 mod tag;
 mod timed;
 mod value;
+mod wave;
 pub mod wire;
 
 pub use builder::{BuildError, GraphBuilder, NodeId};
@@ -67,6 +69,7 @@ pub use graph::{
 };
 pub use machine::{Job, Machine};
 pub use matching::MatchingStore;
+pub use sched::SchedPolicy;
 pub use tag::{ActivityName, Ctx, Iter, Port, Token};
 pub use timed::{
     MachineStats, MappingPolicy, StructPlacement, TimedConfig, TimedMachine, TimedResult,

@@ -84,6 +84,19 @@ pub struct Analysis {
     /// from any entry to this instruction, ignoring loop back edges.
     /// Entries have depth 0; unreachable instructions report 0.
     pub depth: Vec<u32>,
+    /// Critical-path height: the longest path (in instructions) from
+    /// this instruction to any exit (a node with no non-back out-edges),
+    /// where loop back edges may be traversed **once** — the *remaining*
+    /// work below the node, where [`Analysis::depth`] is the acyclic
+    /// work above it. Exits have height 0; unreachable instructions
+    /// report 0. This is the criticality the schedulers consume: a ready
+    /// token aimed at a high-height instruction gates a longer
+    /// dependence chain than one aimed at a leaf. The one back-edge
+    /// traversal matters for loops: the producer of a loop-carried value
+    /// gates the *entire next iteration*, so it (and the chain feeding
+    /// it) inherits the loop entry's height instead of the nearly-zero
+    /// height a pure DAG view would give it.
+    pub height: Vec<u32>,
     /// Proven result type per instruction (see [`Ty`]).
     pub ty: Vec<Ty>,
     /// The *unconditional set*: instructions proven to fire exactly once
@@ -251,6 +264,45 @@ impl Analysis {
             depth[v] = d;
         }
 
+        // Critical-path height over the same DAG, in postorder (all
+        // non-back successors of a node are processed before it, so a
+        // node's own height is final when it pushes height+1 into its
+        // producers).
+        let mut height = vec![0u32; n];
+        let dag_pass = |height: &mut Vec<u32>| {
+            for &v in rpo.iter().skip(1).rev() {
+                for (k, ie) in in_edges[v].iter().enumerate() {
+                    if back[v].contains(&k) {
+                        continue;
+                    }
+                    let p = ie.src.0 as usize;
+                    if reachable[p] {
+                        height[p] = height[p].max(height[v] + 1);
+                    }
+                }
+            }
+        };
+        dag_pass(&mut height);
+        // Loop-carried boost: a back edge's producer gates the whole
+        // next iteration, so seed it with the loop entry's height and
+        // re-run the DAG pass to flow the boost up the chain feeding
+        // it. (One traversal of each back edge; heights only grow, and
+        // the second pass sees final consumer heights in postorder, so
+        // one re-run reaches the fixed point for these seeds.)
+        let mut seeded = false;
+        for v in 0..n {
+            for &k in &back[v] {
+                let p = in_edges[v][k].src.0 as usize;
+                if reachable[p] && height[p] < height[v] + 1 {
+                    height[p] = height[v] + 1;
+                    seeded = true;
+                }
+            }
+        }
+        if seeded {
+            dag_pass(&mut height);
+        }
+
         // Pessimistic type refinement to a fixed point.
         let mut ty = vec![Ty::Any; n];
         loop {
@@ -355,6 +407,7 @@ impl Analysis {
             reachable,
             idom,
             depth,
+            height,
             ty,
             uncond,
         }
@@ -405,6 +458,13 @@ mod tests {
         assert_eq!(an.depth[x.id.0 as usize], 0);
         assert_eq!(an.depth[c.id.0 as usize], 2);
         assert_eq!(an.depth[out.id.0 as usize], 3);
+        // Height mirrors depth from the other end of the DAG: the sink
+        // has nothing below it, the entry has the whole path.
+        assert_eq!(an.height[out.id.0 as usize], 0);
+        assert_eq!(an.height[c.id.0 as usize], 1);
+        assert_eq!(an.height[a.id.0 as usize], 2);
+        assert_eq!(an.height[b.id.0 as usize], 2);
+        assert_eq!(an.height[x.id.0 as usize], 3);
         assert_eq!(critical_path(&p), 3);
         // Def-use: c has exactly two in-edges, one per port.
         assert_eq!(an.in_edges[c.id.0 as usize].len(), 2);

@@ -15,7 +15,7 @@
 //! and tag operators/parameters are pinned. The pass iterates because a
 //! merge makes downstream consumers' keys converge.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::graph::{CodeBlock, DestBranch, OpCode};
 
@@ -69,8 +69,13 @@ pub(super) fn run(block: &mut CodeBlock, stats: &mut OptStats) -> bool {
         // First occurrence of a key is the representative; later ones
         // merge into it. A representative can never itself be merged
         // this round (it would have matched an earlier occurrence).
+        // Victims are kept in index order: the merge loop below extends
+        // the survivors' dest lists, and iterating a hash map there
+        // would make the compiled program's edge order — and with it
+        // every order-sensitive downstream measurement (timed-machine
+        // makespans, token traces) — vary run to run.
         let mut table: HashMap<String, usize> = HashMap::new();
-        let mut merged_into: HashMap<usize, usize> = HashMap::new();
+        let mut merged_into: BTreeMap<usize, usize> = BTreeMap::new();
         for i in 0..n {
             let Some(k) = key(i) else { continue };
             match table.get(&k) {

@@ -93,6 +93,10 @@ pub(super) fn run(block: &CodeBlock, stats: &mut OptStats) -> CodeBlock {
     let new_params = params.iter().map(|p| InstrId(remap[&p.0])).collect();
 
     CodeBlock {
+        // Any criticality annotation on the input block describes the
+        // old instruction numbering; drop it (annotation runs after the
+        // whole pipeline, not inside it).
+        criticality: Vec::new(),
         name: block.name.clone(),
         instrs: new_instrs,
         params: new_params,

@@ -199,6 +199,25 @@ pub fn optimize_at(program: &Program, level: OptLevel) -> (Program, OptStats) {
     PassManager::new(level).run(program)
 }
 
+/// Attaches per-instruction scheduling criticality to every block: each
+/// block's [`CodeBlock::criticality`](crate::CodeBlock) is set to the
+/// block's [`Analysis::height`](analysis::Analysis::height) — the
+/// remaining critical-path length below each instruction over the
+/// back-edge-free dataflow DAG.
+///
+/// This is the compile-time half of criticality-aware scheduling
+/// (DESIGN.md §15): it runs *after* the whole pass pipeline (every
+/// rewrite invalidates every analysis, so annotating inside a pass would
+/// just be thrown away), and `compile_optimized` in `ttda-idc` calls it
+/// on everything it emits. Schedulers fall back to computing the same
+/// heights on demand for unannotated programs, so calling this is a
+/// compile-time-vs-run-time tradeoff, never a behavioural switch.
+pub fn annotate_criticality(program: &mut Program) {
+    for b in &mut program.blocks {
+        b.criticality = analysis::Analysis::of(b).height;
+    }
+}
+
 /// Convenience: compile-quality check that two programs compute the same
 /// outputs on the given inputs (used by tests and by callers who want to
 /// verify an optimization).
@@ -403,6 +422,23 @@ mod tests {
         let (same, stats) = optimize_at(&p, OptLevel::O0);
         assert_eq!(same, p);
         assert_eq!(stats, OptStats::default());
+    }
+
+    #[test]
+    fn annotate_criticality_matches_the_analysis_and_survives_execution() {
+        let mut p = sum_loop();
+        assert!(p.blocks[0].criticality.is_empty(), "builder leaves it off");
+        annotate_criticality(&mut p);
+        let b = &p.blocks[0];
+        assert_eq!(b.criticality.len(), b.instrs.len());
+        assert_eq!(b.criticality, analysis::Analysis::of(b).height);
+        assert!(b.criticality.iter().any(|&h| h > 0), "some chain exists");
+        // Annotation is metadata only: results are untouched.
+        let r = Emulator::new(&p).run(&[Value::Int(100)]).unwrap();
+        assert_eq!(r.outputs[&0], Value::Int(5050));
+        // Re-optimizing an annotated program drops the stale annotation.
+        let (opt, _) = optimize_at(&p, OptLevel::O1);
+        assert!(opt.blocks[0].criticality.is_empty());
     }
 
     #[test]

@@ -94,6 +94,7 @@ use crate::emu::EmuResult;
 use crate::exec::{absorb, execute, Continuation, StructAction};
 use crate::graph::Program;
 use crate::matching::{MatchingStore, Operands};
+use crate::sched::{CritMap, SchedPolicy};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
 use crate::ExecError;
@@ -246,9 +247,11 @@ pub(crate) fn submit(
     jobs: &[crate::machine::Job],
     threads: usize,
     fuel: u64,
+    sched: SchedPolicy,
     sink: Option<SharedSink>,
 ) -> Result<EmuResult, ExecError> {
     debug_assert!(threads >= 1, "parallel backend needs at least one worker");
+    let crit = (sched == SchedPolicy::Crit).then(|| CritMap::of(program));
     let ctxs = SharedContexts::new(program.main);
     let mut wave: Vec<Token> = Vec::new();
     for job in jobs {
@@ -316,6 +319,7 @@ pub(crate) fn submit(
             ctxs: &ctxs,
             pool: &pool,
             fuel,
+            crit,
             job_txs,
             reply_rxs,
         };
@@ -330,6 +334,9 @@ struct Driver<'a> {
     ctxs: &'a SharedContexts,
     pool: &'a StealPool,
     fuel: u64,
+    /// `Some` under [`SchedPolicy::Crit`]: the wave is stably reordered
+    /// by descending criticality *before* wave indices are assigned.
+    crit: Option<CritMap>,
     job_txs: Vec<Sender<Job>>,
     reply_rxs: Vec<Receiver<Reply>>,
 }
@@ -366,6 +373,17 @@ fn drive(
     while !wave.is_empty() {
         let wlen = wave.len();
         d.pool.reset();
+
+        // Criticality scheduling happens *here*, before wave indices
+        // exist: the stable sort (ties keep arrival order) makes the
+        // reordered wave a pure function of the graph and the previous
+        // wave, and everything downstream — sharding, absorption,
+        // occupancy replay, the index-ordered merge — runs on the
+        // post-sort indices. That is why a `Crit` run is bit-identical
+        // to the sequential backend's at every thread count.
+        if let Some(crit) = &d.crit {
+            wave.sort_by_key(|t| std::cmp::Reverse(crit.criticality(t.tag)));
+        }
 
         // Phase 1: shard the wave's tokens by activity name. Every
         // worker gets its (possibly empty) slice — workers with little

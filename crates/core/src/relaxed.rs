@@ -52,7 +52,7 @@
 //! enqueue in that order at the receiver, so the create/store is always
 //! applied before the dependent fetch arrives.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Mutex;
@@ -68,6 +68,7 @@ use crate::exec::{absorb, execute, StructAction};
 use crate::graph::Program;
 use crate::matching::MatchingStore;
 use crate::par::{apply_one, worker_of, StructOp};
+use crate::sched::{BucketQueue, CritMap, SchedPolicy};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
 use crate::ExecError;
@@ -117,6 +118,9 @@ struct Shared<'a> {
     first_err: Mutex<Option<ExecError>>,
     threads: usize,
     traced: bool,
+    /// `Some` under [`SchedPolicy::Crit`]: workers pop their local
+    /// queues longest-remaining-path first instead of in arrival order.
+    crit: Option<CritMap>,
 }
 
 impl Shared<'_> {
@@ -155,6 +159,7 @@ pub(crate) fn submit(
     jobs: &[crate::machine::Job],
     threads: usize,
     fuel: u64,
+    sched: SchedPolicy,
     sink: Option<SharedSink>,
 ) -> Result<EmuResult, ExecError> {
     debug_assert!(threads >= 1, "relaxed backend needs at least one worker");
@@ -208,6 +213,7 @@ pub(crate) fn submit(
         first_err: Mutex::new(None),
         threads,
         traced: sink.is_some(),
+        crit: (sched == SchedPolicy::Crit).then(|| CritMap::of(program)),
     };
 
     let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
@@ -288,8 +294,11 @@ struct Worker<'a, 'p> {
     /// Private structure-id lease, refilled from the shared counter.
     struct_next: u32,
     struct_end: u32,
-    /// Tokens owned by this worker's matching shard, pending absorption.
-    local: VecDeque<Token>,
+    /// Tokens owned by this worker's matching shard, pending
+    /// absorption. FIFO under [`SchedPolicy::Fifo`] (everything lands
+    /// at priority 0); a criticality-bucketed priority queue under
+    /// [`SchedPolicy::Crit`].
+    local: BucketQueue<Token>,
     /// Outbound batches, one slot per peer (own slots stay empty — own
     /// work is dispatched inline).
     obufs: Vec<Vec<ShardOp>>,
@@ -311,7 +320,7 @@ fn worker(shared: &Shared<'_>, me: usize, rx: Receiver<Msg>, peers: Vec<Sender<M
         wctx: shared.ctxs.handle(),
         struct_next: 0,
         struct_end: 0,
-        local: VecDeque::new(),
+        local: BucketQueue::new(),
         obufs: (0..threads).map(|_| Vec::new()).collect(),
         tbufs: (0..threads).map(|_| Vec::new()).collect(),
         peers,
@@ -329,7 +338,7 @@ fn worker(shared: &Shared<'_>, me: usize, rx: Receiver<Msg>, peers: Vec<Sender<M
         },
     };
     loop {
-        while let Some(t) = w.local.pop_front() {
+        while let Some(t) = w.local.pop() {
             w.process_token(t);
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             if shared.poison.load(Ordering::SeqCst) {
@@ -369,6 +378,13 @@ impl Worker<'_, '_> {
         }
     }
 
+    /// Local-queue priority of a token: its target's remaining
+    /// critical-path height under `Crit`, a constant 0 under `Fifo`
+    /// (which makes [`BucketQueue`] exactly a FIFO ring).
+    fn prio(&self, tag: ActivityName) -> u32 {
+        self.shared.crit.as_ref().map_or(0, |c| c.criticality(tag))
+    }
+
     /// Routes a freshly produced token to its matching shard's owner,
     /// charging it to the in-flight counter first.
     fn route(&mut self, t: Token) {
@@ -376,7 +392,7 @@ impl Worker<'_, '_> {
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let w = worker_of(t.tag, self.shared.threads);
         if w == self.me {
-            self.local.push_back(t);
+            self.local.push(self.prio(t.tag), t);
         } else {
             self.tbufs[w].push(t);
         }
@@ -583,7 +599,11 @@ impl Worker<'_, '_> {
                     self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
             }
-            Msg::Tokens(ts) => self.local.extend(ts),
+            Msg::Tokens(ts) => {
+                for t in ts {
+                    self.local.push(self.prio(t.tag), t);
+                }
+            }
         }
     }
 }

@@ -15,7 +15,7 @@
 //! network latency grows, *provided the program has parallelism to spare*
 //! (the paper's claim, tested in E1/E14).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use ttda_mem::{Addr, IStructureError, IStructureShard, Presence};
 use ttda_net::{Fabric, FabricConfig, Ideal, NodeId, Topology};
@@ -26,6 +26,7 @@ use crate::context::ContextManager;
 use crate::exec::{absorb, execute, Continuation, StructAction};
 use crate::graph::Program;
 use crate::matching::MatchingStore;
+use crate::sched::{env_sched, BucketQueue, CritMap, SchedPolicy};
 use crate::tag::{ActivityName, Iter, Port, Token};
 use crate::value::{StructRef, Value};
 use crate::ExecError;
@@ -88,6 +89,11 @@ pub struct TimedConfig {
     pub match_overflow_penalty: Cycle,
     /// I-structure element placement across modules.
     pub placement: StructPlacement,
+    /// How each PE orders its input queue: FIFO (arrival order) or
+    /// criticality-aware (longest remaining critical path first, ties in
+    /// arrival order — see [`SchedPolicy`]). The default honours
+    /// `TTDA_SCHED`, falling back to FIFO.
+    pub sched: SchedPolicy,
     /// Network queueing parameters.
     pub fabric: FabricConfig,
     /// Hard wall-clock limit.
@@ -108,6 +114,7 @@ impl Default for TimedConfig {
             match_capacity: 0,
             match_overflow_penalty: Cycle(4),
             placement: StructPlacement::Interleaved,
+            sched: env_sched(),
             fabric: FabricConfig::default(),
             max_cycles: Cycle(100_000_000),
             fuel: 50_000_000,
@@ -213,7 +220,10 @@ enum Ev {
 
 #[derive(Debug, Default)]
 struct PeState {
-    queue: VecDeque<Token>,
+    /// Input token queue: a FIFO ring under [`SchedPolicy::Fifo`]
+    /// (everything arrives at priority 0), a criticality-bucketed
+    /// priority queue under [`SchedPolicy::Crit`].
+    queue: BucketQueue<Token>,
     waiting: MatchingStore,
     busy_until: Cycle,
     wake_scheduled: bool,
@@ -407,6 +417,11 @@ impl<T: Topology> TimedMachine<T> {
         };
 
         let mut ctx = ContextManager::new(self.program.main);
+        // Criticality lookup for the PE input queues; `None` under FIFO,
+        // where every token lands at priority 0 and the bucket queue
+        // degenerates to the historical ring.
+        let crit = (cfg.sched == SchedPolicy::Crit).then(|| CritMap::of(&self.program));
+        let prio = |t: &Token| crit.as_ref().map_or(0, |c| c.criticality(t.tag));
         let mut pes: Vec<PeState> = (0..n).map(|_| PeState::default()).collect();
         let mut modules: Vec<ModState> = (0..n).map(|_| ModState::default()).collect();
         let mut next_struct: u32 = 0;
@@ -467,7 +482,7 @@ impl<T: Topology> TimedMachine<T> {
                 Ev::Deliver { pe, token } => {
                     tokens_delivered += 1;
                     let p = &mut pes[pe];
-                    p.queue.push_back(token);
+                    p.queue.push(prio(&token), token);
                     peak_queue = peak_queue.max(p.queue.len());
                     if !p.wake_scheduled {
                         p.wake_scheduled = true;
@@ -475,7 +490,7 @@ impl<T: Topology> TimedMachine<T> {
                     }
                 }
                 Ev::Wake { pe } => {
-                    let Some(token) = pes[pe].queue.pop_front() else {
+                    let Some(token) = pes[pe].queue.pop() else {
                         pes[pe].wake_scheduled = false;
                         continue;
                     };

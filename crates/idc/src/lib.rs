@@ -104,6 +104,12 @@ pub fn compile(source: &str) -> Result<ttda_core::Program, CompileError> {
 /// [`ttda_core::opt`] for what each level runs). Same results as
 /// [`compile`], fewer instruction firings.
 ///
+/// The returned program additionally carries per-instruction scheduling
+/// criticality (`CodeBlock::criticality`, the remaining critical-path
+/// height from `ttda_core::opt::annotate_criticality`) so the engines'
+/// criticality-aware schedulers can prioritize without re-running the
+/// analysis — the static metadata export of DESIGN.md §15.
+///
 /// # Errors
 ///
 /// Returns a [`CompileError`] describing the first problem found.
@@ -112,7 +118,9 @@ pub fn compile_optimized(
     level: OptLevel,
 ) -> Result<ttda_core::Program, CompileError> {
     let p = compile(source)?;
-    Ok(ttda_core::opt::optimize_at(&p, level).0)
+    let mut p = ttda_core::opt::optimize_at(&p, level).0;
+    ttda_core::opt::annotate_criticality(&mut p);
+    Ok(p)
 }
 
 pub use ttda_core::opt::OptLevel;
